@@ -1,0 +1,26 @@
+"""Helpers shared by the benchmark modules (output persistence, sizing)."""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+#: Stimulus size used by the harness.  The paper uses 20 000 vectors; 4 000
+#: keeps the full harness fast while preserving the qualitative shapes.
+#: Override with the REPRO_BENCH_VECTORS environment variable.
+DEFAULT_BENCH_VECTORS = 4000
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+def bench_vectors() -> int:
+    """Number of stimulus vectors used by the harness."""
+    return int(os.environ.get("REPRO_BENCH_VECTORS", DEFAULT_BENCH_VECTORS))
+
+
+def write_output(name: str, text: str) -> pathlib.Path:
+    """Persist a rendered table/figure under ``benchmarks/output/``."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / name
+    path.write_text(text + "\n", encoding="utf-8")
+    return path

@@ -1,0 +1,85 @@
+"""Ablation: training-set size and stimulus type for Algorithm 1.
+
+The paper trains its probability tables with 20 K carry-balanced patterns.
+This ablation measures how the model quality (SNR against the hardware on a
+*held-out* uniform test set) varies with the training-set size and with the
+stimulus generator used for training.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _bench_utils import write_output
+
+from repro.core.calibration import calibrate_probability_table
+from repro.core.characterization import CharacterizationFlow
+from repro.core.metrics import signal_to_noise_ratio_db
+from repro.core.modified_adder import ApproximateAdderModel
+from repro.core.triad import OperatingTriad
+from repro.simulation.patterns import PatternConfig, generate_patterns
+
+TRAINING_SIZES = (250, 1000, 4000)
+TRAINING_KINDS = ("uniform", "carry_balanced", "correlated")
+
+
+def test_ablation_training_configuration(benchmark):
+    """Sweep training size and stimulus kind; evaluate on held-out data."""
+    flow = CharacterizationFlow.for_benchmark("rca", 8)
+    grid = flow.default_triad_grid()
+    # A deep over-scaling triad with the nominal clock and no body bias.
+    nominal_clock = sorted({t.tclk for t in grid})[-2]
+    triad = OperatingTriad(tclk=nominal_clock, vdd=0.6, vbb=0.0)
+
+    test_in1, test_in2 = generate_patterns(
+        PatternConfig(n_vectors=4000, width=8, kind="uniform", seed=99)
+    )
+    test_hw = flow.testbench.run_triad(
+        test_in1, test_in2, tclk=triad.tclk, vdd=triad.vdd, vbb=triad.vbb
+    )
+
+    lines = [
+        f"Ablation: Algorithm 1 training configuration (triad {triad.label()})",
+        f"{'training kind':<18}{'size':>8}{'held-out SNR (dB)':>20}",
+    ]
+    results = {}
+    for kind in TRAINING_KINDS:
+        for size in TRAINING_SIZES:
+            train_in1, train_in2 = generate_patterns(
+                PatternConfig(n_vectors=size, width=8, kind=kind, seed=7)
+            )
+            train_hw = flow.testbench.run_triad(
+                train_in1, train_in2, tclk=triad.tclk, vdd=triad.vdd, vbb=triad.vbb
+            )
+            calibration = calibrate_probability_table(
+                train_in1, train_in2, train_hw.latched_words, 8, metric="mse"
+            )
+            model = ApproximateAdderModel(8, calibration.table, seed=21)
+            snr = signal_to_noise_ratio_db(
+                test_hw.latched_words, model.add(test_in1, test_in2)
+            )
+            results[(kind, size)] = snr
+            lines.append(f"{kind:<18}{size:>8}{snr:>20.1f}")
+
+    text = "\n".join(lines)
+    print("\n=== Ablation: training configuration ===")
+    print(text)
+    write_output("ablation_training.txt", text)
+
+    # Every configuration produces a usable model on held-out data.
+    assert min(results.values()) > 0.0
+    # The largest carry-balanced training set is not worse than the smallest
+    # uniform one (the paper's choice of stimulus is at least as good).
+    assert results[("carry_balanced", 4000)] >= results[("uniform", 250)] - 1.0
+
+    small_in1, small_in2 = generate_patterns(
+        PatternConfig(n_vectors=500, width=8, kind="carry_balanced", seed=7)
+    )
+    small_hw = flow.testbench.run_triad(
+        small_in1, small_in2, tclk=triad.tclk, vdd=triad.vdd, vbb=triad.vbb
+    )
+    benchmark(
+        lambda: calibrate_probability_table(
+            small_in1, small_in2, small_hw.latched_words, 8, metric="mse"
+        )
+    )

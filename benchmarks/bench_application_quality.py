@@ -1,0 +1,86 @@
+"""Application-level benchmark: circuit BER versus application quality.
+
+The paper motivates VOS approximation with error-resilient applications but
+evaluates only at the operator level.  This bench closes that loop: the
+image box blur and the FIR filter run on approximate-adder models trained at
+increasingly aggressive triads of the 16-bit RCA, reporting application
+quality (PSNR / output SNR) next to the circuit-level BER and energy saving.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _bench_utils import write_output
+
+from repro.apps import (
+    FirFilter,
+    box_blur,
+    low_pass_coefficients,
+    output_snr_db,
+    psnr_db,
+    synthetic_gradient_image,
+)
+from repro.core.calibration import calibrate_probability_table
+from repro.core.characterization import CharacterizationFlow
+from repro.core.modified_adder import ApproximateAdderModel
+from repro.simulation.patterns import PatternConfig
+
+
+def test_application_quality_vs_ber(benchmark):
+    """Sweep operating points and report application quality per BER level."""
+    width = 16
+    flow = CharacterizationFlow.for_benchmark("rca", width)
+    characterization = flow.run(
+        pattern=PatternConfig(n_vectors=1500, width=width, kind="carry_balanced", seed=3)
+    )
+    faulty = sorted(
+        (e for e in characterization.results if e.ber > 0.002),
+        key=lambda entry: entry.ber,
+    )
+    # Low / medium / high BER operating points.
+    selected = [faulty[0], faulty[len(faulty) // 2], faulty[-1]]
+
+    image = synthetic_gradient_image(20, 20)
+    exact_blur = box_blur(image)
+    coefficients = low_pass_coefficients(9, scale=16)
+    rng = np.random.default_rng(5)
+    samples = rng.integers(0, 256, 160)
+    exact_fir = FirFilter(coefficients).filter(samples)
+
+    lines = [
+        "Application quality vs circuit BER (16-bit RCA operating points)",
+        f"{'triad':<26}{'BER %':>8}{'saving %':>10}{'blur PSNR dB':>14}"
+        f"{'FIR SNR dB':>12}",
+    ]
+    qualities = []
+    for index, entry in enumerate(selected):
+        measurement = characterization.measurement_for(entry.triad)
+        calibration = calibrate_probability_table(
+            measurement.in1, measurement.in2, measurement.latched_words, width, metric="mse"
+        )
+        model = ApproximateAdderModel(width, calibration.table, seed=30 + index)
+        blur_quality = psnr_db(exact_blur, box_blur(image, adder=model))
+        model.reseed(60 + index)
+        fir_quality = output_snr_db(
+            exact_fir, FirFilter(coefficients, adder=model).filter(samples)
+        )
+        qualities.append((entry.ber, blur_quality, fir_quality))
+        lines.append(
+            f"{entry.label():<26}{entry.ber_percent:>8.2f}"
+            f"{characterization.energy_efficiency_of(entry) * 100:>10.1f}"
+            f"{blur_quality:>14.1f}{fir_quality:>12.1f}"
+        )
+
+    text = "\n".join(lines)
+    print("\n=== Application quality vs BER ===")
+    print(text)
+    write_output("application_quality.txt", text)
+
+    # Quality must degrade monotonically (within tolerance) as BER grows.
+    assert qualities[0][1] >= qualities[-1][1]
+    assert qualities[0][2] >= qualities[-1][2]
+    # The mildest operating point keeps the applications usable.
+    assert qualities[0][1] > 15.0
+
+    benchmark(lambda: box_blur(image))

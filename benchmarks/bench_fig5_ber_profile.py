@@ -1,0 +1,57 @@
+"""Fig. 5: distribution of BER over the output bits of the 8-bit RCA under
+voltage over-scaling (clock fixed at the nominal Table III period, no body
+bias, Vdd swept 0.8 / 0.7 / 0.6 / 0.5 V).
+
+Paper shape to reproduce: the LSBs stay clean, errors appear in the upper
+bits just below the error-free supply, and at deep over-scaling the middle /
+upper bits carry large error probabilities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _bench_utils import bench_vectors, write_output
+
+from repro.analysis.figures import fig5_ber_per_bit
+
+SUPPLY_VOLTAGES = (0.8, 0.7, 0.6, 0.5)
+
+
+def _render(series) -> str:
+    lines = ["Fig. 5: BER [%] per output bit of the 8-bit RCA (LSB -> MSB)"]
+    header = "Vdd " + "".join(f"  bit{i:>2}" for i in range(9))
+    lines.append(header)
+    for entry in series:
+        row = f"{entry.vdd:0.1f} " + "".join(
+            f"{value * 100:7.1f}" for value in entry.ber_per_bit
+        )
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def test_fig5_ber_distribution(benchmark):
+    """Regenerate the Fig. 5 per-bit BER profiles and time one profile run."""
+    series = fig5_ber_per_bit(
+        supply_voltages=SUPPLY_VOLTAGES, n_vectors=bench_vectors(), seed=2017
+    )
+    text = _render(series)
+    print("\n=== Fig. 5 (this substrate) ===")
+    print(text)
+    write_output("fig5_ber_profile.txt", text)
+
+    by_vdd = {entry.vdd: entry for entry in series}
+    # Mean BER grows monotonically as the supply is over-scaled.
+    means = [by_vdd[v].mean_ber for v in SUPPLY_VOLTAGES]
+    assert all(later >= earlier for earlier, later in zip(means, means[1:]))
+    # The LSB never depends on a carry and stays clean; upper bits fail.
+    deepest = by_vdd[0.5].ber_per_bit
+    assert deepest[0] == 0.0
+    assert deepest[4:].max() > 0.05
+    # Just below the error-free supply, only the upper bits see errors.
+    onset = by_vdd[0.7].ber_per_bit
+    assert onset[:3].max() <= onset[5:].max() + 1e-9
+
+    benchmark(
+        lambda: fig5_ber_per_bit(supply_voltages=(0.6,), n_vectors=500, seed=1)
+    )

@@ -1,0 +1,69 @@
+"""Fig. 7 (a, b): estimation error of the statistical adder model.
+
+For each benchmark adder, Algorithm 1 is run on carry-balanced training
+patterns under the three distance metrics (MSE, Hamming, weighted Hamming);
+the calibrated model is then compared with the characterized hardware
+outputs.
+
+Paper shape to reproduce:
+
+* Fig. 7a -- the model reaches positive SNR (5-30 dB) against the hardware
+  for every adder and metric;
+* Fig. 7b -- the normalised Hamming distance between model and hardware
+  stays below ~0.2.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import bench_vectors, write_output
+
+from repro.analysis.figures import fig7_model_accuracy
+from repro.core.calibration import calibrate_probability_table
+from repro.simulation.patterns import PatternConfig, generate_patterns
+from repro.core.carry_model import carry_truncated_add
+
+BENCHMARKS = (("bka", 8), ("rca", 8), ("bka", 16), ("rca", 16))
+METRICS = ("mse", "hamming", "weighted_hamming")
+
+
+def _render(points) -> str:
+    lines = [
+        "Fig. 7: statistical-model accuracy versus characterized hardware",
+        f"{'adder':<8}{'metric':<20}{'mean SNR (dB)':>15}{'norm. Hamming':>15}",
+    ]
+    for point in points:
+        snr = "inf" if point.mean_snr_db == float("inf") else f"{point.mean_snr_db:.1f}"
+        lines.append(
+            f"{point.adder_name:<8}{point.metric:<20}{snr:>15}"
+            f"{point.mean_normalized_hamming:>15.3f}"
+        )
+    return "\n".join(lines)
+
+
+def test_fig7_model_accuracy(benchmark):
+    """Regenerate the Fig. 7 summary and time one Algorithm 1 calibration."""
+    points = fig7_model_accuracy(
+        benchmarks=BENCHMARKS,
+        metrics=METRICS,
+        n_vectors=max(bench_vectors() // 2, 1000),
+        max_triads=6,
+    )
+    text = _render(points)
+    print("\n=== Fig. 7 (this substrate) ===")
+    print(text)
+    write_output("fig7_model_accuracy.txt", text)
+
+    assert len(points) == len(BENCHMARKS) * len(METRICS)
+    for point in points:
+        # Fig. 7a: the model tracks the hardware with positive SNR.
+        assert point.mean_snr_db > 0.0
+        # Fig. 7b: normalised Hamming distance stays below ~0.2.
+        assert point.mean_normalized_hamming < 0.25
+
+    in1, in2 = generate_patterns(
+        PatternConfig(n_vectors=2000, width=8, kind="carry_balanced", seed=5)
+    )
+    faulty = carry_truncated_add(in1, in2, 8, 4)
+    benchmark(
+        lambda: calibrate_probability_table(in1, in2, faulty, 8, metric="mse")
+    )

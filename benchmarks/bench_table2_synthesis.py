@@ -1,0 +1,39 @@
+"""Table II: synthesis results (area, total power, critical path) of the four
+benchmark adders at the nominal operating point.
+
+Paper reference values (28nm FDSOI LVT, 1.0 V, no body bias):
+
+    8-bit RCA  : 114.7 um^2, 170.0 uW, 0.28 ns
+    8-bit BKA  : 174.1 um^2, 267.7 uW, 0.19 ns
+    16-bit RCA : 224.5 um^2, 341.0 uW, 0.53 ns
+    16-bit BKA : 265.5 um^2, 363.4 uW, 0.25 ns
+
+The analytical substrate is not expected to match the absolute numbers, but
+the orderings (BKA faster / larger / hungrier than RCA; 16-bit roughly twice
+the 8-bit area) must hold.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import write_output
+
+from repro.analysis.tables import table2_synthesis
+from repro.circuits.adders import build_adder
+from repro.synthesis.synthesize import synthesize
+
+
+def test_table2_synthesis_report(benchmark):
+    """Regenerate Table II and time one synthesis run."""
+    reports, text = table2_synthesis()
+    print("\n=== Table II: synthesis results (this substrate) ===")
+    print(text)
+    write_output("table2_synthesis.txt", text)
+
+    by_name = {report.design_name: report for report in reports}
+    assert by_name["bka8"].critical_path_ns < by_name["rca8"].critical_path_ns
+    assert by_name["bka16"].critical_path_ns < by_name["rca16"].critical_path_ns
+    assert by_name["bka8"].area_um2 > by_name["rca8"].area_um2
+    assert by_name["rca16"].area_um2 > by_name["rca8"].area_um2
+
+    netlist = build_adder("rca", 8).netlist
+    benchmark(lambda: synthesize(netlist))

@@ -1,0 +1,41 @@
+"""Table III: the operating triads simulated per benchmark.
+
+The paper's Table III lists, per adder, four clock periods (from its
+synthesis timing reports), supply voltages 1.0 V down to 0.4 V, and body-bias
+values 0 / ±2 V.  This bench prints both the paper's original clock lists and
+the *matched* lists actually used by this substrate (rescaled to its own
+critical paths), and verifies the 43-triad structure.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import write_output
+
+from repro.analysis.tables import PAPER_BENCHMARKS, table3_triads
+from repro.circuits.adders import build_adder
+from repro.core.triad import matched_triad_grid
+from repro.synthesis.sta import StaticTimingAnalysis
+
+
+def test_table3_triad_grid(benchmark):
+    """Regenerate Table III and time the grid construction."""
+    critical_paths = {}
+    for architecture, width in PAPER_BENCHMARKS:
+        netlist = build_adder(architecture, width).netlist
+        critical_paths[f"{architecture}{width}"] = StaticTimingAnalysis(
+            netlist, 1.0
+        ).critical_path_delay
+
+    paper_labels, paper_text = table3_triads()
+    matched_labels, matched_text = table3_triads(critical_paths)
+
+    print("\n=== Table III: paper clock periods ===")
+    print(paper_text)
+    print("\n=== Table III: matched clock periods (this substrate) ===")
+    print(matched_text)
+    write_output("table3_triads.txt", paper_text + "\n\n" + matched_text)
+
+    for name in paper_labels:
+        assert len(matched_labels[name]) == 43
+
+    benchmark(lambda: matched_triad_grid("rca8", critical_paths["rca8"]))

@@ -1,0 +1,48 @@
+"""Table IV: maximum energy efficiency and triad counts per BER range for the
+8- and 16-bit RCA and BKA adders.
+
+Paper reference (max energy efficiency per BER range):
+
+    BER range   8-RCA  8-BKA  16-RCA  16-BKA
+    0%           76.0   75.3    60.5    73.3
+    1%-10%       87.0   65.3    83.6    84.0
+    11%-20%      74.0   89.0    86.2    73.3
+    21%-25%      92.0   82.8    90.8     --
+
+The reproduction target is the pattern, not the exact cells: substantial
+double-digit savings already at 0% BER, rising into the 80-90% range once a
+10-25% BER budget is allowed, with forward body bias providing the winners.
+"""
+
+from __future__ import annotations
+
+from _bench_utils import write_output
+
+from repro.analysis.tables import render_table4, table4_energy_efficiency
+from repro.core.energy import summarize_by_ber_range
+
+
+def test_table4_energy_efficiency(benchmark, benchmark_characterizations):
+    """Regenerate Table IV and time the aggregation step."""
+    summaries = table4_energy_efficiency(benchmark_characterizations)
+    text = render_table4(summaries)
+    print("\n=== Table IV (this substrate) ===")
+    print(text)
+    write_output("table4_efficiency.txt", text)
+
+    for name, rows in summaries.items():
+        by_label = {row.ber_range_label: row for row in rows}
+        zero = by_label["0%"]
+        assert zero.triad_count >= 5, name
+        assert zero.max_energy_efficiency is not None and zero.max_energy_efficiency > 0.5
+        # Allowing a BER budget unlocks additional savings beyond the 0% row.
+        best_overall = max(
+            row.max_energy_efficiency
+            for row in rows
+            if row.max_energy_efficiency is not None
+        )
+        assert best_overall > zero.max_energy_efficiency
+        assert best_overall > 0.7
+
+    rca8 = benchmark_characterizations["rca8"]
+    benchmark(lambda: summarize_by_ber_range(rca8))

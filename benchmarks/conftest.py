@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark harness.
+
+The benchmarks both *time* a representative kernel (pytest-benchmark) and
+*print* the reproduced table/figure so the output can be compared with the
+paper.  The expensive characterizations are computed once per session and
+shared; rendered outputs are also written to ``benchmarks/output/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _bench_utils import bench_vectors
+from repro.analysis.tables import PAPER_BENCHMARKS
+from repro.core.characterization import AdderCharacterization, CharacterizationFlow
+from repro.simulation.patterns import PatternConfig
+
+
+@pytest.fixture(scope="session")
+def benchmark_characterizations() -> dict[str, AdderCharacterization]:
+    """Characterizations of the paper's four benchmark adders (Fig. 8 data)."""
+    characterizations: dict[str, AdderCharacterization] = {}
+    for architecture, width in PAPER_BENCHMARKS:
+        flow = CharacterizationFlow.for_benchmark(architecture, width)
+        characterization = flow.run(
+            pattern=PatternConfig(
+                n_vectors=bench_vectors(), width=width, seed=2017, kind="uniform"
+            )
+        )
+        characterizations[characterization.adder_name] = characterization
+    return characterizations

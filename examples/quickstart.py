@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Quickstart: characterize an 8-bit ripple-carry adder under VOS.
+
+The script walks the three steps of the paper's flow:
+
+1. build and synthesize the adder (Table II style report),
+2. characterize it over the matched Table III triad grid (BER and energy per
+   operation per triad, the data behind Fig. 8a),
+3. train the statistical model on one approximate triad (Algorithm 1) and use
+   it as a drop-in approximate adder.
+
+Run with ``python examples/quickstart.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    ApproximateAdderModel,
+    CharacterizationFlow,
+    PatternConfig,
+    bit_error_rate,
+    calibrate_probability_table,
+    synthesize,
+)
+from repro.circuits import build_adder
+
+
+def main() -> None:
+    # 1. Build and synthesize the adder.
+    adder = build_adder("rca", 8)
+    report = synthesize(adder.netlist)
+    print("== Synthesis (Table II style) ==")
+    print(
+        f"{report.design_name}: {report.gate_count} gates, "
+        f"{report.area_um2:.1f} um^2, {report.total_power_uw:.1f} uW, "
+        f"critical path {report.critical_path_ns:.3f} ns"
+    )
+
+    # 2. Characterize over the matched Table III triad grid.
+    flow = CharacterizationFlow(adder)
+    characterization = flow.run(pattern=PatternConfig(n_vectors=2000, width=8))
+    print("\n== Characterization (Fig. 8a style, best 10 triads by energy) ==")
+    print(f"{'triad':<24}{'BER %':>8}{'E/op pJ':>10}{'saving %':>10}")
+    for entry in characterization.sorted_by_energy()[-10:]:
+        saving = characterization.energy_efficiency_of(entry) * 100
+        print(
+            f"{entry.label():<24}{entry.ber_percent:>8.2f}"
+            f"{entry.energy_per_operation_pj:>10.4f}{saving:>10.1f}"
+        )
+
+    # 3. Train the statistical model on the most aggressive triad within 10% BER.
+    candidates = [e for e in characterization.results if 0.0 < e.ber <= 0.10]
+    target = max(candidates, key=characterization.energy_efficiency_of)
+    measurement = characterization.measurement_for(target.triad)
+    calibration = calibrate_probability_table(
+        measurement.in1, measurement.in2, measurement.latched_words, width=8, metric="mse"
+    )
+    model = ApproximateAdderModel(width=8, table=calibration.table, seed=7)
+
+    rng = np.random.default_rng(1)
+    a = rng.integers(0, 256, 5000)
+    b = rng.integers(0, 256, 5000)
+    approx = model.add(a, b)
+    exact = a + b
+    print("\n== Statistical model trained on", target.label(), "==")
+    print(f"hardware BER at that triad : {target.ber_percent:.2f} %")
+    print(f"model BER vs exact         : {bit_error_rate(exact, approx, 9) * 100:.2f} %")
+    print(f"energy saving at that triad: {characterization.energy_efficiency_of(target) * 100:.1f} %")
+
+
+if __name__ == "__main__":
+    main()

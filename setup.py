@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so editable installs work on environments
+whose setuptools predates the bundled ``bdist_wheel`` command (no ``wheel``
+package available offline).
+"""
+
+from setuptools import setup
+
+setup()

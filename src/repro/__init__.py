@@ -1,0 +1,78 @@
+"""repro -- voltage over-scaling characterization and statistical modelling.
+
+Reproduction of R. Ragavan, B. Barrois, C. Killian, O. Sentieys,
+"Pushing the Limits of Voltage Over-Scaling for Error-Resilient
+Applications", DATE 2017.
+
+The package is organised in layers:
+
+* :mod:`repro.technology` -- analytical 28nm FDSOI models (delay, energy,
+  body biasing),
+* :mod:`repro.circuits`   -- gate-level adder/multiplier netlists,
+* :mod:`repro.synthesis`  -- area / power / static-timing reports,
+* :mod:`repro.simulation` -- logic and VOS timing-error simulation,
+* :mod:`repro.core`       -- the paper's contribution: characterization over
+  operating triads, the carry-chain statistical model, Algorithm 1
+  calibration, energy-efficiency analysis and dynamic speculation,
+* :mod:`repro.apps`       -- error-resilient applications mapped onto the
+  approximate operator model,
+* :mod:`repro.analysis`   -- generators for every table and figure of the
+  paper's evaluation.
+
+Quickstart::
+
+    from repro import CharacterizationFlow, PatternConfig
+
+    flow = CharacterizationFlow.for_benchmark("rca", 8)
+    characterization = flow.run(pattern=PatternConfig(n_vectors=2000, width=8))
+    for entry in characterization.sorted_by_energy():
+        print(entry.label(), entry.ber_percent, entry.energy_per_operation_pj)
+"""
+
+from repro.core import (
+    OperatingTriad,
+    TriadGrid,
+    paper_triad_grid,
+    CharacterizationFlow,
+    AdderCharacterization,
+    TriadCharacterization,
+    CarryProbabilityTable,
+    calibrate_probability_table,
+    ApproximateAdderModel,
+    DynamicSpeculationController,
+    summarize_by_ber_range,
+    pareto_front,
+    bit_error_rate,
+    mean_squared_error,
+    signal_to_noise_ratio_db,
+)
+from repro.circuits import build_adder, ripple_carry_adder, brent_kung_adder
+from repro.simulation import PatternConfig, generate_patterns
+from repro.synthesis import synthesize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "OperatingTriad",
+    "TriadGrid",
+    "paper_triad_grid",
+    "CharacterizationFlow",
+    "AdderCharacterization",
+    "TriadCharacterization",
+    "CarryProbabilityTable",
+    "calibrate_probability_table",
+    "ApproximateAdderModel",
+    "DynamicSpeculationController",
+    "summarize_by_ber_range",
+    "pareto_front",
+    "bit_error_rate",
+    "mean_squared_error",
+    "signal_to_noise_ratio_db",
+    "build_adder",
+    "ripple_carry_adder",
+    "brent_kung_adder",
+    "PatternConfig",
+    "generate_patterns",
+    "synthesize",
+    "__version__",
+]

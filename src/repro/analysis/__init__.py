@@ -1,0 +1,43 @@
+"""Reproduction harness: data series and tables for every paper figure/table.
+
+Each public function returns plain Python/numpy data (and a rendered text
+table where relevant) so the benchmarks can both check the qualitative shape
+and print the same rows/series the paper reports.
+
+* Table II  -- :func:`repro.analysis.tables.table2_synthesis`
+* Table III -- :func:`repro.analysis.tables.table3_triads`
+* Table IV  -- :func:`repro.analysis.tables.table4_energy_efficiency`
+* Fig. 5    -- :func:`repro.analysis.figures.fig5_ber_per_bit`
+* Fig. 7    -- :func:`repro.analysis.figures.fig7_model_accuracy`
+* Fig. 8    -- :func:`repro.analysis.figures.fig8_ber_energy_series`
+"""
+
+from repro.analysis.tables import (
+    table2_synthesis,
+    table3_triads,
+    table4_energy_efficiency,
+    render_table4,
+)
+from repro.analysis.figures import (
+    Fig5Series,
+    fig5_ber_per_bit,
+    Fig7Point,
+    fig7_model_accuracy,
+    Fig8Series,
+    fig8_ber_energy_series,
+    render_fig8,
+)
+
+__all__ = [
+    "table2_synthesis",
+    "table3_triads",
+    "table4_energy_efficiency",
+    "render_table4",
+    "Fig5Series",
+    "fig5_ber_per_bit",
+    "Fig7Point",
+    "fig7_model_accuracy",
+    "Fig8Series",
+    "fig8_ber_energy_series",
+    "render_fig8",
+]

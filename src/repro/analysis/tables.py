@@ -1,0 +1,127 @@
+"""Generators for the paper's tables (II, III, IV)."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.circuits.adders import build_adder
+from repro.core.characterization import AdderCharacterization
+from repro.core.energy import EfficiencySummary, summarize_by_ber_range
+from repro.core.triad import (
+    PAPER_CLOCK_PERIODS_NS,
+    PAPER_SUPPLY_VOLTAGES,
+    matched_triad_grid,
+)
+from repro.synthesis.report import format_table, render_synthesis_table
+from repro.synthesis.synthesize import SynthesisReport, synthesize
+from repro.technology.library import DEFAULT_LIBRARY, StandardCellLibrary
+
+#: The four benchmark (architecture, width) pairs of the paper's evaluation.
+PAPER_BENCHMARKS: tuple[tuple[str, int], ...] = (
+    ("rca", 8),
+    ("bka", 8),
+    ("rca", 16),
+    ("bka", 16),
+)
+
+
+def table2_synthesis(
+    benchmarks: Sequence[tuple[str, int]] = PAPER_BENCHMARKS,
+    library: StandardCellLibrary = DEFAULT_LIBRARY,
+) -> tuple[list[SynthesisReport], str]:
+    """Table II: synthesis results of the benchmark adders at nominal supply.
+
+    Returns the structured reports plus the rendered text table (benchmark,
+    area, total power, critical path).
+    """
+    reports = [
+        synthesize(build_adder(architecture, width).netlist, library=library)
+        for architecture, width in benchmarks
+    ]
+    return reports, render_synthesis_table(reports)
+
+
+def table3_triads(
+    critical_paths: Mapping[str, float] | None = None,
+) -> tuple[dict[str, list[str]], str]:
+    """Table III: the operating-triad grid of every benchmark.
+
+    Parameters
+    ----------
+    critical_paths:
+        Optional mapping from benchmark name to this substrate's measured
+        critical path in seconds.  When given, the clock periods are the
+        rescaled (matched) ones actually used by the characterization flow;
+        otherwise the paper's original nanosecond values are listed.
+
+    Returns
+    -------
+    tuple
+        A mapping from benchmark name to its list of triad labels, and a
+        rendered summary table with the clock/supply/body-bias columns.
+    """
+    rows = []
+    labels: dict[str, list[str]] = {}
+    for name, periods in PAPER_CLOCK_PERIODS_NS.items():
+        if critical_paths is not None and name in critical_paths:
+            grid = matched_triad_grid(name, critical_paths[name])
+            clocks = sorted({triad.tclk_ns for triad in grid}, reverse=True)
+        else:
+            grid = None
+            clocks = list(periods)
+        vdd_text = f"{PAPER_SUPPLY_VOLTAGES[0]:g} to {PAPER_SUPPLY_VOLTAGES[-1]:g}"
+        rows.append(
+            (
+                name,
+                ", ".join(f"{clock:.3g}" for clock in clocks),
+                vdd_text,
+                "0, ±2",
+            )
+        )
+        if grid is not None:
+            labels[name] = [triad.label() for triad in grid]
+        else:
+            labels[name] = [f"{clock:g},{vdd_text},0/±2" for clock in clocks]
+    table = format_table(
+        ("Benchmark", "Tclk (ns)", "Vdd (V)", "Vbb (V)"), rows
+    )
+    return labels, table
+
+
+def table4_energy_efficiency(
+    characterizations: Mapping[str, AdderCharacterization],
+) -> dict[str, list[EfficiencySummary]]:
+    """Table IV: energy efficiency and BER per BER range, per benchmark."""
+    return {
+        name: summarize_by_ber_range(characterization)
+        for name, characterization in characterizations.items()
+    }
+
+
+def render_table4(summaries: Mapping[str, list[EfficiencySummary]]) -> str:
+    """Render the Table IV aggregation as a text table.
+
+    Rows are BER ranges; for every benchmark three columns are shown (triad
+    count, max energy efficiency, BER at max efficiency), mirroring the
+    paper's layout.
+    """
+    names = list(summaries)
+    if not names:
+        raise ValueError("summaries must contain at least one benchmark")
+    range_labels = [entry.ber_range_label for entry in summaries[names[0]]]
+    header = ["BER Range"]
+    for name in names:
+        header.extend([f"{name} #triads", f"{name} max eff (%)", f"{name} BER@max (%)"])
+    rows = []
+    for index, range_label in enumerate(range_labels):
+        row = [range_label]
+        for name in names:
+            entry = summaries[name][index]
+            row.append(str(entry.triad_count))
+            if entry.max_energy_efficiency is None:
+                row.extend(["-", "-"])
+            else:
+                row.append(f"{entry.max_energy_efficiency * 100:.1f}")
+                row.append(f"{(entry.ber_at_max_efficiency or 0.0) * 100:.1f}")
+        rows.append(tuple(row))
+    return format_table(tuple(header), rows)

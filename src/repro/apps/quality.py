@@ -1,0 +1,55 @@
+"""Application-level output quality metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def psnr_db(reference: np.ndarray, observed: np.ndarray, peak: float | None = None) -> float:
+    """Peak signal-to-noise ratio in decibels.
+
+    Parameters
+    ----------
+    reference:
+        Golden output (e.g. the image produced with exact arithmetic).
+    observed:
+        Output produced with approximate arithmetic.
+    peak:
+        Peak signal value; defaults to the maximum of the reference.
+    """
+    ref = np.asarray(reference, dtype=float)
+    obs = np.asarray(observed, dtype=float)
+    if ref.shape != obs.shape:
+        raise ValueError("reference and observed must have the same shape")
+    mse = float(np.mean((ref - obs) ** 2))
+    if mse == 0.0:
+        return float("inf")
+    peak_value = float(ref.max()) if peak is None else float(peak)
+    if peak_value <= 0:
+        raise ValueError("peak must be positive")
+    return 10.0 * np.log10(peak_value**2 / mse)
+
+
+def output_snr_db(reference: np.ndarray, observed: np.ndarray) -> float:
+    """Signal-to-noise ratio of an application output in decibels."""
+    ref = np.asarray(reference, dtype=float)
+    obs = np.asarray(observed, dtype=float)
+    if ref.shape != obs.shape:
+        raise ValueError("reference and observed must have the same shape")
+    noise = float(np.sum((ref - obs) ** 2))
+    signal = float(np.sum(ref**2))
+    if noise == 0.0:
+        return float("inf")
+    if signal == 0.0:
+        return float("-inf")
+    return 10.0 * np.log10(signal / noise)
+
+
+def relative_error(reference: np.ndarray, observed: np.ndarray) -> float:
+    """Mean relative numerical error (with a small guard for zero references)."""
+    ref = np.asarray(reference, dtype=float)
+    obs = np.asarray(observed, dtype=float)
+    if ref.shape != obs.shape:
+        raise ValueError("reference and observed must have the same shape")
+    denominator = np.maximum(np.abs(ref), 1.0)
+    return float(np.mean(np.abs(obs - ref) / denominator))

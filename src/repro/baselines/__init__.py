@@ -1,0 +1,41 @@
+"""Baseline approximate adders from the paper's related-work section.
+
+Section II of the paper surveys design-time approximation schemes and argues
+that VOS-based approximation is preferable because it is *dynamic* (the
+energy/accuracy point can be moved at run time) while design-time schemes are
+"rigid".  To make that comparison quantitative, this package implements the
+main design-time baselines at functional level:
+
+* :class:`LsbTruncatedAdder`    -- the accurate/approximate split of [5]/[7]:
+  the ``k`` least-significant bits are approximated (carry chain cut), the
+  upper ``n - k`` bits are exact.
+* :class:`LowerOrAdder`         -- a classical LSB-OR approximate adder: the
+  low part is computed with bitwise OR (no carries at all).
+* :class:`SpeculativeSegmentAdder` -- an ACA/ETAII-style speculative adder:
+  every output bit is computed from a bounded window of lower-order inputs,
+  which is the design-time analogue of the paper's carry-chain truncation.
+* :class:`PrunedAdder`          -- probabilistic-pruning style baseline [11]:
+  the lowest ``k`` result bits are dropped (tied to zero) entirely.
+
+All baselines expose the same ``add(in1, in2)`` vectorised interface as
+:class:`repro.core.modified_adder.ApproximateAdderModel`, so the comparison
+benchmarks and the application layer can swap them in directly.
+"""
+
+from repro.baselines.static_adders import (
+    LsbTruncatedAdder,
+    LowerOrAdder,
+    SpeculativeSegmentAdder,
+    PrunedAdder,
+    BASELINE_ADDERS,
+    build_baseline,
+)
+
+__all__ = [
+    "LsbTruncatedAdder",
+    "LowerOrAdder",
+    "SpeculativeSegmentAdder",
+    "PrunedAdder",
+    "BASELINE_ADDERS",
+    "build_baseline",
+]

@@ -1,0 +1,178 @@
+"""Design-time (static) approximate adders used as comparison baselines.
+
+Each class is a functional model: it takes unsigned operand arrays and
+returns the approximate sum.  Unlike the VOS statistical model, the error of
+these adders is fixed at design time -- the property the paper criticises --
+so they have no notion of an operating triad.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+
+def _validate_operands(in1: np.ndarray, in2: np.ndarray, width: int) -> tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(in1, dtype=np.int64)
+    b = np.asarray(in2, dtype=np.int64)
+    if a.shape != b.shape:
+        raise ValueError("in1 and in2 must have the same shape")
+    limit = (1 << width) - 1
+    if np.any(a < 0) or np.any(b < 0) or np.any(a > limit) or np.any(b > limit):
+        raise ValueError(f"operands must lie within [0, {limit}]")
+    return a, b
+
+
+@dataclasses.dataclass(frozen=True)
+class LsbTruncatedAdder:
+    """Accurate/approximate split adder ([5], [7]).
+
+    The ``approximate_bits`` least-significant bits are added without carry
+    propagation (bitwise XOR) and never generate a carry into the accurate
+    upper part; the remaining bits are added exactly.
+
+    Attributes
+    ----------
+    width:
+        Operand width in bits.
+    approximate_bits:
+        Number of LSBs handled by the approximate part (``k`` in the paper's
+        Fig. 1).
+    """
+
+    width: int
+    approximate_bits: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError("width must be positive")
+        if not 0 <= self.approximate_bits <= self.width:
+            raise ValueError("approximate_bits must lie within [0, width]")
+
+    def add(self, in1: np.ndarray, in2: np.ndarray) -> np.ndarray:
+        """Approximate addition."""
+        a, b = _validate_operands(in1, in2, self.width)
+        k = self.approximate_bits
+        mask = (1 << k) - 1
+        low = (a & mask) ^ (b & mask)
+        high = ((a >> k) + (b >> k)) << k
+        return high | low
+
+
+@dataclasses.dataclass(frozen=True)
+class LowerOrAdder:
+    """LSB-OR approximate adder: the low part is a bitwise OR.
+
+    A classical ultra-cheap approximation (e.g. LOA): OR approximates the sum
+    of the low bits slightly better than XOR on average because it accounts
+    for the "both bits set" case saturating upward.
+    """
+
+    width: int
+    approximate_bits: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError("width must be positive")
+        if not 0 <= self.approximate_bits <= self.width:
+            raise ValueError("approximate_bits must lie within [0, width]")
+
+    def add(self, in1: np.ndarray, in2: np.ndarray) -> np.ndarray:
+        """Approximate addition."""
+        a, b = _validate_operands(in1, in2, self.width)
+        k = self.approximate_bits
+        mask = (1 << k) - 1
+        low = (a & mask) | (b & mask)
+        high = ((a >> k) + (b >> k)) << k
+        return high | low
+
+
+@dataclasses.dataclass(frozen=True)
+class SpeculativeSegmentAdder:
+    """Speculative adder with a bounded carry look-back window (ACA/ETAII style).
+
+    The carry into bit ``i`` is computed from at most ``window`` lower-order
+    bit positions, i.e. every carry chain longer than ``window`` is broken --
+    the *design-time* twin of the VOS carry-truncation model, except the cut
+    length is fixed instead of drawn per input from a calibrated
+    distribution.
+
+    Attributes
+    ----------
+    width:
+        Operand width in bits.
+    window:
+        Carry look-back window length (``window >= width`` makes it exact).
+    """
+
+    width: int
+    window: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError("width must be positive")
+        if self.window < 0:
+            raise ValueError("window must be non-negative")
+
+    def add(self, in1: np.ndarray, in2: np.ndarray) -> np.ndarray:
+        """Approximate addition with bounded carry look-back."""
+        from repro.core.carry_model import carry_truncated_add
+
+        a, b = _validate_operands(in1, in2, self.width)
+        budget = min(self.window, self.width)
+        return carry_truncated_add(a, b, self.width, budget)
+
+
+@dataclasses.dataclass(frozen=True)
+class PrunedAdder:
+    """Probabilistic-pruning style baseline [11]: drop the lowest result bits.
+
+    The ``pruned_bits`` least-significant result bits are tied to zero (their
+    logic cones are removed from the design); the remaining bits are exact.
+    """
+
+    width: int
+    pruned_bits: int
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise ValueError("width must be positive")
+        if not 0 <= self.pruned_bits <= self.width:
+            raise ValueError("pruned_bits must lie within [0, width]")
+
+    def add(self, in1: np.ndarray, in2: np.ndarray) -> np.ndarray:
+        """Approximate addition with the low result bits removed."""
+        a, b = _validate_operands(in1, in2, self.width)
+        exact = a + b
+        return exact & ~((1 << self.pruned_bits) - 1)
+
+
+#: Registry of baseline constructors: name -> callable(width, parameter).
+BASELINE_ADDERS = {
+    "lsb_truncated": lambda width, parameter: LsbTruncatedAdder(width, parameter),
+    "lower_or": lambda width, parameter: LowerOrAdder(width, parameter),
+    "speculative": lambda width, parameter: SpeculativeSegmentAdder(width, parameter),
+    "pruned": lambda width, parameter: PrunedAdder(width, parameter),
+}
+
+
+def build_baseline(name: str, width: int, parameter: int):
+    """Build a baseline approximate adder by registry name.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`BASELINE_ADDERS`.
+    width:
+        Operand width in bits.
+    parameter:
+        The baseline's single knob (approximate bits / window / pruned bits).
+    """
+    try:
+        constructor = BASELINE_ADDERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown baseline {name!r}; available: {', '.join(sorted(BASELINE_ADDERS))}"
+        ) from None
+    return constructor(width, parameter)

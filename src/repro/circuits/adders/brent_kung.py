@@ -1,0 +1,117 @@
+"""Brent-Kung Adder (BKA) generator.
+
+The Brent-Kung adder is a parallel-prefix adder.  Per-bit generate/propagate
+signals feed a prefix tree of *black cells* (combining both generate and
+propagate) and *gray cells* (combining generate only), exactly the carry
+chain shown in the paper's Fig. 3.  The tree has an up-sweep (building
+power-of-two spans) and a down-sweep (filling in the remaining carries),
+giving ``2*log2(n) - 1`` levels instead of the RCA's ``n`` stages.  Compared
+to the RCA it trades area/power for logic depth, and its many equal-length
+paths are what produce the staircase-shaped BER curves in the paper's Fig. 8.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.adders.base import AdderCircuit
+from repro.circuits.builder import NetlistBuilder
+
+
+def _black_cell(
+    builder: NetlistBuilder,
+    generate_high: int,
+    propagate_high: int,
+    generate_low: int,
+    propagate_low: int,
+) -> tuple[int, int]:
+    """Combine two (generate, propagate) pairs: high span after low span."""
+    generate_out = builder.or2(
+        generate_high, builder.and2(propagate_high, generate_low)
+    )
+    propagate_out = builder.and2(propagate_high, propagate_low)
+    return generate_out, propagate_out
+
+
+def _gray_cell(
+    builder: NetlistBuilder,
+    generate_high: int,
+    propagate_high: int,
+    generate_low: int,
+) -> int:
+    """Combine pairs when only the group generate is needed (carry output)."""
+    return builder.or2(generate_high, builder.and2(propagate_high, generate_low))
+
+
+def brent_kung_adder(width: int) -> AdderCircuit:
+    """Generate a ``width``-bit Brent-Kung parallel-prefix adder netlist.
+
+    The implementation follows the classical formulation (Weste & Harris):
+
+    1. pre-processing: ``g_i = a_i & b_i``, ``p_i = a_i ^ b_i``;
+    2. up-sweep: combine spans of width 2, 4, 8, ... with black cells;
+    3. down-sweep: gray cells complete the missing prefix carries;
+    4. post-processing: ``s_i = p_i ^ c_i`` with ``c_0 = 0`` and
+       ``c_{i+1}`` the group generate of bits ``[0..i]``.
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    builder = NetlistBuilder(f"bka{width}")
+    a_nets = [builder.add_input(f"a{i}") for i in range(width)]
+    b_nets = [builder.add_input(f"b{i}") for i in range(width)]
+
+    generate = [builder.and2(a_nets[i], b_nets[i]) for i in range(width)]
+    propagate = [builder.xor2(a_nets[i], b_nets[i]) for i in range(width)]
+
+    # prefix[(lo, hi)] = (G, P) of the bit span [lo..hi] inclusive.
+    prefix: dict[tuple[int, int], tuple[int, int]] = {
+        (i, i): (generate[i], propagate[i]) for i in range(width)
+    }
+
+    # Up-sweep: build spans ending at indices of the form k*2^level - 1.
+    level = 1
+    while (1 << level) <= width:
+        span = 1 << level
+        half = span // 2
+        for high in range(span - 1, width, span):
+            low = high - span + 1
+            g_hi, p_hi = prefix[(low + half, high)]
+            g_lo, p_lo = prefix[(low, low + half - 1)]
+            prefix[(low, high)] = _black_cell(builder, g_hi, p_hi, g_lo, p_lo)
+        level += 1
+
+    # Down-sweep: fill in prefixes [0..k] that the up-sweep did not produce.
+    level -= 1
+    while level >= 1:
+        span = 1 << level
+        half = span // 2
+        for high in range(span + half - 1, width, span):
+            if (0, high) in prefix:
+                continue
+            g_hi, p_hi = prefix[(high - half + 1, high)]
+            g_lo, p_lo = prefix[(0, high - half)]
+            prefix[(0, high)] = _black_cell(builder, g_hi, p_hi, g_lo, p_lo)
+        level -= 1
+
+    # Ensure every prefix [0..i] exists (covers widths that are not powers of 2).
+    for i in range(width):
+        if (0, i) in prefix:
+            continue
+        # Find the largest already-computed prefix [0..j] with j < i and
+        # combine it with the span [j+1..i] built from single bits.
+        j = max(high for (low, high) in prefix if low == 0 and high < i)
+        g_span, p_span = prefix[(j + 1, j + 1)]
+        for k in range(j + 2, i + 1):
+            g_k, p_k = prefix[(k, k)]
+            g_span, p_span = _black_cell(builder, g_k, p_k, g_span, p_span)
+        g_lo, p_lo = prefix[(0, j)]
+        prefix[(0, i)] = _black_cell(builder, g_span, p_span, g_lo, p_lo)
+
+    # Post-processing: carries and sum bits.
+    zero = builder.constant_zero()
+    carries = [zero]
+    for i in range(width):
+        carries.append(prefix[(0, i)][0])
+    for i in range(width):
+        builder.add_output(f"s{i}", builder.xor2(propagate[i], carries[i]))
+    builder.add_output(f"s{width}", builder.buf(carries[width]))
+
+    return AdderCircuit(netlist=builder.build(), width=width, architecture="bka")

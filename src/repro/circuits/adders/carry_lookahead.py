@@ -1,0 +1,57 @@
+"""Carry-Lookahead Adder (CLA) generator (extension).
+
+4-bit lookahead blocks compute their internal carries directly from the
+generate/propagate signals; blocks are chained by rippling the block carry.
+Included for the architecture-comparison ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.adders.base import AdderCircuit
+from repro.circuits.builder import NetlistBuilder
+
+_BLOCK_SIZE = 4
+
+
+def _lookahead_block(
+    builder: NetlistBuilder,
+    a_bits: list[int],
+    b_bits: list[int],
+    carry_in: int,
+) -> tuple[list[int], int]:
+    """One lookahead block: returns (sum nets, carry-out net)."""
+    size = len(a_bits)
+    generate = [builder.and2(a_bits[i], b_bits[i]) for i in range(size)]
+    propagate = [builder.xor2(a_bits[i], b_bits[i]) for i in range(size)]
+    carries = [carry_in]
+    for i in range(size):
+        # c_{i+1} = g_i | (p_i & c_i); expanded term by term so every carry is
+        # a two-level AND/OR structure fed directly by the block inputs.
+        term = builder.and2(propagate[i], carries[i])
+        carries.append(builder.or2(generate[i], term))
+    sums = [builder.xor2(propagate[i], carries[i]) for i in range(size)]
+    return sums, carries[size]
+
+
+def carry_lookahead_adder(width: int) -> AdderCircuit:
+    """Generate a ``width``-bit carry-lookahead adder with 4-bit blocks."""
+    if width <= 0:
+        raise ValueError("width must be positive")
+    builder = NetlistBuilder(f"cla{width}")
+    a_nets = [builder.add_input(f"a{i}") for i in range(width)]
+    b_nets = [builder.add_input(f"b{i}") for i in range(width)]
+    carry = builder.constant_zero()
+    bit = 0
+    while bit < width:
+        block = min(_BLOCK_SIZE, width - bit)
+        sums, carry = _lookahead_block(
+            builder,
+            a_nets[bit : bit + block],
+            b_nets[bit : bit + block],
+            carry,
+        )
+        for offset, net in enumerate(sums):
+            builder.add_output(f"s{bit + offset}", net)
+        bit += block
+    builder.add_output(f"s{width}", builder.buf(carry))
+    return AdderCircuit(netlist=builder.build(), width=width, architecture="cla")

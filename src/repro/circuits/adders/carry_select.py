@@ -1,0 +1,60 @@
+"""Carry-Select Adder (CSLA) generator (extension).
+
+Each block beyond the first computes its sums twice (assuming carry-in 0 and
+carry-in 1) and selects the correct set with multiplexers once the real block
+carry arrives.  Included for architecture ablations; the duplicated logic
+makes it the most power-hungry adder in the set.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.adders.base import AdderCircuit
+from repro.circuits.builder import NetlistBuilder
+
+_BLOCK_SIZE = 4
+
+
+def _ripple_block(
+    builder: NetlistBuilder,
+    a_bits: list[int],
+    b_bits: list[int],
+    carry_in: int,
+) -> tuple[list[int], int]:
+    sums: list[int] = []
+    carry = carry_in
+    for a, b in zip(a_bits, b_bits):
+        sum_bit, carry = builder.full_adder(a, b, carry)
+        sums.append(sum_bit)
+    return sums, carry
+
+
+def carry_select_adder(width: int) -> AdderCircuit:
+    """Generate a ``width``-bit carry-select adder with 4-bit blocks."""
+    if width <= 0:
+        raise ValueError("width must be positive")
+    builder = NetlistBuilder(f"csla{width}")
+    a_nets = [builder.add_input(f"a{i}") for i in range(width)]
+    b_nets = [builder.add_input(f"b{i}") for i in range(width)]
+    zero = builder.constant_zero()
+    one = builder.constant_one()
+
+    # First block is a plain ripple block with carry-in 0.
+    first = min(_BLOCK_SIZE, width)
+    sums, carry = _ripple_block(builder, a_nets[:first], b_nets[:first], zero)
+    for offset, net in enumerate(sums):
+        builder.add_output(f"s{offset}", net)
+
+    bit = first
+    while bit < width:
+        block = min(_BLOCK_SIZE, width - bit)
+        a_block = a_nets[bit : bit + block]
+        b_block = b_nets[bit : bit + block]
+        sums0, carry0 = _ripple_block(builder, a_block, b_block, zero)
+        sums1, carry1 = _ripple_block(builder, a_block, b_block, one)
+        for offset in range(block):
+            selected = builder.mux2(sums0[offset], sums1[offset], carry)
+            builder.add_output(f"s{bit + offset}", selected)
+        carry = builder.mux2(carry0, carry1, carry)
+        bit += block
+    builder.add_output(f"s{width}", builder.buf(carry))
+    return AdderCircuit(netlist=builder.build(), width=width, architecture="csla")

@@ -1,0 +1,45 @@
+"""Carry-Skip Adder (CSKA) generator (extension).
+
+Ripple blocks augmented with a bypass multiplexer: when every bit of a block
+propagates, the incoming carry skips the block entirely.  Included for the
+architecture ablations -- its data-dependent critical path interacts with
+voltage over-scaling differently from both RCA and BKA.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.adders.base import AdderCircuit
+from repro.circuits.builder import NetlistBuilder
+
+_BLOCK_SIZE = 4
+
+
+def carry_skip_adder(width: int) -> AdderCircuit:
+    """Generate a ``width``-bit carry-skip adder with 4-bit blocks."""
+    if width <= 0:
+        raise ValueError("width must be positive")
+    builder = NetlistBuilder(f"cska{width}")
+    a_nets = [builder.add_input(f"a{i}") for i in range(width)]
+    b_nets = [builder.add_input(f"b{i}") for i in range(width)]
+    carry = builder.constant_zero()
+
+    bit = 0
+    while bit < width:
+        block = min(_BLOCK_SIZE, width - bit)
+        block_carry_in = carry
+        propagates: list[int] = []
+        for offset in range(block):
+            a = a_nets[bit + offset]
+            b = b_nets[bit + offset]
+            propagates.append(builder.xor2(a, b))
+            sum_bit, carry = builder.full_adder(a, b, carry)
+            builder.add_output(f"s{bit + offset}", sum_bit)
+        # Block propagate = AND of all bit propagates.
+        block_propagate = propagates[0]
+        for net in propagates[1:]:
+            block_propagate = builder.and2(block_propagate, net)
+        # Skip mux: if the whole block propagates, forward the block carry-in.
+        carry = builder.mux2(carry, block_carry_in, block_propagate)
+        bit += block
+    builder.add_output(f"s{width}", builder.buf(carry))
+    return AdderCircuit(netlist=builder.build(), width=width, architecture="cska")

@@ -1,0 +1,47 @@
+"""Kogge-Stone Adder (KSA) generator (extension).
+
+The Kogge-Stone adder is the other classical parallel-prefix topology: it has
+minimal logic depth (``log2(n)`` prefix levels) at the cost of much higher
+wiring and cell count than Brent-Kung.  It is not evaluated in the paper but
+is included as an extension so the ablation benchmarks can compare how the
+prefix topology shapes the BER/energy trade-off under voltage over-scaling.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.adders.base import AdderCircuit
+from repro.circuits.builder import NetlistBuilder
+
+
+def kogge_stone_adder(width: int) -> AdderCircuit:
+    """Generate a ``width``-bit Kogge-Stone parallel-prefix adder netlist."""
+    if width <= 0:
+        raise ValueError("width must be positive")
+    builder = NetlistBuilder(f"ksa{width}")
+    a_nets = [builder.add_input(f"a{i}") for i in range(width)]
+    b_nets = [builder.add_input(f"b{i}") for i in range(width)]
+
+    generate = [builder.and2(a_nets[i], b_nets[i]) for i in range(width)]
+    propagate = [builder.xor2(a_nets[i], b_nets[i]) for i in range(width)]
+
+    # group[i] = (G, P) of the span ending at bit i with the current distance.
+    group_g = list(generate)
+    group_p = list(propagate)
+    distance = 1
+    while distance < width:
+        next_g = list(group_g)
+        next_p = list(group_p)
+        for i in range(distance, width):
+            carry_term = builder.and2(group_p[i], group_g[i - distance])
+            next_g[i] = builder.or2(group_g[i], carry_term)
+            next_p[i] = builder.and2(group_p[i], group_p[i - distance])
+        group_g = next_g
+        group_p = next_p
+        distance *= 2
+
+    zero = builder.constant_zero()
+    carries = [zero] + group_g
+    for i in range(width):
+        builder.add_output(f"s{i}", builder.xor2(propagate[i], carries[i]))
+    builder.add_output(f"s{width}", builder.buf(carries[width]))
+    return AdderCircuit(netlist=builder.build(), width=width, architecture="ksa")

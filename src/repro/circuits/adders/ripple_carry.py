@@ -1,0 +1,33 @@
+"""Ripple-Carry Adder (RCA) generator.
+
+The RCA is a serial-prefix adder: a chain of ``n`` full adders where the
+carry output of stage ``i`` feeds stage ``i+1``.  Its critical path is the
+full carry chain, which is exactly why it is the canonical victim (and
+beneficiary) of voltage over-scaling: the longest paths fail first, and long
+actual carry chains are rare for random operands.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.adders.base import AdderCircuit
+from repro.circuits.builder import NetlistBuilder
+
+
+def ripple_carry_adder(width: int) -> AdderCircuit:
+    """Generate an ``width``-bit ripple-carry adder netlist.
+
+    Each stage is a textbook full adder built from two XOR2 gates (sum path)
+    and one MAJ3 gate (carry path).  The carry-in of stage 0 is tied to the
+    constant-zero net.
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    builder = NetlistBuilder(f"rca{width}")
+    a_nets = [builder.add_input(f"a{i}") for i in range(width)]
+    b_nets = [builder.add_input(f"b{i}") for i in range(width)]
+    carry = builder.constant_zero()
+    for i in range(width):
+        sum_bit, carry = builder.full_adder(a_nets[i], b_nets[i], carry)
+        builder.add_output(f"s{i}", sum_bit)
+    builder.add_output(f"s{width}", carry)
+    return AdderCircuit(netlist=builder.build(), width=width, architecture="rca")

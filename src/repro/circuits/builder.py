@@ -1,0 +1,175 @@
+"""Fluent netlist builder used by the circuit generators.
+
+The builder hands out net identifiers, records gate instances and finally
+produces an immutable :class:`~repro.circuits.netlist.Netlist`.  Generators
+read naturally::
+
+    builder = NetlistBuilder("rca8")
+    a = [builder.add_input(f"a{i}") for i in range(8)]
+    b = [builder.add_input(f"b{i}") for i in range(8)]
+    carry = builder.constant_zero()
+    for i in range(8):
+        sum_bit, carry = full_adder(builder, a[i], b[i], carry)
+        builder.add_output(f"s{i}", sum_bit)
+    builder.add_output("s8", carry)
+    netlist = builder.build()
+"""
+
+from __future__ import annotations
+
+from repro.circuits.cells import GATE_ARITY, GateType
+from repro.circuits.netlist import Gate, Netlist
+
+
+class NetlistBuilder:
+    """Incrementally assemble a :class:`~repro.circuits.netlist.Netlist`."""
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+        self._net_count = 0
+        self._primary_inputs: dict[str, int] = {}
+        self._primary_outputs: dict[str, int] = {}
+        self._gates: list[Gate] = []
+        self._gate_counter = 0
+        self._zero_net: int | None = None
+        self._one_net: int | None = None
+
+    # -- nets and ports --------------------------------------------------------
+
+    def new_net(self) -> int:
+        """Allocate and return a fresh net identifier."""
+        net = self._net_count
+        self._net_count += 1
+        return net
+
+    def add_input(self, name: str) -> int:
+        """Declare a primary input and return its net."""
+        if name in self._primary_inputs:
+            raise ValueError(f"duplicate primary input {name!r}")
+        net = self.new_net()
+        self._primary_inputs[name] = net
+        return net
+
+    def add_output(self, name: str, net: int) -> None:
+        """Declare a primary output driven by ``net``."""
+        if name in self._primary_outputs:
+            raise ValueError(f"duplicate primary output {name!r}")
+        if not 0 <= net < self._net_count:
+            raise ValueError(f"primary output {name!r} references unknown net {net}")
+        self._primary_outputs[name] = net
+
+    def constant_zero(self) -> int:
+        """Net tied to logic 0.
+
+        Implemented as an extra primary input named ``__const0`` so the
+        simulators can drive it; the adder wrappers hide it from users.
+        """
+        if self._zero_net is None:
+            self._zero_net = self.add_input("__const0")
+        return self._zero_net
+
+    def constant_one(self) -> int:
+        """Net tied to logic 1 (primary input ``__const1``)."""
+        if self._one_net is None:
+            self._one_net = self.add_input("__const1")
+        return self._one_net
+
+    # -- gates -----------------------------------------------------------------
+
+    def add_gate(self, gate_type: GateType, *inputs: int, name: str = "") -> int:
+        """Instantiate a gate, returning the net it drives."""
+        expected = GATE_ARITY[gate_type]
+        if len(inputs) != expected:
+            raise ValueError(
+                f"{gate_type.value} expects {expected} inputs, got {len(inputs)}"
+            )
+        for net in inputs:
+            if not 0 <= net < self._net_count:
+                raise ValueError(f"gate input references unknown net {net}")
+        output = self.new_net()
+        instance_name = name or f"{gate_type.value.lower()}_{self._gate_counter}"
+        self._gate_counter += 1
+        self._gates.append(Gate(gate_type, tuple(inputs), output, instance_name))
+        return output
+
+    # Convenience wrappers keep generator code close to a structural HDL.
+
+    def inv(self, a: int, name: str = "") -> int:
+        """Inverter."""
+        return self.add_gate(GateType.INV, a, name=name)
+
+    def buf(self, a: int, name: str = "") -> int:
+        """Buffer."""
+        return self.add_gate(GateType.BUF, a, name=name)
+
+    def and2(self, a: int, b: int, name: str = "") -> int:
+        """2-input AND."""
+        return self.add_gate(GateType.AND2, a, b, name=name)
+
+    def or2(self, a: int, b: int, name: str = "") -> int:
+        """2-input OR."""
+        return self.add_gate(GateType.OR2, a, b, name=name)
+
+    def nand2(self, a: int, b: int, name: str = "") -> int:
+        """2-input NAND."""
+        return self.add_gate(GateType.NAND2, a, b, name=name)
+
+    def nor2(self, a: int, b: int, name: str = "") -> int:
+        """2-input NOR."""
+        return self.add_gate(GateType.NOR2, a, b, name=name)
+
+    def xor2(self, a: int, b: int, name: str = "") -> int:
+        """2-input XOR."""
+        return self.add_gate(GateType.XOR2, a, b, name=name)
+
+    def xnor2(self, a: int, b: int, name: str = "") -> int:
+        """2-input XNOR."""
+        return self.add_gate(GateType.XNOR2, a, b, name=name)
+
+    def maj3(self, a: int, b: int, c: int, name: str = "") -> int:
+        """Majority-of-three (full-adder carry)."""
+        return self.add_gate(GateType.MAJ3, a, b, c, name=name)
+
+    def mux2(self, a: int, b: int, select: int, name: str = "") -> int:
+        """2:1 multiplexer returning ``b`` when ``select`` is 1, else ``a``."""
+        return self.add_gate(GateType.MUX2, a, b, select, name=name)
+
+    def aoi21(self, a: int, b: int, c: int, name: str = "") -> int:
+        """AND-OR-INVERT: ``not((a and b) or c)``."""
+        return self.add_gate(GateType.AOI21, a, b, c, name=name)
+
+    def oai21(self, a: int, b: int, c: int, name: str = "") -> int:
+        """OR-AND-INVERT: ``not((a or b) and c)``."""
+        return self.add_gate(GateType.OAI21, a, b, c, name=name)
+
+    # -- composite structural helpers -------------------------------------------
+
+    def half_adder(self, a: int, b: int) -> tuple[int, int]:
+        """Half adder returning ``(sum, carry)`` nets."""
+        return self.xor2(a, b), self.and2(a, b)
+
+    def full_adder(self, a: int, b: int, cin: int) -> tuple[int, int]:
+        """Full adder (XOR/XOR sum, MAJ3 carry) returning ``(sum, carry)``."""
+        partial = self.xor2(a, b)
+        sum_bit = self.xor2(partial, cin)
+        carry = self.maj3(a, b, cin)
+        return sum_bit, carry
+
+    # -- finalisation -----------------------------------------------------------
+
+    @property
+    def gate_count(self) -> int:
+        """Number of gates instantiated so far."""
+        return len(self._gates)
+
+    def build(self) -> Netlist:
+        """Produce the immutable netlist (validating structure on the way)."""
+        if not self._primary_outputs:
+            raise ValueError("netlist has no primary outputs")
+        return Netlist(
+            name=self._name,
+            net_count=self._net_count,
+            primary_inputs=self._primary_inputs,
+            primary_outputs=self._primary_outputs,
+            gates=self._gates,
+        )

@@ -1,0 +1,177 @@
+"""Combinational cell set and boolean evaluation.
+
+Every gate type used by the netlist generators maps to a vectorised boolean
+function.  The functions accept a sequence of numpy boolean arrays (one per
+input pin, broadcastable shapes) and return the output array, so the logic
+simulator evaluates a whole batch of input vectors per gate with a handful of
+numpy operations.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Sequence
+
+import numpy as np
+
+BoolArray = np.ndarray
+GateFunction = Callable[[Sequence[BoolArray]], BoolArray]
+
+
+class GateType(str, enum.Enum):
+    """Names of the combinational cells available to the generators.
+
+    The values match the cell names of
+    :data:`repro.technology.library.DEFAULT_LIBRARY` so a gate instance can be
+    looked up in the timing/power library directly by its type value.
+    """
+
+    INV = "INV"
+    BUF = "BUF"
+    AND2 = "AND2"
+    OR2 = "OR2"
+    NAND2 = "NAND2"
+    NAND3 = "NAND3"
+    NOR2 = "NOR2"
+    NOR3 = "NOR3"
+    XOR2 = "XOR2"
+    XNOR2 = "XNOR2"
+    AOI21 = "AOI21"
+    OAI21 = "OAI21"
+    MAJ3 = "MAJ3"
+    MUX2 = "MUX2"
+
+
+def _require_arity(inputs: Sequence[BoolArray], arity: int, name: str) -> None:
+    if len(inputs) != arity:
+        raise ValueError(f"{name} expects {arity} inputs, got {len(inputs)}")
+
+
+def _inv(inputs: Sequence[BoolArray]) -> BoolArray:
+    _require_arity(inputs, 1, "INV")
+    return np.logical_not(inputs[0])
+
+
+def _buf(inputs: Sequence[BoolArray]) -> BoolArray:
+    _require_arity(inputs, 1, "BUF")
+    return np.asarray(inputs[0], dtype=bool).copy()
+
+
+def _and2(inputs: Sequence[BoolArray]) -> BoolArray:
+    _require_arity(inputs, 2, "AND2")
+    return np.logical_and(inputs[0], inputs[1])
+
+
+def _or2(inputs: Sequence[BoolArray]) -> BoolArray:
+    _require_arity(inputs, 2, "OR2")
+    return np.logical_or(inputs[0], inputs[1])
+
+
+def _nand2(inputs: Sequence[BoolArray]) -> BoolArray:
+    _require_arity(inputs, 2, "NAND2")
+    return np.logical_not(np.logical_and(inputs[0], inputs[1]))
+
+
+def _nand3(inputs: Sequence[BoolArray]) -> BoolArray:
+    _require_arity(inputs, 3, "NAND3")
+    return np.logical_not(inputs[0] & inputs[1] & inputs[2])
+
+
+def _nor2(inputs: Sequence[BoolArray]) -> BoolArray:
+    _require_arity(inputs, 2, "NOR2")
+    return np.logical_not(np.logical_or(inputs[0], inputs[1]))
+
+
+def _nor3(inputs: Sequence[BoolArray]) -> BoolArray:
+    _require_arity(inputs, 3, "NOR3")
+    return np.logical_not(inputs[0] | inputs[1] | inputs[2])
+
+
+def _xor2(inputs: Sequence[BoolArray]) -> BoolArray:
+    _require_arity(inputs, 2, "XOR2")
+    return np.logical_xor(inputs[0], inputs[1])
+
+
+def _xnor2(inputs: Sequence[BoolArray]) -> BoolArray:
+    _require_arity(inputs, 2, "XNOR2")
+    return np.logical_not(np.logical_xor(inputs[0], inputs[1]))
+
+
+def _aoi21(inputs: Sequence[BoolArray]) -> BoolArray:
+    # OUT = NOT((A AND B) OR C)
+    _require_arity(inputs, 3, "AOI21")
+    return np.logical_not((inputs[0] & inputs[1]) | inputs[2])
+
+
+def _oai21(inputs: Sequence[BoolArray]) -> BoolArray:
+    # OUT = NOT((A OR B) AND C)
+    _require_arity(inputs, 3, "OAI21")
+    return np.logical_not((inputs[0] | inputs[1]) & inputs[2])
+
+
+def _maj3(inputs: Sequence[BoolArray]) -> BoolArray:
+    # Majority of three -- the carry function of a full adder.
+    _require_arity(inputs, 3, "MAJ3")
+    a, b, c = inputs
+    return (a & b) | (a & c) | (b & c)
+
+
+def _mux2(inputs: Sequence[BoolArray]) -> BoolArray:
+    # OUT = B if SEL else A ; pin order (A, B, SEL).
+    _require_arity(inputs, 3, "MUX2")
+    a, b, sel = inputs
+    return np.where(sel, b, a)
+
+
+GATE_FUNCTIONS: dict[GateType, GateFunction] = {
+    GateType.INV: _inv,
+    GateType.BUF: _buf,
+    GateType.AND2: _and2,
+    GateType.OR2: _or2,
+    GateType.NAND2: _nand2,
+    GateType.NAND3: _nand3,
+    GateType.NOR2: _nor2,
+    GateType.NOR3: _nor3,
+    GateType.XOR2: _xor2,
+    GateType.XNOR2: _xnor2,
+    GateType.AOI21: _aoi21,
+    GateType.OAI21: _oai21,
+    GateType.MAJ3: _maj3,
+    GateType.MUX2: _mux2,
+}
+
+#: Number of input pins per gate type.
+GATE_ARITY: dict[GateType, int] = {
+    GateType.INV: 1,
+    GateType.BUF: 1,
+    GateType.AND2: 2,
+    GateType.OR2: 2,
+    GateType.NAND2: 2,
+    GateType.NAND3: 3,
+    GateType.NOR2: 2,
+    GateType.NOR3: 3,
+    GateType.XOR2: 2,
+    GateType.XNOR2: 2,
+    GateType.AOI21: 3,
+    GateType.OAI21: 3,
+    GateType.MAJ3: 3,
+    GateType.MUX2: 3,
+}
+
+
+def evaluate_gate(gate_type: GateType, inputs: Sequence[BoolArray]) -> BoolArray:
+    """Evaluate a gate's boolean function on vectorised inputs.
+
+    Parameters
+    ----------
+    gate_type:
+        The cell to evaluate.
+    inputs:
+        One boolean numpy array per input pin, in pin order.
+    """
+    try:
+        function = GATE_FUNCTIONS[gate_type]
+    except KeyError:
+        raise ValueError(f"unsupported gate type: {gate_type!r}") from None
+    arrays = [np.asarray(values, dtype=bool) for values in inputs]
+    return function(arrays)

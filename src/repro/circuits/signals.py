@@ -1,0 +1,89 @@
+"""Integer <-> bit-vector conversions used throughout the simulators.
+
+Conventions:
+
+* Bit 0 is the least-significant bit (LSB); arrays are ordered LSB first.
+* Operand matrices have shape ``(n_vectors, n_bits)``; a batch of integers is
+  converted column by column so the simulators can work on one bit position
+  at a time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def int_to_bits(values: np.ndarray | int, n_bits: int) -> np.ndarray:
+    """Convert unsigned integers to an LSB-first boolean bit matrix.
+
+    Parameters
+    ----------
+    values:
+        Scalar or array of non-negative integers, each < ``2**n_bits``.
+    n_bits:
+        Width of the produced bit vectors.
+
+    Returns
+    -------
+    numpy.ndarray
+        Boolean array of shape ``values.shape + (n_bits,)``.
+    """
+    if n_bits <= 0:
+        raise ValueError("n_bits must be positive")
+    array = np.asarray(values, dtype=np.int64)
+    if np.any(array < 0):
+        raise ValueError("values must be non-negative")
+    if np.any(array >= (1 << n_bits)):
+        raise ValueError(f"values must be < 2**{n_bits}")
+    shifts = np.arange(n_bits, dtype=np.int64)
+    return ((array[..., None] >> shifts) & 1).astype(bool)
+
+
+def bits_to_int(bits: np.ndarray) -> np.ndarray:
+    """Convert an LSB-first boolean bit matrix back to unsigned integers.
+
+    The last axis is interpreted as the bit axis.
+    """
+    array = np.asarray(bits, dtype=np.int64)
+    n_bits = array.shape[-1]
+    if n_bits > 62:
+        raise ValueError("bits_to_int supports at most 62 bits")
+    weights = (np.int64(1) << np.arange(n_bits, dtype=np.int64))
+    return (array * weights).sum(axis=-1)
+
+
+def random_operands(
+    n_vectors: int,
+    n_bits: int,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Uniformly random operand pairs for an ``n_bits`` adder.
+
+    Returns two integer arrays of shape ``(n_vectors,)``.
+    """
+    if n_vectors <= 0:
+        raise ValueError("n_vectors must be positive")
+    if n_bits <= 0:
+        raise ValueError("n_bits must be positive")
+    high = 1 << n_bits
+    in1 = rng.integers(0, high, size=n_vectors, dtype=np.int64)
+    in2 = rng.integers(0, high, size=n_vectors, dtype=np.int64)
+    return in1, in2
+
+
+def operand_bit_matrix(
+    in1: np.ndarray,
+    in2: np.ndarray,
+    n_bits: int,
+) -> np.ndarray:
+    """Pack two operand arrays into the primary-input matrix of an adder.
+
+    The adder netlists declare their primary inputs in the order
+    ``a[0..n-1], b[0..n-1]``; the returned matrix has shape
+    ``(n_vectors, 2 * n_bits)`` following that order.
+    """
+    a_bits = int_to_bits(np.asarray(in1), n_bits)
+    b_bits = int_to_bits(np.asarray(in2), n_bits)
+    if a_bits.shape != b_bits.shape:
+        raise ValueError("in1 and in2 must have the same shape")
+    return np.concatenate([a_bits, b_bits], axis=-1)

@@ -1,0 +1,252 @@
+"""Command-line interface for the reproduction library.
+
+The CLI exposes the most common workflows without writing Python:
+
+* ``repro synthesize``      -- Table II style synthesis report,
+* ``repro characterize``    -- characterize an adder over its triad grid and
+  print the Fig. 8 series (optionally saving the JSON dataset),
+* ``repro table4``          -- Table IV aggregation from a characterization,
+* ``repro fig5``            -- per-bit BER profile of an adder under supply
+  scaling,
+* ``repro calibrate``       -- run Algorithm 1 at one triad and save the
+  probability table,
+* ``repro speculate``       -- report accurate/approximate operating modes
+  for a given error margin.
+
+Run ``python -m repro.cli --help`` (or ``repro --help`` once installed) for
+the full option list.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.figures import fig5_ber_per_bit, fig8_ber_energy_series, render_fig8
+from repro.analysis.tables import render_table4, table2_synthesis
+from repro.circuits.adders import ADDER_GENERATORS, build_adder
+from repro.core.calibration import calibrate_probability_table
+from repro.core.characterization import CharacterizationFlow
+from repro.core.dataset import (
+    load_characterization,
+    save_characterization,
+    save_probability_table,
+)
+from repro.core.energy import summarize_by_ber_range
+from repro.core.speculation import DynamicSpeculationController
+from repro.core.triad import OperatingTriad
+from repro.simulation.patterns import PATTERN_GENERATORS, PatternConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Voltage over-scaling characterization and modelling (DATE 2017 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    synth = subparsers.add_parser("synthesize", help="Table II style synthesis report")
+    _add_adder_arguments(synth, multiple=True)
+
+    characterize = subparsers.add_parser(
+        "characterize", help="characterize an adder over its triad grid (Fig. 8 data)"
+    )
+    _add_adder_arguments(characterize)
+    _add_pattern_arguments(characterize)
+    characterize.add_argument(
+        "--output", help="write the characterization dataset to this JSON file"
+    )
+
+    table4 = subparsers.add_parser(
+        "table4", help="Table IV aggregation from a characterization JSON file"
+    )
+    table4.add_argument("dataset", nargs="+", help="characterization JSON file(s)")
+
+    fig5 = subparsers.add_parser("fig5", help="per-bit BER profile under supply scaling")
+    _add_adder_arguments(fig5)
+    fig5.add_argument(
+        "--vdd",
+        type=float,
+        nargs="+",
+        default=[0.8, 0.7, 0.6, 0.5],
+        help="supply voltages to sweep",
+    )
+    fig5.add_argument("--vectors", type=int, default=4000, help="stimulus vectors")
+
+    calibrate = subparsers.add_parser(
+        "calibrate", help="run Algorithm 1 at one triad and save the probability table"
+    )
+    _add_adder_arguments(calibrate)
+    _add_pattern_arguments(calibrate)
+    calibrate.add_argument("--tclk-ns", type=float, required=True, help="clock period (ns)")
+    calibrate.add_argument("--vdd", type=float, required=True, help="supply voltage (V)")
+    calibrate.add_argument("--vbb", type=float, default=0.0, help="body-bias voltage (V)")
+    calibrate.add_argument(
+        "--metric",
+        choices=("mse", "hamming", "weighted_hamming"),
+        default="mse",
+        help="calibration distance metric",
+    )
+    calibrate.add_argument("--output", required=True, help="output JSON file for the table")
+
+    speculate = subparsers.add_parser(
+        "speculate", help="accurate/approximate modes for an error margin"
+    )
+    speculate.add_argument("dataset", help="characterization JSON file")
+    speculate.add_argument(
+        "--margin", type=float, default=0.10, help="BER tolerance (fraction, default 0.10)"
+    )
+    return parser
+
+
+def _add_adder_arguments(parser: argparse.ArgumentParser, multiple: bool = False) -> None:
+    architectures = sorted(ADDER_GENERATORS)
+    if multiple:
+        parser.add_argument(
+            "--adder",
+            nargs="+",
+            default=["rca8", "bka8", "rca16", "bka16"],
+            help="adders as <arch><width>, e.g. rca8 bka16",
+        )
+    else:
+        parser.add_argument(
+            "--architecture", choices=architectures, default="rca", help="adder architecture"
+        )
+        parser.add_argument("--width", type=int, default=8, help="operand width in bits")
+
+
+def _add_pattern_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--pattern",
+        choices=sorted(PATTERN_GENERATORS),
+        default="uniform",
+        help="stimulus generator",
+    )
+    parser.add_argument("--vectors", type=int, default=4000, help="stimulus vectors")
+    parser.add_argument("--seed", type=int, default=2017, help="stimulus seed")
+
+
+def _parse_adder_name(name: str) -> tuple[str, int]:
+    for architecture in sorted(ADDER_GENERATORS, key=len, reverse=True):
+        if name.startswith(architecture):
+            suffix = name[len(architecture) :]
+            if suffix.isdigit():
+                return architecture, int(suffix)
+    raise SystemExit(f"cannot parse adder name {name!r} (expected e.g. rca8, bka16)")
+
+
+def _command_synthesize(args: argparse.Namespace) -> int:
+    benchmarks = [_parse_adder_name(name) for name in args.adder]
+    _reports, text = table2_synthesis(benchmarks=benchmarks)
+    print(text)
+    return 0
+
+
+def _command_characterize(args: argparse.Namespace) -> int:
+    flow = CharacterizationFlow.for_benchmark(args.architecture, args.width)
+    config = PatternConfig(
+        n_vectors=args.vectors, width=args.width, seed=args.seed, kind=args.pattern
+    )
+    characterization = flow.run(pattern=config, keep_measurements=False)
+    print(render_fig8(fig8_ber_energy_series(characterization)))
+    if args.output:
+        save_characterization(characterization, args.output)
+        print(f"\nsaved characterization to {args.output}")
+    return 0
+
+
+def _command_table4(args: argparse.Namespace) -> int:
+    characterizations = {}
+    for path in args.dataset:
+        characterization = load_characterization(path)
+        characterizations[characterization.adder_name] = characterization
+    summaries = {
+        name: summarize_by_ber_range(characterization)
+        for name, characterization in characterizations.items()
+    }
+    print(render_table4(summaries))
+    return 0
+
+
+def _command_fig5(args: argparse.Namespace) -> int:
+    series = fig5_ber_per_bit(
+        architecture=args.architecture,
+        width=args.width,
+        supply_voltages=tuple(args.vdd),
+        n_vectors=args.vectors,
+    )
+    width = args.width + 1
+    header = "Vdd " + "".join(f"  bit{i:>2}" for i in range(width))
+    print(header)
+    for entry in series:
+        print(
+            f"{entry.vdd:0.1f} "
+            + "".join(f"{value * 100:7.1f}" for value in entry.ber_per_bit)
+        )
+    return 0
+
+
+def _command_calibrate(args: argparse.Namespace) -> int:
+    adder = build_adder(args.architecture, args.width)
+    flow = CharacterizationFlow(adder)
+    triad = OperatingTriad(tclk=args.tclk_ns * 1e-9, vdd=args.vdd, vbb=args.vbb)
+    config = PatternConfig(
+        n_vectors=args.vectors, width=args.width, seed=args.seed, kind=args.pattern
+    )
+    characterization = flow.run(triads=[triad], pattern=config)
+    entry = characterization.results[0]
+    measurement = characterization.measurement_for(triad)
+    result = calibrate_probability_table(
+        measurement.in1,
+        measurement.in2,
+        measurement.latched_words,
+        args.width,
+        metric=args.metric,
+    )
+    save_probability_table(result.table, args.output)
+    print(
+        f"triad {entry.label()}: hardware BER {entry.ber_percent:.2f}%, "
+        f"mean best distance {result.mean_best_distance:.3f}"
+    )
+    print(f"saved probability table to {args.output}")
+    return 0
+
+
+def _command_speculate(args: argparse.Namespace) -> int:
+    characterization = load_characterization(args.dataset)
+    controller = DynamicSpeculationController(characterization, error_margin=args.margin)
+    accurate = controller.accurate_mode()
+    approximate = controller.approximate_mode()
+    print(f"error margin: {args.margin * 100:.1f}% BER")
+    print(
+        f"accurate mode   : {accurate.label():<24} BER {accurate.ber_percent:6.2f}% "
+        f"saving {characterization.energy_efficiency_of(accurate) * 100:6.1f}%"
+    )
+    print(
+        f"approximate mode: {approximate.label():<24} BER {approximate.ber_percent:6.2f}% "
+        f"saving {characterization.energy_efficiency_of(approximate) * 100:6.1f}%"
+    )
+    return 0
+
+
+_COMMANDS = {
+    "synthesize": _command_synthesize,
+    "characterize": _command_characterize,
+    "table4": _command_table4,
+    "fig5": _command_fig5,
+    "calibrate": _command_calibrate,
+    "speculate": _command_speculate,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

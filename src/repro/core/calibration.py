@@ -1,0 +1,119 @@
+"""Algorithm 1: offline calibration of the carry probability table.
+
+For every training operand pair the algorithm compares the characterized
+hardware output (the latched word measured under one operating triad) with
+the modified adder evaluated at every candidate chain limit
+``C = Cth_max .. 0``, keeps the limit that minimises the chosen distance
+metric, and accumulates it into the occurrence counts of
+``P(Cmax | Cth_max)``.  Ties are resolved towards the smallest ``C`` (the
+paper iterates downward and keeps later candidates on ``dist <= max_dist``),
+which biases the model towards pessimism rather than optimism.
+
+Deviation from the paper's pseudo-code: the final normalisation is per
+*column* (per observed ``Cth_max`` value) rather than by the total number of
+training vectors, because each column of Table I must be a conditional
+distribution that sums to one.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.carry_model import (
+    CarryProbabilityTable,
+    carry_truncated_add,
+    theoretical_max_carry_chain,
+)
+from repro.core.metrics import DistanceMetric, distance_metric
+
+
+@dataclasses.dataclass(frozen=True)
+class CalibrationResult:
+    """Outcome of one Algorithm 1 run.
+
+    Attributes
+    ----------
+    table:
+        The calibrated conditional probability table.
+    counts:
+        Raw occurrence counts accumulated before normalisation.
+    metric_name:
+        Name of the distance metric used (``"mse"``, ``"hamming"``,
+        ``"weighted_hamming"``).
+    n_training_vectors:
+        Number of operand pairs used.
+    mean_best_distance:
+        Mean value of the winning distance over the training set -- a quick
+        indicator of how well a pure carry-truncation model can explain the
+        characterized hardware at this triad.
+    """
+
+    table: CarryProbabilityTable
+    counts: np.ndarray
+    metric_name: str
+    n_training_vectors: int
+    mean_best_distance: float
+
+
+def calibrate_probability_table(
+    in1: np.ndarray,
+    in2: np.ndarray,
+    hardware_outputs: np.ndarray,
+    width: int,
+    metric: str | DistanceMetric = "mse",
+) -> CalibrationResult:
+    """Run Algorithm 1 on one triad's characterization data.
+
+    Parameters
+    ----------
+    in1, in2:
+        Training operand arrays.
+    hardware_outputs:
+        The corresponding faulty outputs of the characterized hardware
+        operator (latched words from the VOS simulation), shape matching the
+        operands.
+    width:
+        Operand width in bits (the outputs have ``width + 1`` bits).
+    metric:
+        Distance metric name or callable used to pick the best chain limit.
+    """
+    in1_arr = np.asarray(in1, dtype=np.int64).reshape(-1)
+    in2_arr = np.asarray(in2, dtype=np.int64).reshape(-1)
+    observed = np.asarray(hardware_outputs, dtype=np.int64).reshape(-1)
+    if not (in1_arr.shape == in2_arr.shape == observed.shape):
+        raise ValueError("in1, in2 and hardware_outputs must have the same shape")
+    if in1_arr.size == 0:
+        raise ValueError("the training set is empty")
+
+    metric_name = metric if isinstance(metric, str) else getattr(metric, "__name__", "custom")
+    metric_fn = distance_metric(metric) if isinstance(metric, str) else metric
+    output_width = width + 1
+
+    cth_max = theoretical_max_carry_chain(in1_arr, in2_arr, width)
+    best_c = np.zeros_like(cth_max)
+    best_distance = np.full(in1_arr.shape, np.inf)
+
+    # Evaluate every candidate chain limit on the whole training set at once;
+    # a candidate only competes for vectors whose theoretical chain reaches it.
+    for candidate in range(width, -1, -1):
+        eligible = cth_max >= candidate
+        if not np.any(eligible):
+            continue
+        candidate_output = carry_truncated_add(in1_arr, in2_arr, width, candidate)
+        distances = metric_fn(observed, candidate_output, output_width)
+        improves = eligible & (distances <= best_distance)
+        best_distance = np.where(improves, distances, best_distance)
+        best_c = np.where(improves, candidate, best_c)
+
+    counts = np.zeros((width + 1, width + 1), dtype=float)
+    np.add.at(counts, (best_c, cth_max), 1.0)
+    table = CarryProbabilityTable.from_counts(width, counts)
+    return CalibrationResult(
+        table=table,
+        counts=counts,
+        metric_name=metric_name,
+        n_training_vectors=int(in1_arr.size),
+        mean_best_distance=float(best_distance.mean()),
+    )

@@ -1,0 +1,332 @@
+"""Characterization flow (the paper's Fig. 4).
+
+The flow drives one adder circuit through a grid of operating triads, runs
+the VOS timing simulation for each triad with the same input pattern set, and
+condenses the raw measurements into the statistics the paper reports: BER,
+MSE, per-bit error probability, energy per operation, and energy efficiency
+relative to the nominal (ideal) triad.  The per-triad raw outputs are kept so
+the calibration step (Algorithm 1) and the model-accuracy experiments can be
+run on exactly the same data.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.circuits.adders import AdderCircuit, build_adder
+from repro.core.metrics import (
+    bit_error_rate,
+    bitwise_error_probability,
+    mean_squared_error,
+)
+from repro.core.triad import OperatingTriad, TriadGrid, matched_triad_grid
+from repro.simulation.patterns import PatternConfig, generate_patterns
+from repro.simulation.testbench import AdderTestbench, TriadMeasurement
+from repro.technology.library import DEFAULT_LIBRARY, StandardCellLibrary
+
+
+@dataclasses.dataclass(frozen=True)
+class TriadCharacterization:
+    """Summary statistics of one adder under one operating triad.
+
+    Attributes
+    ----------
+    triad:
+        The operating triad.
+    ber:
+        Bit error rate (faulty output bits over total output bits).
+    mse:
+        Mean squared numerical error of the latched outputs.
+    bitwise_error:
+        Per-output-bit error probability (LSB first) -- the Fig. 5 series.
+    energy_per_operation:
+        Mean total energy per operation, joules.
+    dynamic_energy_per_operation / static_energy_per_operation:
+        Energy components, joules.
+    faulty_vector_fraction:
+        Fraction of cycles whose whole output word was wrong.
+    """
+
+    triad: OperatingTriad
+    ber: float
+    mse: float
+    bitwise_error: np.ndarray
+    energy_per_operation: float
+    dynamic_energy_per_operation: float
+    static_energy_per_operation: float
+    faulty_vector_fraction: float
+
+    @property
+    def ber_percent(self) -> float:
+        """BER expressed in percent (the paper's unit)."""
+        return self.ber * 100.0
+
+    @property
+    def energy_per_operation_pj(self) -> float:
+        """Energy per operation in picojoules (the paper's unit)."""
+        return self.energy_per_operation * 1e12
+
+    def label(self) -> str:
+        """The paper's triad label for plot axes."""
+        return self.triad.label()
+
+
+@dataclasses.dataclass
+class AdderCharacterization:
+    """Full characterization of one adder over a triad grid.
+
+    Attributes
+    ----------
+    adder_name:
+        Name of the characterized circuit (e.g. ``"rca8"``).
+    width:
+        Operand width in bits.
+    results:
+        One :class:`TriadCharacterization` per triad, in grid order.
+    reference_triad:
+        The nominal (ideal) triad used as the energy-efficiency baseline.
+    measurements:
+        Raw per-triad measurements (kept for calibration); indexed like
+        ``results``.  May be empty if the characterization was loaded from
+        disk.
+    pattern_kind / n_vectors / seed:
+        Stimulus configuration used for all triads.
+    """
+
+    adder_name: str
+    width: int
+    results: list[TriadCharacterization]
+    reference_triad: OperatingTriad
+    measurements: list[TriadMeasurement] = dataclasses.field(default_factory=list)
+    pattern_kind: str = "uniform"
+    n_vectors: int = 0
+    seed: int = 0
+
+    @property
+    def reference_energy(self) -> float:
+        """Energy per operation of the nominal triad, joules."""
+        reference = self.find(self.reference_triad)
+        return reference.energy_per_operation
+
+    def find(self, triad: OperatingTriad) -> TriadCharacterization:
+        """Look up the characterization entry of a specific triad."""
+        for entry in self.results:
+            if entry.triad == triad:
+                return entry
+        raise KeyError(f"triad {triad!r} was not characterized")
+
+    def energy_efficiency_of(self, entry: TriadCharacterization) -> float:
+        """Energy saving of a triad relative to the nominal triad (0..1)."""
+        reference = self.reference_energy
+        if reference <= 0:
+            raise ValueError("reference energy must be positive")
+        return 1.0 - entry.energy_per_operation / reference
+
+    def sorted_by_energy(self) -> list[TriadCharacterization]:
+        """Entries sorted by decreasing energy per operation (Fig. 8 x-axis)."""
+        return sorted(self.results, key=lambda entry: -entry.energy_per_operation)
+
+    def within_ber(self, max_ber: float) -> list[TriadCharacterization]:
+        """Entries whose BER does not exceed ``max_ber`` (fraction, not %)."""
+        if max_ber < 0:
+            raise ValueError("max_ber must be non-negative")
+        return [entry for entry in self.results if entry.ber <= max_ber]
+
+    def measurement_for(self, triad: OperatingTriad) -> TriadMeasurement:
+        """Raw measurement of a triad (required by Algorithm 1)."""
+        for measurement in self.measurements:
+            candidate = OperatingTriad(
+                tclk=measurement.tclk, vdd=measurement.vdd, vbb=measurement.vbb
+            )
+            if candidate == triad:
+                return measurement
+        raise KeyError(
+            f"no raw measurement stored for triad {triad!r}; "
+            "re-run the characterization with keep_measurements=True"
+        )
+
+
+class CharacterizationFlow:
+    """Drive the Fig. 4 flow for one adder circuit.
+
+    Parameters
+    ----------
+    adder:
+        Circuit to characterize, or a name accepted by
+        :func:`repro.circuits.adders.build_adder` combined with ``width``.
+    library:
+        Standard-cell library used by the simulator.
+    sta_margin:
+        Clock-path pessimism factor applied to the measured critical path
+        when deriving the default triad grid.  The paper points out that EDA
+        static timing analysis adds such a guard band, which is why the
+        hardware still works error-free well below the nominal supply; 1.5
+        reproduces that behaviour on this substrate.
+    """
+
+    def __init__(
+        self,
+        adder: AdderCircuit,
+        library: StandardCellLibrary = DEFAULT_LIBRARY,
+        sta_margin: float = 1.5,
+    ) -> None:
+        if sta_margin < 1.0:
+            raise ValueError("sta_margin must be >= 1.0")
+        self._adder = adder
+        self._testbench = AdderTestbench(adder, library=library)
+        self._sta_margin = sta_margin
+
+    @classmethod
+    def for_benchmark(
+        cls,
+        architecture: str,
+        width: int,
+        library: StandardCellLibrary = DEFAULT_LIBRARY,
+        sta_margin: float = 1.5,
+    ) -> "CharacterizationFlow":
+        """Build the flow for an adder architecture/width pair."""
+        return cls(build_adder(architecture, width), library=library, sta_margin=sta_margin)
+
+    @property
+    def adder(self) -> AdderCircuit:
+        """The circuit under characterization."""
+        return self._adder
+
+    @property
+    def testbench(self) -> AdderTestbench:
+        """The underlying testbench (exposed for custom experiments)."""
+        return self._testbench
+
+    def default_triad_grid(self) -> TriadGrid:
+        """Table III triad grid rescaled to this adder's own critical path.
+
+        For the paper's four benchmarks the clock periods keep the paper's
+        over-/under-clocking ratios (see
+        :func:`repro.core.triad.matched_triad_grid`); for any other adder the
+        grid is derived from the synthesised critical path directly.
+        """
+        name = self._adder.name
+        critical_path = self._testbench.nominal_critical_path() * self._sta_margin
+        try:
+            return matched_triad_grid(name, critical_path)
+        except ValueError:
+            critical_ns = critical_path * 1e9
+            periods = (
+                round(critical_ns * 1.8, 3),
+                round(critical_ns, 3),
+                round(critical_ns * 0.7, 3),
+                round(critical_ns * 0.5, 3),
+            )
+            return TriadGrid.from_product(periods)
+
+    def run(
+        self,
+        triads: Iterable[OperatingTriad] | TriadGrid | None = None,
+        pattern: PatternConfig | None = None,
+        operands: tuple[np.ndarray, np.ndarray] | None = None,
+        keep_measurements: bool = True,
+    ) -> AdderCharacterization:
+        """Characterize the adder over a triad grid.
+
+        Parameters
+        ----------
+        triads:
+            Triads to sweep; defaults to :meth:`default_triad_grid`.
+        pattern:
+            Stimulus configuration; defaults to 2 048 uniform random vectors
+            (the paper uses 20 K -- pass a larger config for full fidelity).
+        operands:
+            Explicit operand arrays, overriding ``pattern``.
+        keep_measurements:
+            Whether to retain raw per-triad outputs (needed for Algorithm 1).
+        """
+        grid = self._resolve_grid(triads)
+        if operands is not None:
+            in1, in2 = (np.asarray(operands[0]), np.asarray(operands[1]))
+            pattern_kind = "explicit"
+            seed = 0
+        else:
+            config = pattern or PatternConfig(
+                n_vectors=2048, width=self._adder.width, kind="uniform"
+            )
+            if config.width != self._adder.width:
+                raise ValueError(
+                    f"pattern width {config.width} does not match adder width "
+                    f"{self._adder.width}"
+                )
+            in1, in2 = generate_patterns(config)
+            pattern_kind = config.kind
+            seed = config.seed
+
+        results: list[TriadCharacterization] = []
+        measurements: list[TriadMeasurement] = []
+        for triad in grid:
+            measurement = self._testbench.run_triad(
+                in1, in2, tclk=triad.tclk, vdd=triad.vdd, vbb=triad.vbb
+            )
+            results.append(self._summarize(triad, measurement))
+            if keep_measurements:
+                measurements.append(measurement)
+
+        return AdderCharacterization(
+            adder_name=self._adder.name,
+            width=self._adder.width,
+            results=results,
+            reference_triad=grid.nominal(),
+            measurements=measurements,
+            pattern_kind=pattern_kind,
+            n_vectors=int(np.asarray(in1).size),
+            seed=seed,
+        )
+
+    def _resolve_grid(
+        self, triads: Iterable[OperatingTriad] | TriadGrid | None
+    ) -> TriadGrid:
+        if triads is None:
+            return self.default_triad_grid()
+        if isinstance(triads, TriadGrid):
+            return triads
+        return TriadGrid(list(triads))
+
+    def _summarize(
+        self, triad: OperatingTriad, measurement: TriadMeasurement
+    ) -> TriadCharacterization:
+        width = self._adder.output_width
+        return TriadCharacterization(
+            triad=triad,
+            ber=bit_error_rate(measurement.exact_words, measurement.latched_words, width),
+            mse=mean_squared_error(measurement.exact_words, measurement.latched_words),
+            bitwise_error=bitwise_error_probability(
+                measurement.exact_words, measurement.latched_words, width
+            ),
+            energy_per_operation=measurement.energy_per_operation,
+            dynamic_energy_per_operation=measurement.dynamic_energy_per_operation,
+            static_energy_per_operation=measurement.static_energy_per_operation,
+            faulty_vector_fraction=measurement.faulty_vector_fraction,
+        )
+
+
+def characterize_benchmarks(
+    benchmarks: Sequence[tuple[str, int]] = (("rca", 8), ("bka", 8), ("rca", 16), ("bka", 16)),
+    pattern_vectors: int = 2048,
+    pattern_kind: str = "uniform",
+    seed: int = 2017,
+    library: StandardCellLibrary = DEFAULT_LIBRARY,
+) -> dict[str, AdderCharacterization]:
+    """Characterize the paper's four benchmark adders in one call.
+
+    Returns a mapping from benchmark name (``"rca8"`` ...) to its
+    characterization; used by the figure/table generators and the examples.
+    """
+    characterizations: dict[str, AdderCharacterization] = {}
+    for architecture, width in benchmarks:
+        flow = CharacterizationFlow.for_benchmark(architecture, width, library=library)
+        config = PatternConfig(
+            n_vectors=pattern_vectors, width=width, seed=seed, kind=pattern_kind
+        )
+        characterization = flow.run(pattern=config)
+        characterizations[characterization.adder_name] = characterization
+    return characterizations

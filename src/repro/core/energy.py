@@ -1,0 +1,134 @@
+"""Energy-efficiency analysis (Table IV and the Fig. 8 commentary).
+
+Energy efficiency follows the paper's definition: the relative energy saving
+of a triad compared with the *ideal* test case (nominal supply, relaxed
+clock, no body bias).  The module aggregates triads into the paper's BER
+ranges (0 %, 1-10 %, 11-20 %, 21-25 %) and extracts Pareto-optimal
+energy/accuracy points used by the dynamic speculation controller.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from repro.core.characterization import AdderCharacterization, TriadCharacterization
+
+#: The BER ranges of Table IV, as (label, low, high) fractions (inclusive bounds).
+PAPER_BER_RANGES: tuple[tuple[str, float, float], ...] = (
+    ("0%", 0.0, 0.0),
+    ("1% to 10%", 0.000001, 0.10),
+    ("11% to 20%", 0.10000001, 0.20),
+    ("21% to 25%", 0.20000001, 0.25),
+)
+
+
+def energy_efficiency(
+    characterization: AdderCharacterization,
+    entry: TriadCharacterization,
+) -> float:
+    """Energy saving of a triad relative to the nominal triad, in [.., 1]."""
+    return characterization.energy_efficiency_of(entry)
+
+
+@dataclasses.dataclass(frozen=True)
+class EfficiencySummary:
+    """One row of a Table IV-style summary for a single adder.
+
+    Attributes
+    ----------
+    ber_range_label:
+        Human readable range label (``"1% to 10%"`` ...).
+    triad_count:
+        Number of operating triads whose BER falls inside the range.
+    max_energy_efficiency:
+        Best energy saving among those triads (fraction, 0..1), or ``None``
+        when the range is empty.
+    ber_at_max_efficiency:
+        BER (fraction) of the triad achieving the best saving, or ``None``.
+    best_triad_label:
+        Label of that triad, or ``None``.
+    """
+
+    ber_range_label: str
+    triad_count: int
+    max_energy_efficiency: float | None
+    ber_at_max_efficiency: float | None
+    best_triad_label: str | None
+
+
+def summarize_by_ber_range(
+    characterization: AdderCharacterization,
+    ber_ranges: Sequence[tuple[str, float, float]] = PAPER_BER_RANGES,
+) -> list[EfficiencySummary]:
+    """Aggregate a characterization into Table IV rows."""
+    summaries: list[EfficiencySummary] = []
+    for label, low, high in ber_ranges:
+        matching = [
+            entry for entry in characterization.results if low <= entry.ber <= high
+        ]
+        if not matching:
+            summaries.append(
+                EfficiencySummary(
+                    ber_range_label=label,
+                    triad_count=0,
+                    max_energy_efficiency=None,
+                    ber_at_max_efficiency=None,
+                    best_triad_label=None,
+                )
+            )
+            continue
+        best = max(matching, key=characterization.energy_efficiency_of)
+        summaries.append(
+            EfficiencySummary(
+                ber_range_label=label,
+                triad_count=len(matching),
+                max_energy_efficiency=characterization.energy_efficiency_of(best),
+                ber_at_max_efficiency=best.ber,
+                best_triad_label=best.label(),
+            )
+        )
+    return summaries
+
+
+def pareto_front(
+    characterization: AdderCharacterization,
+) -> list[TriadCharacterization]:
+    """Pareto-optimal triads in the (BER, energy per operation) plane.
+
+    A triad is Pareto optimal when no other triad has both lower-or-equal BER
+    and strictly lower energy.  The front is returned ordered by increasing
+    BER; the first entry is the most energy-efficient error-free triad and the
+    natural "accurate mode" of the dynamic speculation controller.
+    """
+    entries = characterization.results
+    front: list[TriadCharacterization] = []
+    for entry in entries:
+        dominated = any(
+            (other.ber <= entry.ber and other.energy_per_operation < entry.energy_per_operation)
+            or (other.ber < entry.ber and other.energy_per_operation <= entry.energy_per_operation)
+            for other in entries
+            if other is not entry
+        )
+        if not dominated:
+            front.append(entry)
+    return sorted(front, key=lambda item: (item.ber, item.energy_per_operation))
+
+
+def best_triad_within_ber(
+    characterization: AdderCharacterization,
+    max_ber: float,
+) -> TriadCharacterization:
+    """Most energy-efficient triad whose BER does not exceed ``max_ber``.
+
+    This is the selection rule of the dynamic speculation scheme: given the
+    user's error-tolerance margin, pick the triad with the best energy saving
+    that still honours it.
+    """
+    candidates = characterization.within_ber(max_ber)
+    if not candidates:
+        raise ValueError(
+            f"no characterized triad has BER <= {max_ber}; "
+            "the error margin is tighter than the characterization supports"
+        )
+    return max(candidates, key=characterization.energy_efficiency_of)

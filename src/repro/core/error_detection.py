@@ -1,0 +1,164 @@
+"""Online timing-error detection (the double-sampling monitor).
+
+The paper relies on double-sampling registers [3] and its companion dynamic
+speculation work [17] to *measure* the error rate at run time, which is what
+allows triads to be switched without offline knowledge of the input
+statistics.  This module provides the functional equivalent:
+
+* :class:`ShadowRegisterMonitor` -- compares the main register's value
+  (captured at ``Tclk``) with a shadow capture taken after an extra timing
+  margin, flagging the cycles where the two disagree, exactly like a Razor /
+  double-sampling stage.
+* :class:`OnlineBerEstimator`    -- turns the per-cycle flags into windowed
+  BER observations for the :class:`~repro.core.speculation.DynamicSpeculationController`.
+
+Together with the speculation controller this closes the paper's control
+loop entirely inside the library: simulate a workload at the current triad,
+detect the errors with the shadow monitor, estimate the BER, and let the
+controller move along the Pareto front.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+
+import numpy as np
+
+from repro.circuits.adders import AdderCircuit
+from repro.simulation.timing_sim import VosTimingSimulator
+from repro.technology.library import DEFAULT_LIBRARY, StandardCellLibrary
+
+
+@dataclasses.dataclass(frozen=True)
+class ShadowComparisonResult:
+    """Outcome of one shadow-register comparison window.
+
+    Attributes
+    ----------
+    flagged_cycles:
+        Boolean array: True where the main and shadow captures disagree.
+    detected_bit_errors:
+        Number of differing bits per cycle between main and shadow captures.
+    observed_ber:
+        Detected bit errors over total observed bits in the window.
+    missed_ber:
+        Bit errors present in the *shadow* capture itself (errors the
+        detector cannot see because even the delayed capture was too early).
+        Zero when the shadow margin is generous enough.
+    """
+
+    flagged_cycles: np.ndarray
+    detected_bit_errors: np.ndarray
+    observed_ber: float
+    missed_ber: float
+
+
+class ShadowRegisterMonitor:
+    """Double-sampling (Razor-style) error monitor for an adder under VOS.
+
+    Parameters
+    ----------
+    adder:
+        The circuit being monitored.
+    shadow_margin:
+        Extra fraction of the clock period given to the shadow capture
+        (0.5 = the shadow register samples at ``1.5 * Tclk``).
+    library:
+        Standard-cell library for the underlying timing simulation.
+    """
+
+    def __init__(
+        self,
+        adder: AdderCircuit,
+        shadow_margin: float = 0.5,
+        library: StandardCellLibrary = DEFAULT_LIBRARY,
+    ) -> None:
+        if shadow_margin <= 0:
+            raise ValueError("shadow_margin must be positive")
+        self._adder = adder
+        self._margin = shadow_margin
+        self._simulator = VosTimingSimulator(
+            adder.netlist, output_ports=adder.output_ports(), library=library
+        )
+
+    @property
+    def adder(self) -> AdderCircuit:
+        """The monitored circuit."""
+        return self._adder
+
+    @property
+    def shadow_margin(self) -> float:
+        """Extra clock fraction given to the shadow capture."""
+        return self._margin
+
+    def observe_window(
+        self,
+        in1: np.ndarray,
+        in2: np.ndarray,
+        tclk: float,
+        vdd: float,
+        vbb: float = 0.0,
+    ) -> ShadowComparisonResult:
+        """Run one observation window and compare main vs shadow captures."""
+        in1_arr = np.asarray(in1, dtype=np.int64)
+        in2_arr = np.asarray(in2, dtype=np.int64)
+        assignment = self._adder.input_assignment(in1_arr, in2_arr)
+        main = self._simulator.run(assignment, tclk=tclk, vdd=vdd, vbb=vbb)
+        shadow = self._simulator.run(
+            assignment, tclk=tclk * (1.0 + self._margin), vdd=vdd, vbb=vbb
+        )
+        disagreement = main.latched_bits != shadow.latched_bits
+        detected_per_cycle = disagreement.sum(axis=1)
+        total_bits = disagreement.size
+        exact_bits = shadow.settled_bits  # settled values are always exact
+        missed = float((shadow.latched_bits != exact_bits).mean())
+        return ShadowComparisonResult(
+            flagged_cycles=detected_per_cycle > 0,
+            detected_bit_errors=detected_per_cycle,
+            observed_ber=float(disagreement.sum() / total_bits),
+            missed_ber=missed,
+        )
+
+
+class OnlineBerEstimator:
+    """Sliding-window BER estimator fed by shadow-register observations.
+
+    Parameters
+    ----------
+    window_count:
+        Number of recent observation windows averaged into the estimate.
+    """
+
+    def __init__(self, window_count: int = 8) -> None:
+        if window_count <= 0:
+            raise ValueError("window_count must be positive")
+        self._history: deque[float] = deque(maxlen=window_count)
+
+    def update(self, observation: ShadowComparisonResult | float) -> float:
+        """Add one window observation and return the current estimate."""
+        value = (
+            observation.observed_ber
+            if isinstance(observation, ShadowComparisonResult)
+            else float(observation)
+        )
+        if value < 0.0 or value > 1.0:
+            raise ValueError("BER observations must lie within [0, 1]")
+        self._history.append(value)
+        return self.estimate
+
+    @property
+    def estimate(self) -> float:
+        """Current BER estimate (0.0 before any observation)."""
+        if not self._history:
+            return 0.0
+        return float(np.mean(self._history))
+
+    @property
+    def observation_count(self) -> int:
+        """Number of observations currently contributing to the estimate."""
+        return len(self._history)
+
+    def reset(self) -> None:
+        """Forget all past observations (e.g. after a triad switch)."""
+        self._history.clear()

@@ -1,0 +1,65 @@
+"""Simulation substrate (the SPICE stand-in).
+
+The paper characterises its adders with transistor-level Eldo SPICE
+simulations; this package provides the functional equivalent:
+
+* :mod:`repro.simulation.logic_sim`  -- vectorised boolean simulation of a
+  netlist (golden values).
+* :mod:`repro.simulation.timing_sim` -- vectorised data-dependent timing
+  simulation under an operating triad: per-net arrival times are propagated
+  through the netlist and outputs whose arrival exceeds the clock period
+  latch the previous cycle's value, which is exactly the timing-error
+  mechanism of voltage over-scaling.
+* :mod:`repro.simulation.spice_like` -- a slower event-driven reference
+  simulator (optionally with per-gate random variation) used to cross-check
+  the vectorised engine.
+* :mod:`repro.simulation.patterns`   -- input stimulus generators, including
+  the paper's "equal carry-propagation probability" training patterns.
+* :mod:`repro.simulation.fault_injection` -- position-independent random
+  bit-flip baseline against which the VOS model is compared.
+* :mod:`repro.simulation.testbench`  -- per-triad measurement runs combining
+  functional results with energy estimates.
+"""
+
+from repro.simulation.logic_sim import LogicSimulator, simulate_outputs
+from repro.simulation.timing_sim import (
+    TimingAnnotation,
+    VosTimingSimulator,
+    VosSimulationResult,
+)
+from repro.simulation.spice_like import EventDrivenSimulator, EventDrivenResult
+from repro.simulation.patterns import (
+    PatternConfig,
+    uniform_random_patterns,
+    carry_balanced_patterns,
+    exhaustive_patterns,
+    walking_one_patterns,
+    correlated_patterns,
+    generate_patterns,
+    PATTERN_GENERATORS,
+)
+from repro.simulation.fault_injection import RandomBitFlipModel
+from repro.simulation.testbench import TriadMeasurement, AdderTestbench
+from repro.simulation.multiplier_testbench import MultiplierTestbench
+
+__all__ = [
+    "LogicSimulator",
+    "simulate_outputs",
+    "TimingAnnotation",
+    "VosTimingSimulator",
+    "VosSimulationResult",
+    "EventDrivenSimulator",
+    "EventDrivenResult",
+    "PatternConfig",
+    "uniform_random_patterns",
+    "carry_balanced_patterns",
+    "exhaustive_patterns",
+    "walking_one_patterns",
+    "correlated_patterns",
+    "generate_patterns",
+    "PATTERN_GENERATORS",
+    "RandomBitFlipModel",
+    "AdderTestbench",
+    "MultiplierTestbench",
+    "TriadMeasurement",
+]

@@ -1,0 +1,88 @@
+"""Per-triad measurements for multiplier circuits.
+
+The paper's flow is demonstrated on adders, but its characterization method
+applies to any combinational arithmetic operator.  This module extends the
+testbench to the array multiplier of :mod:`repro.circuits.multipliers`, so
+the VOS behaviour of a multiply unit can be characterized with exactly the
+same machinery (and compared against the adder results in the ablation
+benchmarks).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.circuits.multipliers import MultiplierCircuit
+from repro.circuits.signals import int_to_bits
+from repro.simulation.testbench import TriadMeasurement
+from repro.simulation.timing_sim import VosTimingSimulator
+from repro.technology.library import DEFAULT_LIBRARY, StandardCellLibrary
+
+
+class MultiplierTestbench:
+    """Reusable testbench for one multiplier circuit.
+
+    The interface mirrors :class:`repro.simulation.testbench.AdderTestbench`:
+    ``run_triad`` applies an operand stream under one operating triad and
+    returns a :class:`~repro.simulation.testbench.TriadMeasurement` whose
+    golden reference is the exact product.
+    """
+
+    def __init__(
+        self,
+        multiplier: MultiplierCircuit,
+        library: StandardCellLibrary = DEFAULT_LIBRARY,
+    ) -> None:
+        self._multiplier = multiplier
+        self._simulator = VosTimingSimulator(
+            multiplier.netlist,
+            output_ports=multiplier.output_ports(),
+            library=library,
+        )
+
+    @property
+    def multiplier(self) -> MultiplierCircuit:
+        """The circuit under test."""
+        return self._multiplier
+
+    @property
+    def simulator(self) -> VosTimingSimulator:
+        """The underlying timing simulator."""
+        return self._simulator
+
+    def nominal_critical_path(self, vdd: float | None = None, vbb: float = 0.0) -> float:
+        """Static critical path delay (seconds) at the given operating point."""
+        supply = DEFAULT_LIBRARY.technology.vdd_nominal if vdd is None else vdd
+        return self._simulator.annotation(supply, vbb).critical_path_delay
+
+    def run_triad(
+        self,
+        in1: np.ndarray,
+        in2: np.ndarray,
+        tclk: float,
+        vdd: float,
+        vbb: float = 0.0,
+    ) -> TriadMeasurement:
+        """Apply an operand stream under one operating triad."""
+        in1_arr = np.asarray(in1, dtype=np.int64)
+        in2_arr = np.asarray(in2, dtype=np.int64)
+        if in1_arr.shape != in2_arr.shape:
+            raise ValueError("in1 and in2 must have the same shape")
+        assignment = self._multiplier.input_assignment(in1_arr, in2_arr)
+        result = self._simulator.run(assignment, tclk=tclk, vdd=vdd, vbb=vbb)
+        exact = self._multiplier.exact_product(in1_arr, in2_arr)
+        exact_bits = int_to_bits(exact, self._multiplier.output_width)
+        return TriadMeasurement(
+            adder_name=self._multiplier.name,
+            tclk=tclk,
+            vdd=vdd,
+            vbb=vbb,
+            in1=in1_arr,
+            in2=in2_arr,
+            latched_words=result.latched_words,
+            exact_words=exact,
+            error_bits=result.latched_bits != exact_bits,
+            energy_per_operation=float(result.total_energy.mean()),
+            dynamic_energy_per_operation=float(result.dynamic_energy.mean()),
+            static_energy_per_operation=float(result.static_energy.mean()),
+        )

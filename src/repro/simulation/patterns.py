@@ -1,0 +1,183 @@
+"""Input stimulus generators.
+
+The paper streams 20 K input patterns through every operating triad and
+chooses them "in such a way that all the input bits carry equal probability
+to propagate carry in the chain".  This module provides that generator
+(:func:`carry_balanced_patterns`) plus several others used by the tests,
+applications and ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class PatternConfig:
+    """Configuration of a stimulus set.
+
+    Attributes
+    ----------
+    n_vectors:
+        Number of operand pairs to generate.
+    width:
+        Operand width in bits.
+    seed:
+        Seed of the dedicated random generator (patterns are reproducible).
+    kind:
+        Name of the generator in :data:`PATTERN_GENERATORS`.
+    """
+
+    n_vectors: int
+    width: int
+    seed: int = 2017
+    kind: str = "uniform"
+
+    def __post_init__(self) -> None:
+        if self.n_vectors <= 0:
+            raise ValueError("n_vectors must be positive")
+        if self.width <= 0:
+            raise ValueError("width must be positive")
+
+
+def uniform_random_patterns(
+    n_vectors: int, width: int, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Uniformly distributed operand pairs over the full operand range."""
+    high = 1 << width
+    in1 = rng.integers(0, high, size=n_vectors, dtype=np.int64)
+    in2 = rng.integers(0, high, size=n_vectors, dtype=np.int64)
+    return in1, in2
+
+
+def carry_balanced_patterns(
+    n_vectors: int, width: int, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Patterns giving every carry-chain length equal representation.
+
+    This reproduces the paper's training-set construction: for each vector a
+    target theoretical carry-chain length ``L`` is drawn uniformly from
+    ``0 .. width``; the operands are then built bit by bit so that a carry is
+    generated at a random start position and propagated for exactly ``L - 1``
+    further positions (``propagate`` bits), with the remaining positions set
+    to ``kill`` or random non-propagating combinations.  The result exercises
+    short and long carry chains with equal probability instead of the
+    geometric distribution uniform operands would give.
+    """
+    in1 = np.zeros(n_vectors, dtype=np.int64)
+    in2 = np.zeros(n_vectors, dtype=np.int64)
+    lengths = rng.integers(0, width + 1, size=n_vectors)
+    for index in range(n_vectors):
+        length = int(lengths[index])
+        a_bits = np.zeros(width, dtype=np.int64)
+        b_bits = np.zeros(width, dtype=np.int64)
+        if length > 0:
+            start = int(rng.integers(0, width - length + 1))
+            # Generate a carry at `start`: a=1, b=1.
+            a_bits[start] = 1
+            b_bits[start] = 1
+            # Propagate it through the next `length - 1` positions: a xor b = 1.
+            for offset in range(1, length):
+                if rng.random() < 0.5:
+                    a_bits[start + offset] = 1
+                else:
+                    b_bits[start + offset] = 1
+        # Remaining positions: kill (0,0) or non-propagating random values.
+        for position in range(width):
+            if a_bits[position] or b_bits[position]:
+                continue
+            if rng.random() < 0.5:
+                continue
+            # Insert an isolated generate that is immediately followed by a
+            # kill, so it does not extend the main chain beyond one position.
+            a_bits[position] = 1
+            b_bits[position] = 1
+        weights = np.int64(1) << np.arange(width, dtype=np.int64)
+        in1[index] = int((a_bits * weights).sum())
+        in2[index] = int((b_bits * weights).sum())
+    return in1, in2
+
+
+def exhaustive_patterns(
+    n_vectors: int, width: int, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """All operand pairs (only practical for small widths).
+
+    ``n_vectors`` caps the number of returned pairs; pairs are enumerated in
+    row-major order and truncated (deterministically) if the cap is smaller
+    than ``2**(2*width)``.
+    """
+    del rng
+    total = 1 << (2 * width)
+    count = min(n_vectors, total)
+    indices = np.arange(count, dtype=np.int64)
+    in1 = indices >> width
+    in2 = indices & ((1 << width) - 1)
+    return in1, in2
+
+
+def walking_one_patterns(
+    n_vectors: int, width: int, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Walking-one style patterns exercising one carry chain start at a time.
+
+    Operand ``a`` has a single set bit; operand ``b`` is the all-ones word
+    truncated above the set bit, so the addition produces a carry chain from
+    the set bit up to the MSB.  Useful for directed tests of the carry-chain
+    extraction code.
+    """
+    positions = np.arange(n_vectors, dtype=np.int64) % width
+    in1 = (np.int64(1) << positions).astype(np.int64)
+    full = (np.int64(1) << np.int64(width)) - 1
+    in2 = np.full(n_vectors, full, dtype=np.int64) - (in1 - 1)
+    del rng
+    return in1, in2
+
+
+def correlated_patterns(
+    n_vectors: int, width: int, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Temporally correlated operands imitating signal-processing data.
+
+    Successive operands follow a bounded random walk, which is representative
+    of audio/image samples flowing through the error-resilient applications
+    the paper targets.  Correlated data toggles fewer high-order bits, which
+    lowers both the switching energy and the exercised carry lengths.
+    """
+    high = 1 << width
+    step_scale = max(high // 32, 1)
+    steps1 = rng.integers(-step_scale, step_scale + 1, size=n_vectors)
+    steps2 = rng.integers(-step_scale, step_scale + 1, size=n_vectors)
+    start1 = int(rng.integers(0, high))
+    start2 = int(rng.integers(0, high))
+    in1 = np.mod(start1 + np.cumsum(steps1), high).astype(np.int64)
+    in2 = np.mod(start2 + np.cumsum(steps2), high).astype(np.int64)
+    return in1, in2
+
+
+PatternGenerator = Callable[[int, int, np.random.Generator], tuple[np.ndarray, np.ndarray]]
+
+PATTERN_GENERATORS: dict[str, PatternGenerator] = {
+    "uniform": uniform_random_patterns,
+    "carry_balanced": carry_balanced_patterns,
+    "exhaustive": exhaustive_patterns,
+    "walking_one": walking_one_patterns,
+    "correlated": correlated_patterns,
+}
+
+
+def generate_patterns(config: PatternConfig) -> tuple[np.ndarray, np.ndarray]:
+    """Generate an operand-pair set from a :class:`PatternConfig`."""
+    try:
+        generator = PATTERN_GENERATORS[config.kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown pattern kind {config.kind!r}; "
+            f"available: {', '.join(sorted(PATTERN_GENERATORS))}"
+        ) from None
+    rng = np.random.default_rng(config.seed)
+    in1, in2 = generator(config.n_vectors, config.width, rng)
+    return np.asarray(in1, dtype=np.int64), np.asarray(in2, dtype=np.int64)

@@ -1,0 +1,165 @@
+"""Per-triad measurement runs for adder circuits.
+
+The testbench plays the role of the paper's automated SPICE test scripts: it
+applies a pattern set to an adder under one operating triad, captures the
+latched outputs, compares them with the golden outputs and records energy.
+The raw measurements are consumed by :mod:`repro.core.characterization`,
+which aggregates them into the statistics the paper reports (BER, MSE,
+bit-wise error probability, energy efficiency).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.circuits.adders import AdderCircuit
+from repro.simulation.timing_sim import VosSimulationResult, VosTimingSimulator
+from repro.technology.library import DEFAULT_LIBRARY, StandardCellLibrary
+
+
+@dataclasses.dataclass(frozen=True)
+class TriadMeasurement:
+    """Raw measurement of an adder under one operating triad.
+
+    Attributes
+    ----------
+    adder_name:
+        Name of the measured circuit (e.g. ``"rca8"``).
+    tclk, vdd, vbb:
+        The operating triad (seconds, volts, volts).
+    in1, in2:
+        The applied operand streams.
+    latched_words:
+        Output words captured by the output register each cycle.
+    exact_words:
+        Golden results (``in1 + in2``).
+    error_bits:
+        Boolean matrix (vectors x output bits) of faulty latched bits.
+    energy_per_operation:
+        Mean total (dynamic + leakage) energy per operation, joules.
+    dynamic_energy_per_operation:
+        Mean dynamic energy per operation, joules.
+    static_energy_per_operation:
+        Mean leakage energy per operation, joules.
+    """
+
+    adder_name: str
+    tclk: float
+    vdd: float
+    vbb: float
+    in1: np.ndarray
+    in2: np.ndarray
+    latched_words: np.ndarray
+    exact_words: np.ndarray
+    error_bits: np.ndarray
+    energy_per_operation: float
+    dynamic_energy_per_operation: float
+    static_energy_per_operation: float
+
+    @property
+    def n_vectors(self) -> int:
+        """Number of applied operand pairs."""
+        return int(self.in1.shape[0])
+
+    @property
+    def output_width(self) -> int:
+        """Number of observed output bits."""
+        return int(self.error_bits.shape[1])
+
+    @property
+    def faulty_vector_fraction(self) -> float:
+        """Fraction of cycles whose latched word differs from the golden word."""
+        return float((self.latched_words != self.exact_words).mean())
+
+
+class AdderTestbench:
+    """Reusable testbench for one adder circuit.
+
+    Parameters
+    ----------
+    adder:
+        The circuit under test.
+    library:
+        Standard-cell library used for delays and energies.
+    """
+
+    def __init__(
+        self,
+        adder: AdderCircuit,
+        library: StandardCellLibrary = DEFAULT_LIBRARY,
+    ) -> None:
+        self._adder = adder
+        self._simulator = VosTimingSimulator(
+            adder.netlist,
+            output_ports=adder.output_ports(),
+            library=library,
+        )
+
+    @property
+    def adder(self) -> AdderCircuit:
+        """The circuit under test."""
+        return self._adder
+
+    @property
+    def simulator(self) -> VosTimingSimulator:
+        """The underlying timing simulator (exposed for advanced experiments)."""
+        return self._simulator
+
+    def nominal_critical_path(self, vdd: float | None = None, vbb: float = 0.0) -> float:
+        """Static critical path delay (seconds) at the given operating point."""
+        supply = self._simulator.annotation(
+            vdd if vdd is not None else DEFAULT_LIBRARY.technology.vdd_nominal, vbb
+        )
+        return supply.critical_path_delay
+
+    def run_triad(
+        self,
+        in1: np.ndarray,
+        in2: np.ndarray,
+        tclk: float,
+        vdd: float,
+        vbb: float = 0.0,
+    ) -> TriadMeasurement:
+        """Apply an operand stream under one operating triad."""
+        in1_arr = np.asarray(in1, dtype=np.int64)
+        in2_arr = np.asarray(in2, dtype=np.int64)
+        if in1_arr.shape != in2_arr.shape:
+            raise ValueError("in1 and in2 must have the same shape")
+        assignment = self._adder.input_assignment(in1_arr, in2_arr)
+        result = self._simulator.run(assignment, tclk=tclk, vdd=vdd, vbb=vbb)
+        return self._to_measurement(in1_arr, in2_arr, result, tclk, vdd, vbb)
+
+    def _to_measurement(
+        self,
+        in1: np.ndarray,
+        in2: np.ndarray,
+        result: VosSimulationResult,
+        tclk: float,
+        vdd: float,
+        vbb: float,
+    ) -> TriadMeasurement:
+        exact = self._adder.exact_sum(in1, in2)
+        latched = result.latched_words
+        error_bits = result.latched_bits != _exact_bits(exact, self._adder.output_width)
+        return TriadMeasurement(
+            adder_name=self._adder.name,
+            tclk=tclk,
+            vdd=vdd,
+            vbb=vbb,
+            in1=in1,
+            in2=in2,
+            latched_words=latched,
+            exact_words=exact,
+            error_bits=error_bits,
+            energy_per_operation=float(result.total_energy.mean()),
+            dynamic_energy_per_operation=float(result.dynamic_energy.mean()),
+            static_energy_per_operation=float(result.static_energy.mean()),
+        )
+
+
+def _exact_bits(values: np.ndarray, width: int) -> np.ndarray:
+    from repro.circuits.signals import int_to_bits
+
+    return int_to_bits(values, width)

@@ -1,0 +1,335 @@
+"""Vectorised data-dependent timing simulation under voltage over-scaling.
+
+This is the core of the SPICE substitution.  For a batch of consecutive
+input-vector pairs ``(previous, current)`` the simulator propagates, gate by
+gate in topological order:
+
+* the settled value under the *previous* operands (the state the circuit has
+  relaxed to before the new operands arrive),
+* the settled value under the *current* operands,
+* the arrival time of the current value: a net that does not change has
+  arrival 0; a net that changes settles one gate delay after the latest
+  changing input it depends on.
+
+Primary outputs whose arrival time exceeds the clock period latch the stale
+(previous) value -- exactly the timing-error mechanism the paper provokes by
+scaling the supply voltage: the longest *sensitised* path fails first, which
+for adders means long actual carry-propagation chains.
+
+Energy is accounted per vector: every net toggle contributes one CV^2
+switching event at the gate driving it, and sub-threshold leakage integrates
+over the clock period.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping
+
+import numpy as np
+
+from repro.circuits.cells import evaluate_gate
+from repro.circuits.netlist import Netlist
+from repro.circuits.signals import bits_to_int
+from repro.technology.library import DEFAULT_LIBRARY, StandardCellLibrary
+
+#: Extra load on primary outputs standing in for the capture register input.
+_OUTPUT_REGISTER_LOAD_CELL = "DFF"
+
+
+@dataclasses.dataclass(frozen=True)
+class TimingAnnotation:
+    """Per-gate delays and energies of a netlist at one operating point.
+
+    Attributes
+    ----------
+    vdd, vbb:
+        Operating voltages the annotation was computed for.
+    gate_delays:
+        Delay in seconds of each gate, indexed like
+        ``netlist.topological_gates``.
+    gate_switch_energies:
+        Dynamic energy in joules of one output toggle of each gate.
+    leakage_power:
+        Total static power of the netlist in watts.
+    critical_path_delay:
+        Static (topological) critical path of the netlist in seconds --
+        an upper bound on any data-dependent arrival time.
+    """
+
+    vdd: float
+    vbb: float
+    gate_delays: np.ndarray
+    gate_switch_energies: np.ndarray
+    leakage_power: float
+    critical_path_delay: float
+
+    @classmethod
+    def annotate(
+        cls,
+        netlist: Netlist,
+        vdd: float,
+        vbb: float,
+        library: StandardCellLibrary = DEFAULT_LIBRARY,
+    ) -> "TimingAnnotation":
+        """Compute delays/energies of every gate at the operating point."""
+        tech = library.technology
+        loads = _net_loads(netlist, library)
+        delay_model = library.delay_model(vdd, vbb)
+        delays = np.empty(len(netlist.topological_gates), dtype=float)
+        energies = np.empty(len(netlist.topological_gates), dtype=float)
+        leakage = 0.0
+        for index, gate in enumerate(netlist.topological_gates):
+            cell_name = gate.gate_type.value
+            delays[index] = library.cell_delay(
+                cell_name,
+                loads[gate.output],
+                vdd,
+                vbb,
+                delay_model=delay_model,
+            )
+            energies[index] = library.cell_switching_energy(cell_name, vdd)
+            leakage += library.cell_leakage_power(cell_name, vdd, vbb)
+        arrival = np.zeros(netlist.net_count, dtype=float)
+        for index, gate in enumerate(netlist.topological_gates):
+            arrival[gate.output] = delays[index] + max(
+                arrival[net] for net in gate.inputs
+            )
+        critical = float(max((arrival[net] for net in netlist.output_nets), default=0.0))
+        del tech
+        return cls(
+            vdd=vdd,
+            vbb=vbb,
+            gate_delays=delays,
+            gate_switch_energies=energies,
+            leakage_power=leakage,
+            critical_path_delay=critical,
+        )
+
+
+def _net_loads(netlist: Netlist, library: StandardCellLibrary) -> np.ndarray:
+    """Capacitive load on every net (fanin gate caps + wire + register load)."""
+    tech = library.technology
+    loads = np.zeros(netlist.net_count, dtype=float)
+    for gate in netlist.gates:
+        pin_cap = library.input_capacitance(gate.gate_type.value)
+        for net in gate.inputs:
+            loads[net] += pin_cap + tech.wire_capacitance_per_fanout
+    register_cap = library.input_capacitance(_OUTPUT_REGISTER_LOAD_CELL)
+    for net in netlist.output_nets:
+        loads[net] += register_cap + tech.wire_capacitance_per_fanout
+    # A gate must at least drive its own parasitic output capacitance.
+    loads += tech.parasitic_capacitance
+    return loads
+
+
+@dataclasses.dataclass(frozen=True)
+class VosSimulationResult:
+    """Result of a VOS timing simulation over a batch of vectors.
+
+    Attributes
+    ----------
+    latched_bits:
+        Boolean array of shape ``(n_vectors, n_outputs)`` -- the values
+        captured by the output register at the end of each cycle (LSB first).
+    settled_bits:
+        The error-free settled values of the outputs for the same vectors.
+    arrival_times:
+        Arrival time in seconds of each output bit, same shape.
+    dynamic_energy:
+        Per-vector dynamic energy in joules, shape ``(n_vectors,)``.
+    static_energy:
+        Per-vector leakage energy in joules (leakage power * Tclk).
+    tclk:
+        Clock period used for latching, in seconds.
+    """
+
+    latched_bits: np.ndarray
+    settled_bits: np.ndarray
+    arrival_times: np.ndarray
+    dynamic_energy: np.ndarray
+    static_energy: np.ndarray
+    tclk: float
+
+    @property
+    def n_vectors(self) -> int:
+        """Number of simulated vectors."""
+        return self.latched_bits.shape[0]
+
+    @property
+    def latched_words(self) -> np.ndarray:
+        """Latched outputs assembled into integers (LSB-first bit order)."""
+        return bits_to_int(self.latched_bits)
+
+    @property
+    def settled_words(self) -> np.ndarray:
+        """Error-free outputs assembled into integers."""
+        return bits_to_int(self.settled_bits)
+
+    @property
+    def error_bits(self) -> np.ndarray:
+        """Boolean matrix of bit errors (latched != settled)."""
+        return self.latched_bits != self.settled_bits
+
+    @property
+    def total_energy(self) -> np.ndarray:
+        """Per-vector total (dynamic + static) energy in joules."""
+        return self.dynamic_energy + self.static_energy
+
+    @property
+    def mean_energy_per_operation(self) -> float:
+        """Average energy per operation in joules."""
+        return float(self.total_energy.mean())
+
+
+class VosTimingSimulator:
+    """Vectorised timing-error simulator for one netlist.
+
+    Parameters
+    ----------
+    netlist:
+        Combinational netlist to simulate.
+    output_ports:
+        Primary output ports to observe, LSB first.  Defaults to all primary
+        outputs in declaration order.
+    library:
+        Standard-cell library providing delays and energies.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        output_ports: tuple[str, ...] | None = None,
+        library: StandardCellLibrary = DEFAULT_LIBRARY,
+    ) -> None:
+        self._netlist = netlist
+        self._library = library
+        all_outputs = netlist.primary_outputs
+        if output_ports is None:
+            output_ports = tuple(all_outputs)
+        for port in output_ports:
+            if port not in all_outputs:
+                raise ValueError(f"unknown output port {port!r}")
+        self._output_ports = output_ports
+        self._output_nets = tuple(all_outputs[port] for port in output_ports)
+        self._annotation_cache: dict[tuple[float, float], TimingAnnotation] = {}
+
+    @property
+    def netlist(self) -> Netlist:
+        """The netlist being simulated."""
+        return self._netlist
+
+    @property
+    def output_ports(self) -> tuple[str, ...]:
+        """Observed output ports, LSB first."""
+        return self._output_ports
+
+    def annotation(self, vdd: float, vbb: float) -> TimingAnnotation:
+        """Timing annotation at an operating point (cached per simulator)."""
+        key = (round(float(vdd), 6), round(float(vbb), 6))
+        if key not in self._annotation_cache:
+            self._annotation_cache[key] = TimingAnnotation.annotate(
+                self._netlist, vdd, vbb, self._library
+            )
+        return self._annotation_cache[key]
+
+    def run(
+        self,
+        inputs: Mapping[str, np.ndarray],
+        tclk: float,
+        vdd: float,
+        vbb: float = 0.0,
+        previous_inputs: Mapping[str, np.ndarray] | None = None,
+    ) -> VosSimulationResult:
+        """Simulate a stream of input vectors under an operating triad.
+
+        Parameters
+        ----------
+        inputs:
+            Mapping from primary-input port name to a boolean array of shape
+            ``(n_vectors,)`` -- the vector applied at each cycle.
+        tclk:
+            Clock period in seconds.
+        vdd, vbb:
+            Supply and body-bias voltages in volts.
+        previous_inputs:
+            Optional explicit previous-cycle vectors.  By default the stream
+            itself provides them (vector ``k-1`` precedes vector ``k``; the
+            first vector's predecessor is the all-zero vector), matching how
+            the paper streams 20 K patterns through the SPICE testbench.
+        """
+        if tclk <= 0:
+            raise ValueError("tclk must be positive")
+        annotation = self.annotation(vdd, vbb)
+        current = self._bind_inputs(inputs)
+        previous = (
+            self._bind_inputs(previous_inputs)
+            if previous_inputs is not None
+            else {net: _shift_right(values) for net, values in current.items()}
+        )
+
+        n_vectors = next(iter(current.values())).shape[0]
+        net_count = self._netlist.net_count
+        new_values: dict[int, np.ndarray] = dict(current)
+        old_values: dict[int, np.ndarray] = dict(previous)
+        arrival: dict[int, np.ndarray] = {
+            net: np.zeros(n_vectors, dtype=float) for net in current
+        }
+        dynamic_energy = np.zeros(n_vectors, dtype=float)
+
+        for index, gate in enumerate(self._netlist.topological_gates):
+            gate_inputs_new = [new_values[net] for net in gate.inputs]
+            gate_inputs_old = [old_values[net] for net in gate.inputs]
+            out_new = evaluate_gate(gate.gate_type, gate_inputs_new)
+            out_old = evaluate_gate(gate.gate_type, gate_inputs_old)
+            changed = out_new != out_old
+            input_arrival = np.zeros(n_vectors, dtype=float)
+            for net in gate.inputs:
+                contribution = np.where(
+                    new_values[net] != old_values[net], arrival[net], 0.0
+                )
+                np.maximum(input_arrival, contribution, out=input_arrival)
+            gate_delay = annotation.gate_delays[index]
+            arrival[gate.output] = np.where(changed, input_arrival + gate_delay, 0.0)
+            new_values[gate.output] = out_new
+            old_values[gate.output] = out_old
+            dynamic_energy += changed * annotation.gate_switch_energies[index]
+
+        settled = np.stack([new_values[net] for net in self._output_nets], axis=-1)
+        stale = np.stack([old_values[net] for net in self._output_nets], axis=-1)
+        arrivals = np.stack([arrival[net] for net in self._output_nets], axis=-1)
+        on_time = arrivals <= tclk
+        latched = np.where(on_time, settled, stale)
+        static_energy = np.full(n_vectors, annotation.leakage_power * tclk)
+        del net_count
+        return VosSimulationResult(
+            latched_bits=latched,
+            settled_bits=settled,
+            arrival_times=arrivals,
+            dynamic_energy=dynamic_energy,
+            static_energy=static_energy,
+            tclk=tclk,
+        )
+
+    def _bind_inputs(self, inputs: Mapping[str, np.ndarray]) -> dict[int, np.ndarray]:
+        ports = self._netlist.primary_inputs
+        missing = set(ports) - set(inputs)
+        if missing:
+            raise ValueError(f"missing values for primary inputs: {sorted(missing)}")
+        bound: dict[int, np.ndarray] = {}
+        shapes = set()
+        for port, net in ports.items():
+            array = np.atleast_1d(np.asarray(inputs[port], dtype=bool))
+            shapes.add(array.shape)
+            bound[net] = array
+        if len(shapes) > 1:
+            raise ValueError(f"primary input arrays have inconsistent shapes: {shapes}")
+        return bound
+
+
+def _shift_right(values: np.ndarray) -> np.ndarray:
+    """Previous-cycle version of a vector stream (first cycle sees zeros)."""
+    shifted = np.zeros_like(values)
+    if values.shape[0] > 1:
+        shifted[1:] = values[:-1]
+    return shifted

@@ -1,0 +1,19 @@
+"""Synthesis-style reporting: area, power, static timing.
+
+The paper's Table II reports the synthesis results (area, total power,
+critical path at 1 V / no body bias) of the four adder configurations.  This
+package computes the equivalent numbers from the netlists and the analytical
+technology library.
+"""
+
+from repro.synthesis.sta import StaticTimingAnalysis, TimingPath
+from repro.synthesis.synthesize import SynthesisReport, synthesize
+from repro.synthesis.report import render_synthesis_table
+
+__all__ = [
+    "StaticTimingAnalysis",
+    "TimingPath",
+    "SynthesisReport",
+    "synthesize",
+    "render_synthesis_table",
+]

@@ -1,0 +1,47 @@
+"""Plain-text rendering of synthesis reports (Table II style)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.synthesis.synthesize import SynthesisReport
+
+
+def render_synthesis_table(reports: Iterable[SynthesisReport]) -> str:
+    """Render a Table II-style summary for a set of synthesis reports.
+
+    Columns follow the paper: benchmark name, area (um^2), total power (uW),
+    critical path (ns); a gate-count column is added because it is the most
+    robust cross-check between the paper's library and this substrate.
+    """
+    rows = [
+        (
+            report.design_name,
+            f"{report.area_um2:.1f}",
+            f"{report.total_power_uw:.1f}",
+            f"{report.critical_path_ns:.3f}",
+            str(report.gate_count),
+        )
+        for report in reports
+    ]
+    header = ("Benchmark", "Area (um2)", "Total Power (uW)", "Critical Path (ns)", "Gates")
+    return format_table(header, rows)
+
+
+def format_table(header: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Minimal fixed-width table formatter shared by the analysis modules."""
+    columns = len(header)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError("all rows must have the same number of columns as the header")
+    widths = [
+        max(len(str(header[i])), *(len(str(row[i])) for row in rows)) if rows else len(str(header[i]))
+        for i in range(columns)
+    ]
+    lines = [
+        "  ".join(str(header[i]).ljust(widths[i]) for i in range(columns)),
+        "  ".join("-" * widths[i] for i in range(columns)),
+    ]
+    for row in rows:
+        lines.append("  ".join(str(row[i]).ljust(widths[i]) for i in range(columns)))
+    return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""Process corners and random variability.
+
+The paper notes that FDSOI's resistance to random dopant fluctuation is one
+reason near-threshold operation becomes practical, and that any physical-level
+approximation method must account for variability on top of the deliberate
+approximation.  This module provides the small amount of machinery needed to
+run such sensitivity experiments: fixed process corners (rescaled parameter
+sets) and a per-gate random-variation model used by the event-driven
+reference simulator and the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+import numpy as np
+
+from repro.technology.fdsoi28 import FDSOI28_LVT, TechnologyParameters
+
+
+class ProcessCorner(enum.Enum):
+    """Classic five-corner naming: (NMOS, PMOS) = slow/typical/fast."""
+
+    TYPICAL = "TT"
+    SLOW = "SS"
+    FAST = "FF"
+    SLOW_NMOS_FAST_PMOS = "SF"
+    FAST_NMOS_SLOW_PMOS = "FS"
+
+
+#: Multiplicative adjustments applied to (current_factor, vt offset) per corner.
+_CORNER_ADJUSTMENTS: dict[ProcessCorner, tuple[float, float]] = {
+    ProcessCorner.TYPICAL: (1.00, 0.000),
+    ProcessCorner.SLOW: (0.85, +0.030),
+    ProcessCorner.FAST: (1.15, -0.030),
+    ProcessCorner.SLOW_NMOS_FAST_PMOS: (0.95, +0.010),
+    ProcessCorner.FAST_NMOS_SLOW_PMOS: (1.05, -0.010),
+}
+
+
+def apply_corner(
+    corner: ProcessCorner,
+    tech: TechnologyParameters = FDSOI28_LVT,
+) -> TechnologyParameters:
+    """Return the technology parameter set shifted to a process corner."""
+    current_scale, vt_shift = _CORNER_ADJUSTMENTS[corner]
+    return tech.with_overrides(
+        name=f"{tech.name}-{corner.value}",
+        current_factor=tech.current_factor * current_scale,
+        vt0=min(max(tech.vt0 + vt_shift, tech.vt_min), tech.vt_max),
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class VariabilityModel:
+    """Log-normal per-gate delay variation (local mismatch).
+
+    ``sigma_fraction`` is the relative standard deviation of the per-gate
+    delay at the nominal supply.  Variation is amplified as the supply drops
+    (near-threshold operation is more sensitive to Vt mismatch); the
+    amplification exponent controls how fast.
+    """
+
+    sigma_fraction: float = 0.05
+    low_voltage_amplification: float = 1.5
+    reference_vdd: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.sigma_fraction < 0:
+            raise ValueError("sigma_fraction must be non-negative")
+        if self.low_voltage_amplification < 0:
+            raise ValueError("low_voltage_amplification must be non-negative")
+        if self.reference_vdd <= 0:
+            raise ValueError("reference_vdd must be positive")
+
+    def sigma_at(self, vdd: float) -> float:
+        """Effective relative sigma at the given supply voltage."""
+        ratio = max(self.reference_vdd / max(vdd, 1e-9), 1.0)
+        return self.sigma_fraction * ratio**self.low_voltage_amplification
+
+    def sample_multipliers(
+        self,
+        n_gates: int,
+        vdd: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Draw one log-normal delay multiplier per gate.
+
+        The multipliers have unit median so the deterministic delay model is
+        recovered for ``sigma_fraction == 0``.
+        """
+        if n_gates < 0:
+            raise ValueError("n_gates must be non-negative")
+        sigma = self.sigma_at(vdd)
+        if sigma == 0.0 or n_gates == 0:
+            return np.ones(n_gates)
+        return rng.lognormal(mean=0.0, sigma=sigma, size=n_gates)

@@ -1,0 +1,117 @@
+"""Gate propagation-delay model.
+
+The paper's Eq. (2) expresses the propagation delay of an operator as
+
+    tp = Vdd * Cload / (k * (Vdd - Vt)**2)
+
+which is the classic alpha-power-law delay of a CMOS gate.  This module
+implements a continuous version of that law (valid through the near- and
+sub-threshold regions swept by the paper's experiments) plus a logical-effort
+formulation so that every standard cell in :mod:`repro.technology.library`
+gets a delay from the same physical model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Union
+
+import numpy as np
+
+from repro.technology.device import drive_current
+from repro.technology.fdsoi28 import FDSOI28_LVT, TechnologyParameters
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def propagation_delay(
+    load_capacitance: ArrayLike,
+    vdd: ArrayLike,
+    vbb: ArrayLike = 0.0,
+    tech: TechnologyParameters = FDSOI28_LVT,
+    drive_strength: float = 1.0,
+) -> ArrayLike:
+    """Delay of a gate driving ``load_capacitance`` at the given triad point.
+
+    ``tp = 0.5 * Cload * Vdd / Id(Vdd, Vbb)`` -- the time for the drive
+    current to (dis)charge the load through half the supply swing.  This is
+    the direct generalisation of the paper's Eq. (2): in strong inversion
+    ``Id = k (Vdd - Vt)**alpha`` and the expression collapses to the paper's
+    formula (up to the 1/2 swing factor absorbed in calibration).
+
+    Parameters
+    ----------
+    load_capacitance:
+        Total load seen by the gate output, in farads.
+    vdd, vbb:
+        Operating voltages in volts.
+    tech:
+        Technology parameter set.
+    drive_strength:
+        Relative drive of the gate (wider output stage switches faster).
+    """
+    cap = np.asarray(load_capacitance, dtype=float)
+    if np.any(cap < 0):
+        raise ValueError("load_capacitance must be non-negative")
+    current = drive_current(vdd, vbb, tech, drive_strength=drive_strength)
+    return 0.5 * cap * np.asarray(vdd, dtype=float) / current
+
+
+@dataclasses.dataclass(frozen=True)
+class GateDelayModel:
+    """Logical-effort style delay model evaluated at an operating point.
+
+    The delay of a cell is ``tau * (p + g * h)`` where
+
+    * ``tau`` is the technology time constant at the operating point
+      (delay of a unit inverter driving another unit inverter),
+    * ``p``   is the cell's parasitic delay (in units of tau),
+    * ``g``   is the cell's logical effort,
+    * ``h``   is the electrical effort (Cout / Cin).
+
+    A single instance is bound to one ``(vdd, vbb)`` point so the per-cell
+    evaluation inside the timing simulator is a cheap multiply-add.
+    """
+
+    vdd: float
+    vbb: float
+    tech: TechnologyParameters = FDSOI28_LVT
+
+    def __post_init__(self) -> None:
+        if self.vdd <= 0:
+            raise ValueError("vdd must be positive")
+
+    @property
+    def tau(self) -> float:
+        """Unit-inverter FO1 delay at this operating point, in seconds."""
+        cload = self.tech.gate_capacitance + self.tech.parasitic_capacitance
+        return float(
+            propagation_delay(cload, self.vdd, self.vbb, self.tech, drive_strength=1.0)
+        )
+
+    def cell_delay(
+        self,
+        logical_effort: ArrayLike,
+        parasitic_delay: ArrayLike,
+        electrical_effort: ArrayLike,
+    ) -> ArrayLike:
+        """Delay of a cell described by logical-effort parameters, in seconds."""
+        g = np.asarray(logical_effort, dtype=float)
+        p = np.asarray(parasitic_delay, dtype=float)
+        h = np.asarray(electrical_effort, dtype=float)
+        if np.any(g <= 0):
+            raise ValueError("logical_effort must be positive")
+        if np.any(p < 0) or np.any(h < 0):
+            raise ValueError("parasitic_delay and electrical_effort must be >= 0")
+        return self.tau * (p + g * h)
+
+    def scaling_factor(self, reference_vdd: float | None = None) -> float:
+        """Delay multiplier relative to the nominal (or given) supply.
+
+        ``scaling_factor()`` > 1 means the circuit is slower than at the
+        reference point.  Used by tests and by the quick "will this triad
+        produce errors at all" screening in the characterization flow.
+        """
+        ref = self.tech.vdd_nominal if reference_vdd is None else reference_vdd
+        nominal = GateDelayModel(vdd=ref, vbb=0.0, tech=self.tech)
+        return self.tau / nominal.tau

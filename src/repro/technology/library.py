@@ -1,0 +1,191 @@
+"""Standard-cell library characterised from the analytical technology models.
+
+Each combinational cell used by :mod:`repro.circuits` is described by its
+logical-effort parameters (logical effort ``g``, parasitic delay ``p``),
+input capacitance, intrinsic drive strength and area in NAND2
+gate-equivalents.  A :class:`StandardCellLibrary` binds those descriptions to
+a :class:`~repro.technology.fdsoi28.TechnologyParameters` set and exposes the
+per-cell delay / energy queries that the synthesis engine and the timing
+simulators need.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping
+
+from repro.technology.delay import GateDelayModel
+from repro.technology.fdsoi28 import FDSOI28_LVT, TechnologyParameters
+from repro.technology.power import leakage_power, switching_energy
+
+
+@dataclasses.dataclass(frozen=True)
+class CellTimingModel:
+    """Static (operating-point independent) description of a standard cell.
+
+    Attributes
+    ----------
+    name:
+        Cell name, matching the gate types in :mod:`repro.circuits.cells`.
+    logical_effort:
+        Logical effort ``g`` per input (average over inputs).
+    parasitic_delay:
+        Parasitic delay ``p`` in units of the technology time constant tau.
+    input_capacitance_factor:
+        Input capacitance per input pin, in multiples of the unit-inverter
+        input capacitance.
+    drive_strength:
+        Output drive relative to a unit inverter.
+    area_gate_equivalents:
+        Layout area in NAND2 equivalents.
+    leakage_width:
+        Total leaking device width relative to a unit inverter (sets static
+        power of the cell).
+    switching_capacitance_factor:
+        Internal + output capacitance switched on an output toggle, in
+        multiples of the unit-inverter input capacitance (sets dynamic
+        energy).
+    """
+
+    name: str
+    logical_effort: float
+    parasitic_delay: float
+    input_capacitance_factor: float
+    drive_strength: float
+    area_gate_equivalents: float
+    leakage_width: float
+    switching_capacitance_factor: float
+
+    def __post_init__(self) -> None:
+        if self.logical_effort <= 0:
+            raise ValueError("logical_effort must be positive")
+        for attr in (
+            "parasitic_delay",
+            "input_capacitance_factor",
+            "drive_strength",
+            "area_gate_equivalents",
+            "leakage_width",
+            "switching_capacitance_factor",
+        ):
+            if getattr(self, attr) <= 0:
+                raise ValueError(f"{attr} must be positive")
+
+
+#: Logical-effort parameters for the cell set (values from the standard
+#: logical-effort tables in Weste & Harris, the same reference the paper cites
+#: for the Brent-Kung carry tree).  XOR cells are the slow, high-effort cells
+#: that dominate the sum path of adders.
+_DEFAULT_CELLS: dict[str, CellTimingModel] = {
+    cell.name: cell
+    for cell in (
+        CellTimingModel("INV", 1.00, 1.0, 1.0, 1.0, 0.65, 1.0, 2.0),
+        CellTimingModel("BUF", 1.00, 2.0, 1.0, 1.0, 1.00, 1.5, 3.0),
+        CellTimingModel("NAND2", 1.33, 2.0, 1.3, 1.0, 1.00, 1.3, 2.6),
+        CellTimingModel("NAND3", 1.67, 3.0, 1.7, 1.0, 1.40, 1.7, 3.4),
+        CellTimingModel("NOR2", 1.67, 2.0, 1.7, 1.0, 1.00, 1.7, 3.4),
+        CellTimingModel("NOR3", 2.33, 3.0, 2.3, 1.0, 1.40, 2.3, 4.6),
+        CellTimingModel("AND2", 1.33, 3.0, 1.3, 1.0, 1.25, 1.8, 3.2),
+        CellTimingModel("OR2", 1.67, 3.0, 1.7, 1.0, 1.25, 2.2, 3.6),
+        CellTimingModel("XOR2", 2.00, 4.0, 2.0, 1.0, 2.25, 3.0, 5.0),
+        CellTimingModel("XNOR2", 2.00, 4.0, 2.0, 1.0, 2.25, 3.0, 5.0),
+        CellTimingModel("AOI21", 1.78, 3.0, 1.8, 1.0, 1.40, 2.0, 3.8),
+        CellTimingModel("OAI21", 1.78, 3.0, 1.8, 1.0, 1.40, 2.0, 3.8),
+        CellTimingModel("MAJ3", 2.33, 5.0, 2.1, 1.0, 2.50, 3.2, 5.4),
+        CellTimingModel("MUX2", 2.00, 4.0, 1.8, 1.0, 2.00, 2.8, 4.6),
+        CellTimingModel("DFF", 1.50, 6.0, 1.5, 1.0, 4.50, 4.0, 8.0),
+    )
+}
+
+
+class StandardCellLibrary:
+    """Cell library bound to a technology parameter set.
+
+    The library answers the three questions the rest of the system asks:
+
+    * ``cell_delay(name, fanout_capacitance, vdd, vbb)`` -- propagation delay
+      of one cell at an operating point,
+    * ``cell_switching_energy(name, vdd)`` -- dynamic energy of one output
+      toggle,
+    * ``cell_leakage_power(name, vdd, vbb)`` -- static power.
+    """
+
+    def __init__(
+        self,
+        tech: TechnologyParameters = FDSOI28_LVT,
+        cells: Mapping[str, CellTimingModel] | None = None,
+    ) -> None:
+        self._tech = tech
+        self._cells = dict(_DEFAULT_CELLS if cells is None else cells)
+        if not self._cells:
+            raise ValueError("cell library must contain at least one cell")
+
+    @property
+    def technology(self) -> TechnologyParameters:
+        """Technology parameter set the library is characterised against."""
+        return self._tech
+
+    @property
+    def cell_names(self) -> tuple[str, ...]:
+        """Names of all cells available in the library."""
+        return tuple(sorted(self._cells))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cells
+
+    def cell(self, name: str) -> CellTimingModel:
+        """Return the static description of a cell, raising on unknown names."""
+        try:
+            return self._cells[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown cell {name!r}; available: {', '.join(self.cell_names)}"
+            ) from None
+
+    def input_capacitance(self, name: str) -> float:
+        """Input pin capacitance of a cell, in farads."""
+        return self.cell(name).input_capacitance_factor * self._tech.gate_capacitance
+
+    def cell_area_um2(self, name: str) -> float:
+        """Layout area of a cell in square micrometres."""
+        return self.cell(name).area_gate_equivalents * self._tech.nand2_area_um2
+
+    def delay_model(self, vdd: float, vbb: float) -> GateDelayModel:
+        """Gate delay model bound to an operating point."""
+        return GateDelayModel(vdd=vdd, vbb=vbb, tech=self._tech)
+
+    def cell_delay(
+        self,
+        name: str,
+        fanout_capacitance: float,
+        vdd: float,
+        vbb: float = 0.0,
+        delay_model: GateDelayModel | None = None,
+    ) -> float:
+        """Propagation delay of ``name`` driving ``fanout_capacitance`` farads.
+
+        Passing a pre-built ``delay_model`` avoids recomputing the technology
+        time constant in inner loops (the timing simulator evaluates this for
+        every gate of the netlist).
+        """
+        cell = self.cell(name)
+        model = delay_model or self.delay_model(vdd, vbb)
+        own_input_cap = cell.input_capacitance_factor * self._tech.gate_capacitance
+        electrical_effort = fanout_capacitance / (own_input_cap * cell.drive_strength)
+        return float(
+            model.cell_delay(cell.logical_effort, cell.parasitic_delay, electrical_effort)
+        )
+
+    def cell_switching_energy(self, name: str, vdd: float) -> float:
+        """Dynamic energy (joules) of one output transition of the cell."""
+        cell = self.cell(name)
+        capacitance = cell.switching_capacitance_factor * self._tech.gate_capacitance
+        return float(switching_energy(capacitance, vdd, activity=1.0))
+
+    def cell_leakage_power(self, name: str, vdd: float, vbb: float = 0.0) -> float:
+        """Static power (watts) of the cell at the operating point."""
+        cell = self.cell(name)
+        return float(leakage_power(vdd, vbb, self._tech, device_width=cell.leakage_width))
+
+
+#: Library instance used by default throughout the package.
+DEFAULT_LIBRARY = StandardCellLibrary()

@@ -1,0 +1,66 @@
+"""Tests of the table generators (Table II, III, IV)."""
+
+import pytest
+
+from repro.analysis.tables import (
+    PAPER_BENCHMARKS,
+    render_table4,
+    table2_synthesis,
+    table3_triads,
+    table4_energy_efficiency,
+)
+
+
+class TestTable2:
+    def test_reports_for_all_benchmarks_with_paper_orderings(self):
+        reports, text = table2_synthesis()
+        names = [report.design_name for report in reports]
+        assert names == ["rca8", "bka8", "rca16", "bka16"]
+        by_name = {report.design_name: report for report in reports}
+        assert by_name["bka8"].critical_path_ns < by_name["rca8"].critical_path_ns
+        assert by_name["bka16"].area_um2 > by_name["rca16"].area_um2
+        for name in names:
+            assert name in text
+
+    def test_subset_of_benchmarks(self):
+        reports, _ = table2_synthesis(benchmarks=(("rca", 8),))
+        assert len(reports) == 1
+
+
+class TestTable3:
+    def test_paper_clock_lists_rendered(self):
+        labels, text = table3_triads()
+        assert set(labels) == {name for name, _ in zip(
+            ("rca8", "bka8", "rca16", "bka16"), range(4)
+        )}
+        assert "0.28" in text and "0.064" in text
+        assert "1 to 0.4" in text
+
+    def test_matched_clock_lists_use_measured_critical_paths(self):
+        from repro.circuits.adders import build_adder
+        from repro.synthesis.sta import StaticTimingAnalysis
+
+        critical_paths = {
+            "rca8": StaticTimingAnalysis(build_adder("rca", 8).netlist, 1.0).critical_path_delay
+        }
+        labels, text = table3_triads(critical_paths)
+        assert len(labels["rca8"]) == 43
+        assert "rca8" in text
+
+
+class TestTable4:
+    def test_summaries_and_rendering(self, rca8_characterization):
+        summaries = table4_energy_efficiency({"rca8": rca8_characterization})
+        assert set(summaries) == {"rca8"}
+        assert len(summaries["rca8"]) == 4
+        text = render_table4(summaries)
+        assert "BER Range" in text
+        assert "rca8 #triads" in text
+        assert "0%" in text and "21% to 25%" in text
+
+    def test_render_rejects_empty(self):
+        with pytest.raises(ValueError):
+            render_table4({})
+
+    def test_benchmark_constant_matches_paper(self):
+        assert PAPER_BENCHMARKS == (("rca", 8), ("bka", 8), ("rca", 16), ("bka", 16))

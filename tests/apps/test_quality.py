@@ -1,0 +1,55 @@
+"""Tests of the application-level quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.apps.quality import output_snr_db, psnr_db, relative_error
+
+
+class TestPsnr:
+    def test_identical_images_give_infinity(self):
+        image = np.arange(64).reshape(8, 8)
+        assert psnr_db(image, image) == float("inf")
+
+    def test_known_value(self):
+        reference = np.full((4, 4), 255.0)
+        observed = reference - 1.0
+        assert psnr_db(reference, observed) == pytest.approx(20 * np.log10(255.0))
+
+    def test_noisier_image_has_lower_psnr(self):
+        rng = np.random.default_rng(0)
+        reference = rng.integers(0, 256, (16, 16)).astype(float)
+        mild = reference + rng.normal(0, 1, reference.shape)
+        severe = reference + rng.normal(0, 20, reference.shape)
+        assert psnr_db(reference, mild) > psnr_db(reference, severe)
+
+    def test_shape_mismatch_and_bad_peak_rejected(self):
+        with pytest.raises(ValueError):
+            psnr_db(np.zeros((2, 2)), np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            psnr_db(np.ones((2, 2)), np.zeros((2, 2)), peak=0.0)
+
+
+class TestOutputSnr:
+    def test_identical_signals_give_infinity(self):
+        signal = np.arange(1, 100)
+        assert output_snr_db(signal, signal) == float("inf")
+
+    def test_zero_reference_gives_minus_infinity(self):
+        assert output_snr_db(np.zeros(10), np.ones(10)) == float("-inf")
+
+    def test_snr_decreases_with_error_energy(self):
+        signal = np.linspace(0, 100, 200)
+        assert output_snr_db(signal, signal + 0.1) > output_snr_db(signal, signal + 10)
+
+
+class TestRelativeError:
+    def test_zero_for_identical(self):
+        values = np.arange(10)
+        assert relative_error(values, values) == 0.0
+
+    def test_known_value(self):
+        assert relative_error(np.array([100.0]), np.array([110.0])) == pytest.approx(0.1)
+
+    def test_zero_reference_guarded(self):
+        assert relative_error(np.array([0.0]), np.array([0.5])) == pytest.approx(0.5)

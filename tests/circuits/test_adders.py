@@ -1,0 +1,117 @@
+"""Functional correctness and structural properties of the adder generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits.adders import ADDER_GENERATORS, build_adder
+from repro.circuits.validation import validate_netlist
+from repro.simulation.logic_sim import LogicSimulator
+
+ARCHITECTURES = sorted(ADDER_GENERATORS)
+
+
+def _simulate_add(adder, in1, in2):
+    simulator = LogicSimulator(adder.netlist)
+    return simulator.run_output_word(adder.input_assignment(in1, in2), adder.output_ports())
+
+
+class TestFunctionalCorrectness:
+    @pytest.mark.parametrize("architecture", ARCHITECTURES)
+    @pytest.mark.parametrize("width", [4, 8])
+    def test_random_vectors_match_exact_sum(self, architecture, width):
+        adder = build_adder(architecture, width)
+        rng = np.random.default_rng(hash((architecture, width)) % (2**32))
+        in1 = rng.integers(0, 1 << width, 500)
+        in2 = rng.integers(0, 1 << width, 500)
+        assert np.array_equal(_simulate_add(adder, in1, in2), in1 + in2)
+
+    @pytest.mark.parametrize("architecture", ARCHITECTURES)
+    def test_exhaustive_4bit(self, architecture):
+        adder = build_adder(architecture, 4)
+        values = np.arange(16)
+        in1, in2 = np.meshgrid(values, values)
+        in1, in2 = in1.ravel(), in2.ravel()
+        assert np.array_equal(_simulate_add(adder, in1, in2), in1 + in2)
+
+    @pytest.mark.parametrize("architecture", ["rca", "bka"])
+    def test_corner_operands_16bit(self, architecture):
+        adder = build_adder(architecture, 16)
+        in1 = np.array([0, 0, 65535, 65535, 32768, 21845])
+        in2 = np.array([0, 65535, 65535, 1, 32768, 43690])
+        assert np.array_equal(_simulate_add(adder, in1, in2), in1 + in2)
+
+    @pytest.mark.parametrize("architecture", ["rca", "bka", "ksa"])
+    @given(a=st.integers(min_value=0, max_value=255), b=st.integers(min_value=0, max_value=255))
+    @settings(max_examples=30, deadline=None)
+    def test_property_8bit_addition(self, architecture, a, b):
+        adder = build_adder(architecture, 8)
+        result = int(_simulate_add(adder, np.array([a]), np.array([b]))[0])
+        assert result == a + b
+
+    @pytest.mark.parametrize("architecture", ARCHITECTURES)
+    def test_odd_width_supported(self, architecture):
+        adder = build_adder(architecture, 5)
+        rng = np.random.default_rng(9)
+        in1 = rng.integers(0, 32, 200)
+        in2 = rng.integers(0, 32, 200)
+        assert np.array_equal(_simulate_add(adder, in1, in2), in1 + in2)
+
+
+class TestStructure:
+    @pytest.mark.parametrize("architecture", ARCHITECTURES)
+    def test_netlists_are_structurally_valid(self, architecture):
+        validate_netlist(build_adder(architecture, 8).netlist)
+
+    def test_bka_is_shallower_than_rca(self):
+        rca = build_adder("rca", 16).netlist
+        bka = build_adder("bka", 16).netlist
+        assert bka.logic_depth < rca.logic_depth
+
+    def test_bka_has_more_gates_than_rca(self):
+        rca = build_adder("rca", 16).netlist
+        bka = build_adder("bka", 16).netlist
+        assert bka.gate_count > rca.gate_count
+
+    def test_ksa_has_most_gates_of_prefix_adders(self):
+        bka = build_adder("bka", 16).netlist
+        ksa = build_adder("ksa", 16).netlist
+        assert ksa.gate_count > bka.gate_count
+
+    def test_rca_gate_count_scales_linearly(self):
+        small = build_adder("rca", 8).netlist.gate_count
+        large = build_adder("rca", 16).netlist.gate_count
+        assert large == 2 * small
+
+    @pytest.mark.parametrize("architecture", ARCHITECTURES)
+    def test_port_conventions(self, architecture):
+        adder = build_adder(architecture, 8)
+        assert adder.output_width == 9
+        assert adder.name == f"{architecture}8"
+        assert adder.output_ports() == tuple(f"s{i}" for i in range(9))
+
+    def test_unknown_architecture_rejected(self):
+        with pytest.raises(ValueError, match="unknown adder architecture"):
+            build_adder("nonsense", 8)
+
+    @pytest.mark.parametrize("architecture", ARCHITECTURES)
+    def test_zero_width_rejected(self, architecture):
+        with pytest.raises(ValueError):
+            ADDER_GENERATORS[architecture](0)
+
+
+class TestAdderCircuitWrapper:
+    def test_input_assignment_drives_constants(self, rca8):
+        assignment = rca8.input_assignment(np.array([3]), np.array([5]))
+        assert "__const0" in assignment
+        assert not assignment["__const0"][0]
+
+    def test_input_assignment_shape_mismatch(self, rca8):
+        with pytest.raises(ValueError, match="same shape"):
+            rca8.input_assignment(np.array([1, 2]), np.array([1]))
+
+    def test_exact_sum_reference(self, rca8):
+        in1 = np.array([10, 250])
+        in2 = np.array([20, 250])
+        assert np.array_equal(rca8.exact_sum(in1, in2), np.array([30, 500]))

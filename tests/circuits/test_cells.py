@@ -1,0 +1,84 @@
+"""Tests of the cell set and its boolean functions."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.circuits.cells import GATE_ARITY, GATE_FUNCTIONS, GateType, evaluate_gate
+
+
+def _truth_inputs(arity):
+    """All input combinations for a gate of the given arity, as bool arrays."""
+    combinations = list(itertools.product([False, True], repeat=arity))
+    columns = [np.array([row[i] for row in combinations]) for i in range(arity)]
+    return combinations, columns
+
+
+class TestGateFunctions:
+    def test_every_gate_type_has_a_function_and_arity(self):
+        for gate_type in GateType:
+            assert gate_type in GATE_FUNCTIONS
+            assert gate_type in GATE_ARITY
+
+    @pytest.mark.parametrize(
+        "gate_type, reference",
+        [
+            (GateType.INV, lambda a: not a),
+            (GateType.BUF, lambda a: a),
+        ],
+    )
+    def test_unary_gates(self, gate_type, reference):
+        combinations, columns = _truth_inputs(1)
+        outputs = evaluate_gate(gate_type, columns)
+        for row, output in zip(combinations, outputs):
+            assert bool(output) == reference(*row)
+
+    @pytest.mark.parametrize(
+        "gate_type, reference",
+        [
+            (GateType.AND2, lambda a, b: a and b),
+            (GateType.OR2, lambda a, b: a or b),
+            (GateType.NAND2, lambda a, b: not (a and b)),
+            (GateType.NOR2, lambda a, b: not (a or b)),
+            (GateType.XOR2, lambda a, b: a != b),
+            (GateType.XNOR2, lambda a, b: a == b),
+        ],
+    )
+    def test_binary_gates(self, gate_type, reference):
+        combinations, columns = _truth_inputs(2)
+        outputs = evaluate_gate(gate_type, columns)
+        for row, output in zip(combinations, outputs):
+            assert bool(output) == reference(*row)
+
+    @pytest.mark.parametrize(
+        "gate_type, reference",
+        [
+            (GateType.NAND3, lambda a, b, c: not (a and b and c)),
+            (GateType.NOR3, lambda a, b, c: not (a or b or c)),
+            (GateType.AOI21, lambda a, b, c: not ((a and b) or c)),
+            (GateType.OAI21, lambda a, b, c: not ((a or b) and c)),
+            (GateType.MAJ3, lambda a, b, c: (a + b + c) >= 2),
+            (GateType.MUX2, lambda a, b, sel: b if sel else a),
+        ],
+    )
+    def test_ternary_gates(self, gate_type, reference):
+        combinations, columns = _truth_inputs(3)
+        outputs = evaluate_gate(gate_type, columns)
+        for row, output in zip(combinations, outputs):
+            assert bool(output) == reference(*row)
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError, match="expects 2 inputs"):
+            evaluate_gate(GateType.XOR2, [np.array([True])])
+
+    def test_vectorised_shapes_preserved(self):
+        a = np.zeros((4, 5), dtype=bool)
+        b = np.ones((4, 5), dtype=bool)
+        assert evaluate_gate(GateType.AND2, [a, b]).shape == (4, 5)
+
+    def test_maj3_is_full_adder_carry(self):
+        combinations, columns = _truth_inputs(3)
+        outputs = evaluate_gate(GateType.MAJ3, columns)
+        for (a, b, c), carry in zip(combinations, outputs):
+            assert int(carry) == (int(a) + int(b) + int(c)) // 2

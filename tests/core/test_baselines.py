@@ -1,0 +1,124 @@
+"""Tests of the static approximate-adder baselines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    BASELINE_ADDERS,
+    LowerOrAdder,
+    LsbTruncatedAdder,
+    PrunedAdder,
+    SpeculativeSegmentAdder,
+    build_baseline,
+)
+from repro.core.metrics import bit_error_rate
+
+
+@pytest.fixture(scope="module")
+def operands():
+    rng = np.random.default_rng(0)
+    return rng.integers(0, 256, 3000), rng.integers(0, 256, 3000)
+
+
+class TestLsbTruncatedAdder:
+    def test_zero_approximate_bits_is_exact(self, operands):
+        in1, in2 = operands
+        adder = LsbTruncatedAdder(width=8, approximate_bits=0)
+        assert np.array_equal(adder.add(in1, in2), in1 + in2)
+
+    def test_upper_bits_never_wrong_beyond_missing_carry(self, operands):
+        in1, in2 = operands
+        adder = LsbTruncatedAdder(width=8, approximate_bits=4)
+        result = adder.add(in1, in2)
+        exact = in1 + in2
+        # The error is bounded by the maximum value the low part can be off
+        # by: a missing carry into bit k plus the low-part deviation.
+        assert np.all(np.abs(result - exact) < (1 << 5))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LsbTruncatedAdder(0, 0)
+        with pytest.raises(ValueError):
+            LsbTruncatedAdder(8, 9)
+        with pytest.raises(ValueError):
+            LsbTruncatedAdder(8, 2).add(np.array([300]), np.array([0]))
+
+
+class TestLowerOrAdder:
+    def test_exact_when_no_approximate_bits(self, operands):
+        in1, in2 = operands
+        adder = LowerOrAdder(width=8, approximate_bits=0)
+        assert np.array_equal(adder.add(in1, in2), in1 + in2)
+
+    def test_or_never_underestimates_the_low_part(self):
+        adder = LowerOrAdder(width=8, approximate_bits=4)
+        result = adder.add(np.array([0b0011]), np.array([0b0101]))
+        # low OR = 0b0111 = 7, exact low sum = 8 -> OR is off by 1 here, but
+        # always >= max of the two low parts.
+        assert int(result[0]) >= 0b0101
+
+    def test_lower_error_than_xor_variant_on_average(self, operands):
+        in1, in2 = operands
+        exact = in1 + in2
+        xor_adder = LsbTruncatedAdder(width=8, approximate_bits=4)
+        or_adder = LowerOrAdder(width=8, approximate_bits=4)
+        xor_error = np.abs(xor_adder.add(in1, in2) - exact).mean()
+        or_error = np.abs(or_adder.add(in1, in2) - exact).mean()
+        assert or_error <= xor_error
+
+
+class TestSpeculativeSegmentAdder:
+    def test_window_as_wide_as_operand_is_exact(self, operands):
+        in1, in2 = operands
+        adder = SpeculativeSegmentAdder(width=8, window=8)
+        assert np.array_equal(adder.add(in1, in2), in1 + in2)
+
+    def test_small_window_injects_errors_on_long_chains(self):
+        adder = SpeculativeSegmentAdder(width=8, window=2)
+        result = adder.add(np.array([1]), np.array([255]))
+        assert int(result[0]) != 256
+
+    @given(st.integers(min_value=0, max_value=255), st.integers(min_value=0, max_value=255))
+    @settings(max_examples=50, deadline=None)
+    def test_property_never_exceeds_exact(self, a, b):
+        adder = SpeculativeSegmentAdder(width=8, window=3)
+        assert int(adder.add(np.array([a]), np.array([b]))[0]) <= a + b
+
+    def test_error_rate_decreases_with_window(self, operands):
+        in1, in2 = operands
+        exact = in1 + in2
+        bers = [
+            bit_error_rate(exact, SpeculativeSegmentAdder(8, window).add(in1, in2), 9)
+            for window in (1, 3, 5, 8)
+        ]
+        assert bers == sorted(bers, reverse=True)
+        assert bers[-1] == 0.0
+
+
+class TestPrunedAdder:
+    def test_no_pruning_is_exact(self, operands):
+        in1, in2 = operands
+        assert np.array_equal(PrunedAdder(8, 0).add(in1, in2), in1 + in2)
+
+    def test_pruned_bits_are_zero(self, operands):
+        in1, in2 = operands
+        result = PrunedAdder(8, 3).add(in1, in2)
+        assert np.all(result % 8 == 0)
+
+    def test_error_bounded_by_pruned_magnitude(self, operands):
+        in1, in2 = operands
+        result = PrunedAdder(8, 3).add(in1, in2)
+        assert np.all((in1 + in2) - result < 8)
+
+
+class TestRegistry:
+    def test_all_registered_names_buildable(self):
+        for name in BASELINE_ADDERS:
+            adder = build_baseline(name, 8, 2)
+            assert hasattr(adder, "add")
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown baseline"):
+            build_baseline("magic", 8, 2)

@@ -1,0 +1,113 @@
+"""Tests of the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.dataset import save_characterization
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_synthesize_defaults(self):
+        args = build_parser().parse_args(["synthesize"])
+        assert args.command == "synthesize"
+        assert "rca8" in args.adder
+
+
+class TestCommands:
+    def test_synthesize_prints_table(self, capsys):
+        assert main(["synthesize", "--adder", "rca8", "bka8"]) == 0
+        out = capsys.readouterr().out
+        assert "rca8" in out and "bka8" in out
+        assert "Critical Path" in out
+
+    def test_synthesize_rejects_bad_adder_name(self):
+        with pytest.raises(SystemExit):
+            main(["synthesize", "--adder", "fancy99x"])
+
+    def test_characterize_and_table4_roundtrip(self, tmp_path, capsys):
+        dataset = tmp_path / "rca8.json"
+        exit_code = main(
+            [
+                "characterize",
+                "--architecture",
+                "rca",
+                "--width",
+                "8",
+                "--vectors",
+                "400",
+                "--output",
+                str(dataset),
+            ]
+        )
+        assert exit_code == 0
+        assert dataset.exists()
+        payload = json.loads(dataset.read_text())
+        assert payload["adder_name"] == "rca8"
+        capsys.readouterr()
+
+        assert main(["table4", str(dataset)]) == 0
+        out = capsys.readouterr().out
+        assert "BER Range" in out and "rca8" in out
+
+    def test_fig5_profile(self, capsys):
+        assert (
+            main(
+                [
+                    "fig5",
+                    "--architecture",
+                    "rca",
+                    "--width",
+                    "8",
+                    "--vdd",
+                    "0.6",
+                    "--vectors",
+                    "400",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "bit 0" in out and "0.6" in out
+
+    def test_calibrate_saves_table(self, tmp_path, capsys):
+        output = tmp_path / "table.json"
+        exit_code = main(
+            [
+                "calibrate",
+                "--architecture",
+                "rca",
+                "--width",
+                "8",
+                "--tclk-ns",
+                "0.28",
+                "--vdd",
+                "0.6",
+                "--vectors",
+                "400",
+                "--output",
+                str(output),
+            ]
+        )
+        assert exit_code == 0
+        assert output.exists()
+        payload = json.loads(output.read_text())
+        assert payload["width"] == 8
+        out = capsys.readouterr().out
+        assert "hardware BER" in out
+
+    def test_speculate_reports_modes(self, tmp_path, capsys, rca8_characterization):
+        dataset = tmp_path / "char.json"
+        save_characterization(rca8_characterization, dataset)
+        assert main(["speculate", str(dataset), "--margin", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "accurate mode" in out and "approximate mode" in out

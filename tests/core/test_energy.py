@@ -1,0 +1,90 @@
+"""Tests of the energy-efficiency analysis (Table IV logic)."""
+
+import pytest
+
+from repro.core.energy import (
+    PAPER_BER_RANGES,
+    best_triad_within_ber,
+    pareto_front,
+    summarize_by_ber_range,
+)
+
+
+class TestSummarizeByBerRange:
+    def test_four_paper_ranges_produced(self, rca8_characterization):
+        summaries = summarize_by_ber_range(rca8_characterization)
+        assert [s.ber_range_label for s in summaries] == [r[0] for r in PAPER_BER_RANGES]
+
+    def test_triad_counts_cover_low_ber_region(self, rca8_characterization):
+        summaries = summarize_by_ber_range(rca8_characterization)
+        by_label = {s.ber_range_label: s for s in summaries}
+        total_low_ber = by_label["0%"].triad_count + by_label["1% to 10%"].triad_count
+        # The paper reports ~30 of 43 triads below 10% BER for the 8-bit RCA.
+        assert total_low_ber >= 43 // 2
+
+    def test_zero_ber_range_has_substantial_savings(self, rca8_characterization):
+        summaries = summarize_by_ber_range(rca8_characterization)
+        zero = summaries[0]
+        assert zero.triad_count >= 5
+        assert zero.max_energy_efficiency is not None
+        # Paper: 60-76% energy saving at 0% BER; accept the same ballpark.
+        assert 0.4 <= zero.max_energy_efficiency <= 0.9
+        assert zero.ber_at_max_efficiency == 0.0
+
+    def test_efficiency_grows_with_allowed_ber(self, rca8_characterization):
+        summaries = summarize_by_ber_range(rca8_characterization)
+        populated = [s for s in summaries if s.max_energy_efficiency is not None]
+        assert populated[-1].max_energy_efficiency >= populated[0].max_energy_efficiency
+
+    def test_empty_range_reported_as_none(self, rca8_characterization):
+        summaries = summarize_by_ber_range(
+            rca8_characterization, ber_ranges=(("impossible", 0.90, 0.95),)
+        )
+        assert summaries[0].triad_count == 0
+        assert summaries[0].max_energy_efficiency is None
+        assert summaries[0].best_triad_label is None
+
+
+class TestParetoFront:
+    def test_front_is_sorted_and_non_dominated(self, rca8_characterization):
+        front = pareto_front(rca8_characterization)
+        assert front
+        bers = [entry.ber for entry in front]
+        energies = [entry.energy_per_operation for entry in front]
+        assert bers == sorted(bers)
+        # Along the front, accepting more BER must never cost more energy.
+        assert energies == sorted(energies, reverse=True)
+
+    def test_front_members_not_dominated_by_any_triad(self, rca8_characterization):
+        front = pareto_front(rca8_characterization)
+        for member in front:
+            for other in rca8_characterization.results:
+                strictly_better = (
+                    other.ber <= member.ber
+                    and other.energy_per_operation < member.energy_per_operation
+                ) or (
+                    other.ber < member.ber
+                    and other.energy_per_operation <= member.energy_per_operation
+                )
+                assert not strictly_better
+
+    def test_front_starts_with_error_free_entry(self, rca8_characterization):
+        front = pareto_front(rca8_characterization)
+        assert front[0].ber == 0.0
+
+
+class TestBestTriadWithinBer:
+    def test_selection_respects_margin(self, rca8_characterization):
+        best = best_triad_within_ber(rca8_characterization, 0.10)
+        assert best.ber <= 0.10
+
+    def test_larger_margin_never_reduces_savings(self, rca8_characterization):
+        tight = best_triad_within_ber(rca8_characterization, 0.02)
+        loose = best_triad_within_ber(rca8_characterization, 0.25)
+        assert rca8_characterization.energy_efficiency_of(
+            loose
+        ) >= rca8_characterization.energy_efficiency_of(tight)
+
+    def test_negative_margin_raises(self, rca8_characterization):
+        with pytest.raises(ValueError):
+            best_triad_within_ber(rca8_characterization, -0.01)

@@ -1,0 +1,125 @@
+"""Tests of the shadow-register monitor and the online BER estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core.error_detection import OnlineBerEstimator, ShadowRegisterMonitor
+from repro.core.metrics import bit_error_rate
+
+
+@pytest.fixture(scope="module")
+def monitor(rca8):
+    return ShadowRegisterMonitor(rca8, shadow_margin=1.0)
+
+
+@pytest.fixture(scope="module")
+def operands():
+    rng = np.random.default_rng(8)
+    return rng.integers(0, 256, 1500), rng.integers(0, 256, 1500)
+
+
+class TestShadowRegisterMonitor:
+    def test_no_flags_at_safe_operating_point(self, monitor, rca8_testbench, operands):
+        in1, in2 = operands
+        tclk = rca8_testbench.nominal_critical_path() * 1.2
+        result = monitor.observe_window(in1, in2, tclk=tclk, vdd=1.0)
+        assert result.observed_ber == 0.0
+        assert not result.flagged_cycles.any()
+        assert result.missed_ber == 0.0
+
+    def test_detects_errors_under_over_scaling(self, monitor, rca8_testbench, operands):
+        in1, in2 = operands
+        tclk = rca8_testbench.nominal_critical_path()
+        result = monitor.observe_window(in1, in2, tclk=tclk, vdd=0.6)
+        assert result.observed_ber > 0.0
+        assert result.flagged_cycles.any()
+        assert result.detected_bit_errors.max() >= 1
+
+    def test_observed_ber_tracks_true_ber(self, monitor, rca8_testbench, operands):
+        """With a generous shadow margin the detector must see (almost) all
+        the errors the plain testbench measures."""
+        in1, in2 = operands
+        tclk = rca8_testbench.nominal_critical_path()
+        measurement = rca8_testbench.run_triad(in1, in2, tclk=tclk, vdd=0.6)
+        true_ber = bit_error_rate(measurement.exact_words, measurement.latched_words, 9)
+        observed = monitor.observe_window(in1, in2, tclk=tclk, vdd=0.6)
+        assert observed.observed_ber + observed.missed_ber >= 0.8 * true_ber
+
+    def test_small_margin_misses_errors(self, rca8, rca8_testbench, operands):
+        """A too-small shadow margin leaves residual undetected errors at deep
+        over-scaling -- the monitor reports them as missed_ber."""
+        in1, in2 = operands
+        tight = ShadowRegisterMonitor(rca8, shadow_margin=0.05)
+        tclk = rca8_testbench.nominal_critical_path() * 0.7
+        result = tight.observe_window(in1, in2, tclk=tclk, vdd=0.5)
+        assert result.missed_ber > 0.0
+
+    def test_invalid_margin_rejected(self, rca8):
+        with pytest.raises(ValueError):
+            ShadowRegisterMonitor(rca8, shadow_margin=0.0)
+
+    def test_properties(self, monitor, rca8):
+        assert monitor.adder is rca8
+        assert monitor.shadow_margin == pytest.approx(1.0)
+
+
+class TestOnlineBerEstimator:
+    def test_initial_estimate_is_zero(self):
+        assert OnlineBerEstimator().estimate == 0.0
+
+    def test_estimate_is_window_mean(self):
+        estimator = OnlineBerEstimator(window_count=4)
+        for value in (0.1, 0.2, 0.3, 0.4):
+            estimator.update(value)
+        assert estimator.estimate == pytest.approx(0.25)
+        assert estimator.observation_count == 4
+
+    def test_window_slides(self):
+        estimator = OnlineBerEstimator(window_count=2)
+        estimator.update(0.0)
+        estimator.update(0.0)
+        estimator.update(1.0)
+        assert estimator.estimate == pytest.approx(0.5)
+
+    def test_accepts_shadow_results(self, monitor, rca8_testbench, operands):
+        in1, in2 = operands
+        tclk = rca8_testbench.nominal_critical_path()
+        observation = monitor.observe_window(in1, in2, tclk=tclk, vdd=0.6)
+        estimator = OnlineBerEstimator()
+        estimate = estimator.update(observation)
+        assert estimate == pytest.approx(observation.observed_ber)
+
+    def test_reset_clears_history(self):
+        estimator = OnlineBerEstimator()
+        estimator.update(0.5)
+        estimator.reset()
+        assert estimator.estimate == 0.0
+        assert estimator.observation_count == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OnlineBerEstimator(window_count=0)
+        with pytest.raises(ValueError):
+            OnlineBerEstimator().update(1.5)
+
+
+class TestClosedLoopSpeculation:
+    def test_monitor_feeds_speculation_controller(
+        self, monitor, rca8_characterization, operands
+    ):
+        """Close the paper's loop: measure errors with the shadow monitor at
+        the controller's chosen triad, feed the estimate back, and verify the
+        controller keeps the estimate within the margin."""
+        from repro.core.speculation import DynamicSpeculationController
+
+        in1, in2 = operands
+        controller = DynamicSpeculationController(rca8_characterization, error_margin=0.10)
+        estimator = OnlineBerEstimator(window_count=3)
+        for _ in range(6):
+            triad = controller.current_triad()
+            observation = monitor.observe_window(
+                in1, in2, tclk=triad.tclk, vdd=triad.vdd, vbb=triad.vbb
+            )
+            estimate = estimator.update(observation)
+            controller.observe(estimate)
+        assert controller.current_entry().ber <= 0.10

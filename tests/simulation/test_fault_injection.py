@@ -1,0 +1,39 @@
+"""Tests of the random bit-flip baseline model."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import bit_error_rate
+from repro.simulation.fault_injection import RandomBitFlipModel
+
+
+class TestRandomBitFlipModel:
+    def test_zero_rate_is_exact(self):
+        model = RandomBitFlipModel(width=9, bit_error_rate=0.0)
+        values = np.arange(100)
+        assert np.array_equal(model.apply(values), values)
+
+    def test_rate_one_flips_every_bit(self):
+        model = RandomBitFlipModel(width=4, bit_error_rate=1.0)
+        values = np.array([0b0000, 0b1111, 0b1010])
+        assert np.array_equal(model.apply(values), np.array([0b1111, 0b0000, 0b0101]))
+
+    def test_measured_ber_matches_requested_rate(self):
+        model = RandomBitFlipModel(width=9, bit_error_rate=0.1, seed=3)
+        rng = np.random.default_rng(0)
+        in1 = rng.integers(0, 256, 20000)
+        in2 = rng.integers(0, 256, 20000)
+        faulty = model.add(in1, in2)
+        measured = bit_error_rate(in1 + in2, faulty, 9)
+        assert measured == pytest.approx(0.1, abs=0.01)
+
+    def test_reproducible_with_seed(self):
+        a = RandomBitFlipModel(width=9, bit_error_rate=0.2, seed=7).apply(np.arange(50))
+        b = RandomBitFlipModel(width=9, bit_error_rate=0.2, seed=7).apply(np.arange(50))
+        assert np.array_equal(a, b)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            RandomBitFlipModel(width=0, bit_error_rate=0.1)
+        with pytest.raises(ValueError):
+            RandomBitFlipModel(width=8, bit_error_rate=1.5)

@@ -1,0 +1,63 @@
+"""Tests of the multiplier testbench (VOS characterization beyond adders)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.multipliers import array_multiplier
+from repro.core.metrics import bit_error_rate
+from repro.simulation.multiplier_testbench import MultiplierTestbench
+
+
+@pytest.fixture(scope="module")
+def mul4_testbench():
+    return MultiplierTestbench(array_multiplier(4))
+
+
+@pytest.fixture(scope="module")
+def mul_operands():
+    rng = np.random.default_rng(6)
+    return rng.integers(0, 16, 800), rng.integers(0, 16, 800)
+
+
+class TestMultiplierTestbench:
+    def test_exact_at_relaxed_triad(self, mul4_testbench, mul_operands):
+        in1, in2 = mul_operands
+        tclk = mul4_testbench.nominal_critical_path() * 1.2
+        measurement = mul4_testbench.run_triad(in1, in2, tclk=tclk, vdd=1.0)
+        assert np.array_equal(measurement.latched_words, in1 * in2)
+        assert measurement.error_bits.sum() == 0
+
+    def test_errors_under_over_scaling(self, mul4_testbench, mul_operands):
+        in1, in2 = mul_operands
+        tclk = mul4_testbench.nominal_critical_path()
+        measurement = mul4_testbench.run_triad(in1, in2, tclk=tclk, vdd=0.55)
+        ber = bit_error_rate(measurement.exact_words, measurement.latched_words, 8)
+        assert ber > 0.01
+        assert measurement.energy_per_operation > 0
+
+    def test_energy_scales_quadratically_with_supply(self, mul4_testbench, mul_operands):
+        in1, in2 = mul_operands
+        tclk = mul4_testbench.nominal_critical_path() * 1.5
+        nominal = mul4_testbench.run_triad(in1, in2, tclk=tclk, vdd=1.0)
+        scaled = mul4_testbench.run_triad(in1, in2, tclk=tclk, vdd=0.5)
+        ratio = (
+            scaled.dynamic_energy_per_operation / nominal.dynamic_energy_per_operation
+        )
+        assert ratio == pytest.approx(0.25, rel=0.1)
+
+    def test_multiplier_critical_path_longer_than_adder(self, rca8_testbench, mul4_testbench):
+        # A 4x4 array multiplier has a longer carry structure than the 8-bit RCA.
+        mul8 = MultiplierTestbench(array_multiplier(8))
+        assert mul8.nominal_critical_path() > rca8_testbench.nominal_critical_path()
+        assert mul4_testbench.nominal_critical_path() > 0
+
+    def test_shape_mismatch_rejected(self, mul4_testbench):
+        with pytest.raises(ValueError, match="same shape"):
+            mul4_testbench.run_triad(np.array([1, 2]), np.array([1]), tclk=1e-9, vdd=1.0)
+
+    def test_measurement_metadata(self, mul4_testbench, mul_operands):
+        in1, in2 = mul_operands
+        measurement = mul4_testbench.run_triad(in1, in2, tclk=1e-9, vdd=1.0)
+        assert measurement.adder_name == "mul4x4"
+        assert measurement.output_width == 8
+        assert measurement.n_vectors == in1.size

@@ -1,0 +1,106 @@
+"""Tests of the stimulus generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.carry_model import theoretical_max_carry_chain
+from repro.simulation.patterns import (
+    PATTERN_GENERATORS,
+    PatternConfig,
+    carry_balanced_patterns,
+    correlated_patterns,
+    exhaustive_patterns,
+    generate_patterns,
+    uniform_random_patterns,
+    walking_one_patterns,
+)
+
+
+class TestPatternConfig:
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            PatternConfig(n_vectors=0, width=8)
+        with pytest.raises(ValueError):
+            PatternConfig(n_vectors=10, width=0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown pattern kind"):
+            generate_patterns(PatternConfig(n_vectors=10, width=8, kind="bogus"))
+
+    def test_reproducible_for_same_seed(self):
+        config = PatternConfig(n_vectors=50, width=8, seed=99, kind="uniform")
+        first = generate_patterns(config)
+        second = generate_patterns(config)
+        assert np.array_equal(first[0], second[0])
+        assert np.array_equal(first[1], second[1])
+
+    def test_different_seed_changes_patterns(self):
+        a = generate_patterns(PatternConfig(n_vectors=50, width=8, seed=1))
+        b = generate_patterns(PatternConfig(n_vectors=50, width=8, seed=2))
+        assert not np.array_equal(a[0], b[0])
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("kind", sorted(PATTERN_GENERATORS))
+    def test_outputs_in_operand_range(self, kind):
+        in1, in2 = generate_patterns(PatternConfig(n_vectors=200, width=8, kind=kind))
+        for operands in (in1, in2):
+            assert operands.shape == (200,) or operands.shape[0] <= 200
+            assert operands.min() >= 0
+            assert operands.max() < 256
+
+    def test_uniform_covers_range(self):
+        rng = np.random.default_rng(0)
+        in1, _ = uniform_random_patterns(5000, 8, rng)
+        assert in1.max() > 240 and in1.min() < 15
+
+    def test_carry_balanced_flattens_chain_length_distribution(self):
+        rng = np.random.default_rng(0)
+        width = 8
+        balanced1, balanced2 = carry_balanced_patterns(4000, width, rng)
+        uniform1, uniform2 = uniform_random_patterns(4000, width, rng)
+        balanced_chains = theoretical_max_carry_chain(balanced1, balanced2, width)
+        uniform_chains = theoretical_max_carry_chain(uniform1, uniform2, width)
+        # Long chains (>= width - 1) must be far better represented in the
+        # balanced set than under uniform operands.
+        balanced_long = np.mean(balanced_chains >= width - 1)
+        uniform_long = np.mean(uniform_chains >= width - 1)
+        assert balanced_long > 3 * uniform_long
+
+    def test_exhaustive_enumerates_all_pairs_for_small_width(self):
+        rng = np.random.default_rng(0)
+        in1, in2 = exhaustive_patterns(10**9, 3, rng)
+        assert in1.shape == (64,)
+        pairs = set(zip(in1.tolist(), in2.tolist()))
+        assert len(pairs) == 64
+
+    def test_exhaustive_truncates_to_cap(self):
+        rng = np.random.default_rng(0)
+        in1, _ = exhaustive_patterns(10, 4, rng)
+        assert in1.shape == (10,)
+
+    def test_walking_one_produces_full_length_chains(self):
+        rng = np.random.default_rng(0)
+        width = 8
+        in1, in2 = walking_one_patterns(width, width, rng)
+        chains = theoretical_max_carry_chain(in1, in2, width)
+        assert np.all(chains == width - np.arange(width))
+
+    def test_correlated_patterns_have_small_steps(self):
+        rng = np.random.default_rng(0)
+        in1, _ = correlated_patterns(2000, 8, rng)
+        steps = np.abs(np.diff(in1))
+        wrapped = np.minimum(steps, 256 - steps)
+        assert np.median(wrapped) < 16
+
+    @given(st.integers(min_value=4, max_value=12), st.integers(min_value=1, max_value=300))
+    @settings(max_examples=20, deadline=None)
+    def test_property_all_generators_respect_width(self, width, n_vectors):
+        for kind in PATTERN_GENERATORS:
+            in1, in2 = generate_patterns(
+                PatternConfig(n_vectors=n_vectors, width=width, kind=kind, seed=3)
+            )
+            assert in1.max(initial=0) < (1 << width)
+            assert in2.max(initial=0) < (1 << width)

@@ -1,0 +1,168 @@
+"""Tests of the vectorised VOS timing simulator (the core SPICE substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.timing_sim import TimingAnnotation, VosTimingSimulator
+from repro.technology.library import DEFAULT_LIBRARY
+
+
+@pytest.fixture(scope="module")
+def rca8_simulator(rca8):
+    return VosTimingSimulator(rca8.netlist, output_ports=rca8.output_ports())
+
+
+@pytest.fixture(scope="module")
+def operands():
+    rng = np.random.default_rng(5)
+    return rng.integers(0, 256, 1500), rng.integers(0, 256, 1500)
+
+
+class TestTimingAnnotation:
+    def test_annotation_fields(self, rca8):
+        annotation = TimingAnnotation.annotate(rca8.netlist, 1.0, 0.0)
+        assert annotation.gate_delays.shape == (rca8.netlist.gate_count,)
+        assert np.all(annotation.gate_delays > 0)
+        assert np.all(annotation.gate_switch_energies > 0)
+        assert annotation.leakage_power > 0
+        assert annotation.critical_path_delay > 0
+
+    def test_critical_path_grows_when_supply_drops(self, rca8):
+        nominal = TimingAnnotation.annotate(rca8.netlist, 1.0, 0.0)
+        scaled = TimingAnnotation.annotate(rca8.netlist, 0.6, 0.0)
+        assert scaled.critical_path_delay > 1.5 * nominal.critical_path_delay
+
+    def test_forward_body_bias_shortens_critical_path(self, rca8):
+        no_bias = TimingAnnotation.annotate(rca8.netlist, 0.6, 0.0)
+        forward = TimingAnnotation.annotate(rca8.netlist, 0.6, 2.0)
+        assert forward.critical_path_delay < no_bias.critical_path_delay
+
+    def test_annotation_cache_reused(self, rca8_simulator):
+        first = rca8_simulator.annotation(0.8, 0.0)
+        second = rca8_simulator.annotation(0.8, 0.0)
+        assert first is second
+
+
+class TestVosTimingSimulation:
+    def test_no_errors_with_relaxed_clock_at_nominal_supply(self, rca8, rca8_simulator, operands):
+        in1, in2 = operands
+        annotation = rca8_simulator.annotation(1.0, 0.0)
+        result = rca8_simulator.run(
+            rca8.input_assignment(in1, in2),
+            tclk=annotation.critical_path_delay * 1.05,
+            vdd=1.0,
+        )
+        assert np.array_equal(result.latched_words, in1 + in2)
+        assert np.all(result.error_bits == 0)
+
+    def test_errors_appear_under_voltage_over_scaling(self, rca8, rca8_simulator, operands):
+        in1, in2 = operands
+        annotation = rca8_simulator.annotation(1.0, 0.0)
+        result = rca8_simulator.run(
+            rca8.input_assignment(in1, in2),
+            tclk=annotation.critical_path_delay,
+            vdd=0.5,
+        )
+        assert result.error_bits.mean() > 0.05
+
+    def test_ber_monotonically_worsens_with_scaling(self, rca8, rca8_simulator, operands):
+        in1, in2 = operands
+        annotation = rca8_simulator.annotation(1.0, 0.0)
+        tclk = annotation.critical_path_delay
+        bers = []
+        for vdd in (1.0, 0.8, 0.6, 0.5):
+            result = rca8_simulator.run(rca8.input_assignment(in1, in2), tclk=tclk, vdd=vdd)
+            bers.append(result.error_bits.mean())
+        assert bers == sorted(bers)
+
+    def test_forward_body_bias_reduces_errors(self, rca8, rca8_simulator, operands):
+        in1, in2 = operands
+        annotation = rca8_simulator.annotation(1.0, 0.0)
+        tclk = annotation.critical_path_delay
+        no_bias = rca8_simulator.run(rca8.input_assignment(in1, in2), tclk=tclk, vdd=0.6, vbb=0.0)
+        forward = rca8_simulator.run(rca8.input_assignment(in1, in2), tclk=tclk, vdd=0.6, vbb=2.0)
+        assert forward.error_bits.mean() < no_bias.error_bits.mean()
+
+    def test_settled_values_always_exact(self, rca8, rca8_simulator, operands):
+        in1, in2 = operands
+        result = rca8_simulator.run(rca8.input_assignment(in1, in2), tclk=1e-10, vdd=0.4)
+        assert np.array_equal(result.settled_words, in1 + in2)
+
+    def test_latched_bits_come_from_old_or_new_value(self, rca8, rca8_simulator, operands):
+        in1, in2 = operands
+        result = rca8_simulator.run(rca8.input_assignment(in1, in2), tclk=2e-10, vdd=0.5)
+        new_bits = result.settled_bits
+        # Previous-cycle settled outputs: shift the exact sums by one cycle.
+        previous = np.zeros_like(in1)
+        previous[1:] = (in1 + in2)[:-1]
+        from repro.circuits.signals import int_to_bits
+
+        old_bits = int_to_bits(previous, rca8.output_width)
+        matches_new = result.latched_bits == new_bits
+        matches_old = result.latched_bits == old_bits
+        assert np.all(matches_new | matches_old)
+
+    def test_dynamic_energy_positive_and_data_dependent(self, rca8, rca8_simulator):
+        constant = rca8.input_assignment(np.full(100, 170), np.full(100, 85))
+        toggling = rca8.input_assignment(
+            np.tile([0, 255], 50), np.tile([0, 255], 50)
+        )
+        tclk = 1e-9
+        quiet = rca8_simulator.run(constant, tclk=tclk, vdd=1.0)
+        busy = rca8_simulator.run(toggling, tclk=tclk, vdd=1.0)
+        # A constant operand stream only toggles on the very first vector;
+        # operands swinging rail to rail every cycle toggle the whole adder.
+        assert busy.dynamic_energy.mean() > 10 * quiet.dynamic_energy.mean()
+        assert busy.dynamic_energy[1:].min() > 0.0
+
+    def test_static_energy_scales_with_clock_period(self, rca8, rca8_simulator, operands):
+        in1, in2 = operands
+        short = rca8_simulator.run(rca8.input_assignment(in1, in2), tclk=0.3e-9, vdd=1.0)
+        long = rca8_simulator.run(rca8.input_assignment(in1, in2), tclk=0.6e-9, vdd=1.0)
+        assert long.static_energy.mean() == pytest.approx(2 * short.static_energy.mean())
+
+    def test_explicit_previous_inputs(self, rca8, rca8_simulator):
+        current = rca8.input_assignment(np.array([255]), np.array([1]))
+        previous = rca8.input_assignment(np.array([0]), np.array([0]))
+        result = rca8_simulator.run(
+            current, tclk=1e-12, vdd=1.0, previous_inputs=previous
+        )
+        # Clock far too short: the latched word must be the stale (previous) sum.
+        assert result.latched_words[0] == 0
+
+    def test_invalid_tclk_rejected(self, rca8, rca8_simulator):
+        with pytest.raises(ValueError):
+            rca8_simulator.run(rca8.input_assignment(np.array([1]), np.array([1])), tclk=0.0, vdd=1.0)
+
+    def test_unknown_output_port_rejected(self, rca8):
+        with pytest.raises(ValueError, match="unknown output port"):
+            VosTimingSimulator(rca8.netlist, output_ports=("nope",))
+
+    def test_missing_input_rejected(self, rca8_simulator):
+        with pytest.raises(ValueError, match="missing values"):
+            rca8_simulator.run({"a0": np.array([True])}, tclk=1e-9, vdd=1.0)
+
+    def test_mean_energy_property(self, rca8, rca8_simulator, operands):
+        in1, in2 = operands
+        result = rca8_simulator.run(rca8.input_assignment(in1, in2), tclk=0.5e-9, vdd=1.0)
+        assert result.mean_energy_per_operation == pytest.approx(
+            float((result.dynamic_energy + result.static_energy).mean())
+        )
+        assert result.n_vectors == in1.size
+
+
+class TestEnergyVoltageScaling:
+    def test_energy_per_operation_drops_quadratically_with_vdd(self, rca8, rca8_simulator, operands):
+        in1, in2 = operands
+        tclk = 0.6e-9
+        nominal = rca8_simulator.run(rca8.input_assignment(in1, in2), tclk=tclk, vdd=1.0)
+        scaled = rca8_simulator.run(rca8.input_assignment(in1, in2), tclk=tclk, vdd=0.5)
+        ratio = scaled.dynamic_energy.mean() / nominal.dynamic_energy.mean()
+        assert ratio == pytest.approx(0.25, rel=0.05)
+
+    def test_output_register_load_counted(self, rca8):
+        library = DEFAULT_LIBRARY
+        annotation = TimingAnnotation.annotate(rca8.netlist, 1.0, 0.0, library)
+        # The last sum XOR drives only the output register; its delay must
+        # still be positive and below the carry-chain gates driving many pins.
+        assert np.all(annotation.gate_delays > 0)

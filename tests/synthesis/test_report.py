@@ -1,0 +1,33 @@
+"""Tests of the report rendering helpers."""
+
+import pytest
+
+from repro.synthesis.report import format_table, render_synthesis_table
+from repro.synthesis.synthesize import synthesize
+
+
+class TestFormatTable:
+    def test_columns_aligned(self):
+        text = format_table(("name", "value"), [("a", "1"), ("longer", "22")])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert all(len(line) == len(lines[0]) or line for line in lines)
+
+    def test_empty_rows_allowed(self):
+        text = format_table(("only", "header"), [])
+        assert "only" in text
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(("a", "b"), [("1",)])
+
+
+class TestRenderSynthesisTable:
+    def test_contains_every_benchmark_row(self, rca8, bka8, rca16, bka16):
+        reports = [synthesize(adder.netlist) for adder in (rca8, bka8, rca16, bka16)]
+        text = render_synthesis_table(reports)
+        for name in ("rca8", "bka8", "rca16", "bka16"):
+            assert name in text
+        assert "Area (um2)" in text
+        assert "Critical Path (ns)" in text

@@ -1,0 +1,83 @@
+"""Tests of the synthesis-style reporting (Table II substitute)."""
+
+import pytest
+
+from repro.circuits.adders import build_adder
+from repro.synthesis.synthesize import synthesize
+
+
+class TestSynthesize:
+    def test_report_fields_positive(self, rca8):
+        report = synthesize(rca8.netlist)
+        assert report.design_name == "rca8"
+        assert report.gate_count == rca8.netlist.gate_count
+        assert report.area_um2 > 0
+        assert report.total_power_uw > 0
+        assert report.critical_path_ns > 0
+        assert report.total_power_uw == pytest.approx(
+            report.dynamic_power_uw + report.static_power_uw
+        )
+
+    def test_table2_orderings_hold(self, rca8, bka8, rca16, bka16):
+        """The qualitative orderings of the paper's Table II must hold."""
+        reports = {
+            adder.name: synthesize(adder.netlist) for adder in (rca8, bka8, rca16, bka16)
+        }
+        # BKA is faster but larger and more power hungry than RCA.
+        assert reports["bka8"].critical_path_ns < reports["rca8"].critical_path_ns
+        assert reports["bka16"].critical_path_ns < reports["rca16"].critical_path_ns
+        assert reports["bka8"].area_um2 > reports["rca8"].area_um2
+        assert reports["bka16"].area_um2 > reports["rca16"].area_um2
+        assert reports["bka8"].total_power_uw > reports["rca8"].total_power_uw
+        # 16-bit designs are roughly twice the 8-bit area.
+        assert reports["rca16"].area_um2 == pytest.approx(2 * reports["rca8"].area_um2, rel=0.1)
+
+    def test_absolute_values_in_paper_range(self, rca8, bka16):
+        """Absolute numbers must land in the same range as Table II.
+
+        The paper reports areas of 115-266 um^2, powers of 170-363 uW and
+        critical paths of 0.19-0.53 ns; the analytical substrate is accepted
+        within a factor of ~3 of those values.
+        """
+        small = synthesize(rca8.netlist)
+        large = synthesize(bka16.netlist)
+        assert 35 < small.area_um2 < 350
+        assert 0.09 < small.critical_path_ns < 0.9
+        assert 50 < small.total_power_uw < 550
+        assert 80 < large.area_um2 < 800
+        assert 0.1 < large.critical_path_ns < 0.8
+
+    def test_power_scales_with_activity(self, rca8):
+        low = synthesize(rca8.netlist, switching_activity=0.1)
+        high = synthesize(rca8.netlist, switching_activity=0.5)
+        assert high.dynamic_power_uw > 4 * low.dynamic_power_uw
+        assert high.static_power_uw == pytest.approx(low.static_power_uw)
+
+    def test_explicit_clock_period_used_for_power(self, rca8):
+        fast = synthesize(rca8.netlist, clock_period=0.3e-9)
+        slow = synthesize(rca8.netlist, clock_period=3e-9)
+        assert fast.dynamic_power_uw > slow.dynamic_power_uw
+        assert fast.clock_period_ns == pytest.approx(0.3)
+
+    def test_supply_scaling_reduces_power(self, rca8):
+        nominal = synthesize(rca8.netlist, clock_period=1e-9)
+        scaled = synthesize(rca8.netlist, vdd=0.6, clock_period=1e-9)
+        assert scaled.total_power_uw < nominal.total_power_uw
+
+    def test_gate_histogram_included(self, rca8):
+        report = synthesize(rca8.netlist)
+        assert report.gate_histogram == rca8.netlist.gate_type_histogram()
+        assert sum(report.gate_histogram.values()) == report.gate_count
+
+    def test_invalid_arguments_rejected(self, rca8):
+        with pytest.raises(ValueError):
+            synthesize(rca8.netlist, switching_activity=1.5)
+        with pytest.raises(ValueError):
+            synthesize(rca8.netlist, clock_period=0.0)
+
+    def test_multiplier_synthesis(self):
+        from repro.circuits.multipliers import array_multiplier
+
+        report = synthesize(array_multiplier(8).netlist)
+        adder_report = synthesize(build_adder("rca", 8).netlist)
+        assert report.area_um2 > 4 * adder_report.area_um2

@@ -1,0 +1,56 @@
+"""Tests of process corners and the variability model."""
+
+import numpy as np
+import pytest
+
+from repro.technology.corners import ProcessCorner, VariabilityModel, apply_corner
+from repro.technology.delay import GateDelayModel
+from repro.technology.fdsoi28 import FDSOI28_LVT
+
+
+class TestProcessCorners:
+    def test_typical_corner_is_identity_except_name(self):
+        typical = apply_corner(ProcessCorner.TYPICAL)
+        assert typical.current_factor == pytest.approx(FDSOI28_LVT.current_factor)
+        assert typical.vt0 == pytest.approx(FDSOI28_LVT.vt0)
+        assert "TT" in typical.name
+
+    def test_slow_corner_is_slower_than_fast_corner(self):
+        slow = GateDelayModel(1.0, 0.0, apply_corner(ProcessCorner.SLOW)).tau
+        fast = GateDelayModel(1.0, 0.0, apply_corner(ProcessCorner.FAST)).tau
+        typical = GateDelayModel(1.0, 0.0, FDSOI28_LVT).tau
+        assert slow > typical > fast
+
+    def test_every_corner_produces_valid_parameters(self):
+        for corner in ProcessCorner:
+            tech = apply_corner(corner)
+            assert tech.vt_min <= tech.vt0 <= tech.vt_max
+
+
+class TestVariabilityModel:
+    def test_zero_sigma_gives_unit_multipliers(self):
+        model = VariabilityModel(sigma_fraction=0.0)
+        multipliers = model.sample_multipliers(10, 1.0, np.random.default_rng(0))
+        assert np.allclose(multipliers, 1.0)
+
+    def test_sigma_amplified_at_low_voltage(self):
+        model = VariabilityModel(sigma_fraction=0.05)
+        assert model.sigma_at(0.4) > model.sigma_at(1.0)
+
+    def test_sigma_not_reduced_above_reference(self):
+        model = VariabilityModel(sigma_fraction=0.05, reference_vdd=1.0)
+        assert model.sigma_at(1.2) == pytest.approx(model.sigma_at(1.0))
+
+    def test_multipliers_have_unit_median(self):
+        model = VariabilityModel(sigma_fraction=0.08)
+        multipliers = model.sample_multipliers(20000, 1.0, np.random.default_rng(1))
+        assert np.median(multipliers) == pytest.approx(1.0, rel=0.05)
+        assert np.all(multipliers > 0.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            VariabilityModel(sigma_fraction=-0.1)
+        with pytest.raises(ValueError):
+            VariabilityModel(reference_vdd=0.0)
+        with pytest.raises(ValueError):
+            VariabilityModel().sample_multipliers(-1, 1.0, np.random.default_rng(0))

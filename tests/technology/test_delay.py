@@ -1,0 +1,82 @@
+"""Tests of the gate delay model."""
+
+import numpy as np
+import pytest
+
+from repro.technology.delay import GateDelayModel, propagation_delay
+from repro.technology.fdsoi28 import FDSOI28_LVT
+
+
+class TestPropagationDelay:
+    def test_delay_grows_as_supply_drops(self):
+        cap = 2e-15
+        delays = [float(propagation_delay(cap, vdd)) for vdd in (1.0, 0.8, 0.6, 0.5, 0.4)]
+        assert all(later > earlier for earlier, later in zip(delays, delays[1:]))
+
+    def test_forward_body_bias_speeds_up(self):
+        cap = 2e-15
+        assert float(propagation_delay(cap, 0.5, vbb=2.0)) < float(
+            propagation_delay(cap, 0.5, vbb=0.0)
+        )
+
+    def test_reverse_body_bias_slows_down(self):
+        cap = 2e-15
+        assert float(propagation_delay(cap, 0.7, vbb=-2.0)) > float(
+            propagation_delay(cap, 0.7, vbb=0.0)
+        )
+
+    def test_delay_linear_in_load(self):
+        single = float(propagation_delay(1e-15, 1.0))
+        double = float(propagation_delay(2e-15, 1.0))
+        assert double == pytest.approx(2.0 * single)
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(ValueError):
+            propagation_delay(-1e-15, 1.0)
+
+    def test_vectorised_over_supply(self):
+        delays = propagation_delay(1e-15, np.array([1.0, 0.7, 0.4]))
+        assert delays.shape == (3,)
+        assert np.all(np.diff(delays) > 0)
+
+    def test_near_threshold_delay_is_much_larger_than_nominal(self):
+        # The whole premise of VOS timing errors: delay explodes when the
+        # supply approaches the threshold voltage.
+        nominal = float(propagation_delay(1e-15, 1.0))
+        near_vt = float(propagation_delay(1e-15, FDSOI28_LVT.vt0 + 0.02))
+        assert near_vt > 5.0 * nominal
+
+
+class TestGateDelayModel:
+    def test_tau_is_positive_and_sub_nanosecond_at_nominal(self):
+        model = GateDelayModel(vdd=1.0, vbb=0.0)
+        assert 0.0 < model.tau < 1e-9
+
+    def test_cell_delay_formula(self):
+        model = GateDelayModel(vdd=1.0, vbb=0.0)
+        delay = float(model.cell_delay(logical_effort=2.0, parasitic_delay=3.0, electrical_effort=1.5))
+        assert delay == pytest.approx(model.tau * (3.0 + 2.0 * 1.5))
+
+    def test_scaling_factor_above_one_when_scaled_down(self):
+        scaled = GateDelayModel(vdd=0.6, vbb=0.0)
+        assert scaled.scaling_factor() > 1.0
+
+    def test_scaling_factor_is_one_at_reference(self):
+        nominal = GateDelayModel(vdd=1.0, vbb=0.0)
+        assert nominal.scaling_factor() == pytest.approx(1.0)
+
+    def test_forward_body_bias_reduces_scaling_factor(self):
+        no_bias = GateDelayModel(vdd=0.6, vbb=0.0)
+        forward = GateDelayModel(vdd=0.6, vbb=2.0)
+        assert forward.scaling_factor() < no_bias.scaling_factor()
+
+    def test_invalid_efforts_rejected(self):
+        model = GateDelayModel(vdd=1.0, vbb=0.0)
+        with pytest.raises(ValueError):
+            model.cell_delay(0.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            model.cell_delay(1.0, -1.0, 1.0)
+
+    def test_zero_supply_rejected(self):
+        with pytest.raises(ValueError):
+            GateDelayModel(vdd=0.0, vbb=0.0)

@@ -1,0 +1,74 @@
+"""Tests of the technology parameter set."""
+
+import dataclasses
+
+import pytest
+
+from repro.technology.fdsoi28 import FDSOI28_LVT, FDSOI28_RVT, TechnologyParameters
+
+
+class TestTechnologyParameters:
+    def test_default_lvt_parameters_are_consistent(self):
+        assert FDSOI28_LVT.vdd_nominal == pytest.approx(1.0)
+        assert FDSOI28_LVT.vt_min <= FDSOI28_LVT.vt0 <= FDSOI28_LVT.vt_max
+        assert FDSOI28_LVT.alpha > 1.0
+
+    def test_rvt_flavour_has_higher_threshold_and_lower_leakage(self):
+        assert FDSOI28_RVT.vt0 > FDSOI28_LVT.vt0
+        assert FDSOI28_RVT.leakage_current_nominal < FDSOI28_LVT.leakage_current_nominal
+
+    def test_with_overrides_returns_new_instance(self):
+        modified = FDSOI28_LVT.with_overrides(vt0=0.45)
+        assert modified.vt0 == pytest.approx(0.45)
+        assert FDSOI28_LVT.vt0 == pytest.approx(0.40)
+        assert modified.name == FDSOI28_LVT.name
+
+    def test_parameters_are_immutable(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            FDSOI28_LVT.vt0 = 0.5  # type: ignore[misc]
+
+    def test_negative_supply_rejected(self):
+        with pytest.raises(ValueError):
+            FDSOI28_LVT.with_overrides(vdd_nominal=-1.0)
+
+    def test_vt0_outside_clamp_range_rejected(self):
+        with pytest.raises(ValueError):
+            FDSOI28_LVT.with_overrides(vt0=1.0)
+
+    def test_subthreshold_slope_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            FDSOI28_LVT.with_overrides(subthreshold_slope_factor=0.9)
+
+    def test_leakage_slope_must_dominate_subthreshold_slope(self):
+        with pytest.raises(ValueError):
+            FDSOI28_LVT.with_overrides(leakage_slope_factor=1.0)
+
+    def test_non_positive_capacitance_rejected(self):
+        with pytest.raises(ValueError):
+            FDSOI28_LVT.with_overrides(gate_capacitance=0.0)
+
+    def test_negative_wire_capacitance_rejected(self):
+        with pytest.raises(ValueError):
+            FDSOI28_LVT.with_overrides(wire_capacitance_per_fanout=-1e-15)
+
+    def test_custom_parameter_set_construction(self):
+        custom = TechnologyParameters(
+            name="toy",
+            vdd_nominal=0.8,
+            vt0=0.3,
+            body_bias_coefficient=0.05,
+            vt_min=0.1,
+            vt_max=0.5,
+            subthreshold_slope_factor=1.2,
+            leakage_slope_factor=1.6,
+            thermal_voltage=0.026,
+            alpha=1.5,
+            current_factor=1e-4,
+            gate_capacitance=1e-15,
+            parasitic_capacitance=1e-15,
+            wire_capacitance_per_fanout=0.1e-15,
+            leakage_current_nominal=1e-9,
+            nand2_area_um2=1.0,
+        )
+        assert custom.name == "toy"
+        assert custom.vdd_nominal == pytest.approx(0.8)

@@ -1,0 +1,76 @@
+"""Tests of the standard-cell library."""
+
+import pytest
+
+from repro.technology.fdsoi28 import FDSOI28_LVT
+from repro.technology.library import DEFAULT_LIBRARY, CellTimingModel, StandardCellLibrary
+
+
+class TestLibraryLookup:
+    def test_all_netlist_cells_are_available(self):
+        from repro.circuits.cells import GateType
+
+        for gate_type in GateType:
+            assert gate_type.value in DEFAULT_LIBRARY
+
+    def test_unknown_cell_raises_with_available_names(self):
+        with pytest.raises(KeyError, match="unknown cell"):
+            DEFAULT_LIBRARY.cell("FOO42")
+
+    def test_cell_names_sorted_and_unique(self):
+        names = DEFAULT_LIBRARY.cell_names
+        assert list(names) == sorted(names)
+        assert len(set(names)) == len(names)
+
+    def test_empty_library_rejected(self):
+        with pytest.raises(ValueError):
+            StandardCellLibrary(cells={})
+
+
+class TestCellCharacteristics:
+    def test_xor_slower_than_nand_under_same_load(self):
+        load = 4e-15
+        nand = DEFAULT_LIBRARY.cell_delay("NAND2", load, 1.0)
+        xor = DEFAULT_LIBRARY.cell_delay("XOR2", load, 1.0)
+        assert xor > nand > 0.0
+
+    def test_delay_grows_with_load(self):
+        small = DEFAULT_LIBRARY.cell_delay("NAND2", 1e-15, 1.0)
+        large = DEFAULT_LIBRARY.cell_delay("NAND2", 8e-15, 1.0)
+        assert large > small
+
+    def test_delay_grows_when_supply_drops(self):
+        nominal = DEFAULT_LIBRARY.cell_delay("MAJ3", 3e-15, 1.0)
+        scaled = DEFAULT_LIBRARY.cell_delay("MAJ3", 3e-15, 0.5)
+        assert scaled > 2.0 * nominal
+
+    def test_area_scales_with_gate_equivalents(self):
+        inv_area = DEFAULT_LIBRARY.cell_area_um2("INV")
+        xor_area = DEFAULT_LIBRARY.cell_area_um2("XOR2")
+        assert xor_area > inv_area > 0.0
+
+    def test_switching_energy_quadratic_in_vdd(self):
+        full = DEFAULT_LIBRARY.cell_switching_energy("NAND2", 1.0)
+        half = DEFAULT_LIBRARY.cell_switching_energy("NAND2", 0.5)
+        assert half == pytest.approx(full / 4.0)
+
+    def test_leakage_power_positive_and_bias_dependent(self):
+        nominal = DEFAULT_LIBRARY.cell_leakage_power("NAND2", 1.0, 0.0)
+        forward = DEFAULT_LIBRARY.cell_leakage_power("NAND2", 1.0, 2.0)
+        assert forward > nominal > 0.0
+
+    def test_input_capacitance_positive(self):
+        assert DEFAULT_LIBRARY.input_capacitance("DFF") > 0.0
+
+    def test_technology_accessor(self):
+        assert DEFAULT_LIBRARY.technology is FDSOI28_LVT
+
+
+class TestCellTimingModelValidation:
+    def test_non_positive_logical_effort_rejected(self):
+        with pytest.raises(ValueError):
+            CellTimingModel("BAD", 0.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0)
+
+    def test_non_positive_area_rejected(self):
+        with pytest.raises(ValueError):
+            CellTimingModel("BAD", 1.0, 1.0, 1.0, 1.0, 0.0, 1.0, 1.0)

@@ -1,0 +1,46 @@
+"""Smoke tests of the top-level public API surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.technology",
+            "repro.circuits",
+            "repro.synthesis",
+            "repro.simulation",
+            "repro.core",
+            "repro.baselines",
+            "repro.apps",
+            "repro.analysis",
+            "repro.cli",
+        ],
+    )
+    def test_subpackage_all_exports_resolve(self, module):
+        imported = importlib.import_module(module)
+        for name in getattr(imported, "__all__", []):
+            assert hasattr(imported, name), f"{module}.{name}"
+
+    def test_quickstart_snippet_types(self):
+        """The README quickstart names must exist with the documented call shapes."""
+        flow = repro.CharacterizationFlow.for_benchmark("rca", 4)
+        config = repro.PatternConfig(n_vectors=64, width=4)
+        characterization = flow.run(pattern=config)
+        assert isinstance(characterization, repro.AdderCharacterization)
+        entry = characterization.sorted_by_energy()[0]
+        assert isinstance(entry, repro.TriadCharacterization)
+        assert isinstance(characterization.energy_efficiency_of(entry), float)
