@@ -159,6 +159,33 @@ GATE_ARITY: dict[GateType, int] = {
 }
 
 
+#: Bitwise evaluation of a *stack* of same-typed gates.
+#:
+#: Each function takes one array whose first axis is the input-pin axis
+#: (shape ``(arity, n_gates, ...)``) and returns the output for every gate at
+#: once.  Only ``& | ^ ~`` and copies are used, so the same function works on
+#: boolean arrays (one vector per element) and on bit-packed ``uint64`` words
+#: (64 vectors per element).  This is the hook the compiled simulation engine
+#: (:mod:`repro.simulation.engine`) dispatches through: one call evaluates an
+#: entire level of same-typed gates.
+GATE_WORD_FUNCTIONS: dict[GateType, Callable[[np.ndarray], np.ndarray]] = {
+    GateType.INV: lambda p: ~p[0],
+    GateType.BUF: lambda p: p[0].copy(),
+    GateType.AND2: lambda p: p[0] & p[1],
+    GateType.OR2: lambda p: p[0] | p[1],
+    GateType.NAND2: lambda p: ~(p[0] & p[1]),
+    GateType.NAND3: lambda p: ~(p[0] & p[1] & p[2]),
+    GateType.NOR2: lambda p: ~(p[0] | p[1]),
+    GateType.NOR3: lambda p: ~(p[0] | p[1] | p[2]),
+    GateType.XOR2: lambda p: p[0] ^ p[1],
+    GateType.XNOR2: lambda p: ~(p[0] ^ p[1]),
+    GateType.AOI21: lambda p: ~((p[0] & p[1]) | p[2]),
+    GateType.OAI21: lambda p: ~((p[0] | p[1]) & p[2]),
+    GateType.MAJ3: lambda p: (p[0] & p[1]) | (p[0] & p[2]) | (p[1] & p[2]),
+    GateType.MUX2: lambda p: (p[0] & ~p[2]) | (p[1] & p[2]),
+}
+
+
 def evaluate_gate(gate_type: GateType, inputs: Sequence[BoolArray]) -> BoolArray:
     """Evaluate a gate's boolean function on vectorised inputs.
 

@@ -90,6 +90,7 @@ class Netlist:
         self._topological_gates = self._topological_sort()
         self._fanout_counts = self._compute_fanout()
         self._logic_levels = self._compute_levels()
+        self._level_groups: tuple[tuple[int, GateType, tuple[int, ...]], ...] | None = None
 
     # -- construction helpers -------------------------------------------------
 
@@ -229,6 +230,56 @@ class Netlist:
         for gate in self._gates:
             histogram[gate.gate_type.value] = histogram.get(gate.gate_type.value, 0) + 1
         return dict(sorted(histogram.items()))
+
+    @property
+    def topological_gate_levels(self) -> tuple[int, ...]:
+        """Logic level of each gate's output, indexed like ``topological_gates``."""
+        return tuple(self._logic_levels[gate.output] for gate in self._topological_gates)
+
+    def level_groups(self) -> tuple[tuple[int, GateType, tuple[int, ...]], ...]:
+        """Same-typed gates grouped per evaluation wave, as topological indices.
+
+        Returns ``(wave, gate_type, topo_indices)`` triples ordered by wave
+        then gate-type name.  All inputs of a wave-``W`` gate settle in waves
+        below ``W``, so evaluating the groups in this order is a valid
+        schedule in which every group can be evaluated *at once*.  This is the
+        structural hook the compiled simulation engine builds its per-group
+        index arrays from; it is computed once and cached on the netlist.
+
+        Waves are logic levels with one scheduling refinement: *sink* gates
+        (gates whose output drives no other gate, only primary outputs) are
+        deferred to a single final wave.  Nothing depends on them, so the
+        deferral is always legal, and it merges gates that plain
+        level-grouping would scatter -- e.g. the sum XORs of a ripple-carry
+        adder sit at eight different levels along the carry chain but form
+        one vectorisable group at the end.
+        """
+        if self._level_groups is None:
+            consumed = [0] * self._net_count
+            for gate in self._gates:
+                for net in gate.inputs:
+                    consumed[net] += 1
+            max_level = max(
+                (
+                    self._logic_levels[gate.output]
+                    for gate in self._gates
+                    if consumed[gate.output] > 0
+                ),
+                default=0,
+            )
+            buckets: dict[tuple[int, str], list[int]] = {}
+            for index, gate in enumerate(self._topological_gates):
+                wave = (
+                    max_level + 1
+                    if consumed[gate.output] == 0
+                    else self._logic_levels[gate.output]
+                )
+                buckets.setdefault((wave, gate.gate_type.value), []).append(index)
+            self._level_groups = tuple(
+                (wave, GateType(type_name), tuple(indices))
+                for (wave, type_name), indices in sorted(buckets.items())
+            )
+        return self._level_groups
 
     def iter_gates_by_level(self) -> Iterator[Gate]:
         """Iterate gates ordered by logic level then declaration order."""

@@ -35,8 +35,11 @@ def int_to_bits(values: np.ndarray | int, n_bits: int) -> np.ndarray:
         raise ValueError("values must be non-negative")
     if np.any(array >= (1 << n_bits)):
         raise ValueError(f"values must be < 2**{n_bits}")
-    shifts = np.arange(n_bits, dtype=np.int64)
-    return ((array[..., None] >> shifts) & 1).astype(bool)
+    shifts = np.arange(n_bits, dtype=np.int64).reshape((n_bits,) + (1,) * array.ndim)
+    # Bit-major layout: each bit position is a contiguous slab, so the
+    # per-bit-position slices the simulators take (``bits[..., i]``) are
+    # contiguous arrays that pack/copy at full memory bandwidth.
+    return np.moveaxis(((array[None, ...] >> shifts) & 1).astype(bool), 0, -1)
 
 
 def bits_to_int(bits: np.ndarray) -> np.ndarray:

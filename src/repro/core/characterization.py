@@ -17,11 +17,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.circuits.adders import AdderCircuit, build_adder
-from repro.core.metrics import (
-    bit_error_rate,
-    bitwise_error_probability,
-    mean_squared_error,
-)
+from repro.core.metrics import mean_squared_error
 from repro.core.triad import OperatingTriad, TriadGrid, matched_triad_grid
 from repro.simulation.patterns import PatternConfig, generate_patterns
 from repro.simulation.testbench import AdderTestbench, TriadMeasurement
@@ -105,6 +101,35 @@ class AdderCharacterization:
     n_vectors: int = 0
     seed: int = 0
 
+    def __post_init__(self) -> None:
+        self._reindex()
+
+    def _reindex(self) -> None:
+        """(Re)build the triad-keyed lookup tables over the stored lists."""
+        self._results_by_triad: dict[OperatingTriad, TriadCharacterization] = {
+            entry.triad: entry for entry in self.results
+        }
+        self._measurements_by_triad: dict[OperatingTriad, TriadMeasurement] = {
+            OperatingTriad(
+                tclk=measurement.tclk, vdd=measurement.vdd, vbb=measurement.vbb
+            ): measurement
+            for measurement in self.measurements
+        }
+        # Snapshot of the indexed list contents (entries are frozen, so
+        # identity captures them fully); lets the lookups detect any
+        # post-construction mutation of the lists and rebuild.
+        self._index_snapshot = (
+            tuple(map(id, self.results)),
+            tuple(map(id, self.measurements)),
+        )
+
+    def _refresh_index(self) -> None:
+        if self._index_snapshot != (
+            tuple(map(id, self.results)),
+            tuple(map(id, self.measurements)),
+        ):
+            self._reindex()
+
     @property
     def reference_energy(self) -> float:
         """Energy per operation of the nominal triad, joules."""
@@ -112,11 +137,12 @@ class AdderCharacterization:
         return reference.energy_per_operation
 
     def find(self, triad: OperatingTriad) -> TriadCharacterization:
-        """Look up the characterization entry of a specific triad."""
-        for entry in self.results:
-            if entry.triad == triad:
-                return entry
-        raise KeyError(f"triad {triad!r} was not characterized")
+        """Look up the characterization entry of a specific triad (keyed dict)."""
+        self._refresh_index()
+        entry = self._results_by_triad.get(triad)
+        if entry is None:
+            raise KeyError(f"triad {triad!r} was not characterized")
+        return entry
 
     def energy_efficiency_of(self, entry: TriadCharacterization) -> float:
         """Energy saving of a triad relative to the nominal triad (0..1)."""
@@ -136,17 +162,15 @@ class AdderCharacterization:
         return [entry for entry in self.results if entry.ber <= max_ber]
 
     def measurement_for(self, triad: OperatingTriad) -> TriadMeasurement:
-        """Raw measurement of a triad (required by Algorithm 1)."""
-        for measurement in self.measurements:
-            candidate = OperatingTriad(
-                tclk=measurement.tclk, vdd=measurement.vdd, vbb=measurement.vbb
+        """Raw measurement of a triad (required by Algorithm 1; keyed dict)."""
+        self._refresh_index()
+        measurement = self._measurements_by_triad.get(triad)
+        if measurement is None:
+            raise KeyError(
+                f"no raw measurement stored for triad {triad!r}; "
+                "re-run the characterization with keep_measurements=True"
             )
-            if candidate == triad:
-                return measurement
-        raise KeyError(
-            f"no raw measurement stored for triad {triad!r}; "
-            "re-run the characterization with keep_measurements=True"
-        )
+        return measurement
 
 
 class CharacterizationFlow:
@@ -228,8 +252,15 @@ class CharacterizationFlow:
         pattern: PatternConfig | None = None,
         operands: tuple[np.ndarray, np.ndarray] | None = None,
         keep_measurements: bool = True,
+        use_reference: bool = False,
     ) -> AdderCharacterization:
         """Characterize the adder over a triad grid.
+
+        The sweep reuses everything that does not depend on the full triad:
+        golden settled bits are computed once per pattern set and arrival
+        times once per ``(vdd, vbb)`` pair, so triads differing only in the
+        clock period re-run only the latch comparison (see
+        :meth:`repro.simulation.testbench.AdderTestbench.run_sweep`).
 
         Parameters
         ----------
@@ -242,6 +273,9 @@ class CharacterizationFlow:
             Explicit operand arrays, overriding ``pattern``.
         keep_measurements:
             Whether to retain raw per-triad outputs (needed for Algorithm 1).
+        use_reference:
+            Run the legacy per-gate simulation loop without sweep-level
+            reuse (engine-parity validation and benchmarks only).
         """
         grid = self._resolve_grid(triads)
         if operands is not None:
@@ -263,10 +297,10 @@ class CharacterizationFlow:
 
         results: list[TriadCharacterization] = []
         measurements: list[TriadMeasurement] = []
-        for triad in grid:
-            measurement = self._testbench.run_triad(
-                in1, in2, tclk=triad.tclk, vdd=triad.vdd, vbb=triad.vbb
-            )
+        sweep = self._testbench.run_sweep(
+            in1, in2, grid, use_reference=use_reference
+        )
+        for triad, measurement in zip(grid, sweep):
             results.append(self._summarize(triad, measurement))
             if keep_measurements:
                 measurements.append(measurement)
@@ -294,14 +328,15 @@ class CharacterizationFlow:
     def _summarize(
         self, triad: OperatingTriad, measurement: TriadMeasurement
     ) -> TriadCharacterization:
-        width = self._adder.output_width
+        # ``measurement.error_bits`` is exactly the bit-difference matrix
+        # ``bit_error_rate`` / ``bitwise_error_probability`` would rebuild
+        # from the words, so reduce it directly instead of re-deriving it.
+        error_bits = measurement.error_bits.reshape(-1, self._adder.output_width)
         return TriadCharacterization(
             triad=triad,
-            ber=bit_error_rate(measurement.exact_words, measurement.latched_words, width),
+            ber=float(error_bits.mean()),
             mse=mean_squared_error(measurement.exact_words, measurement.latched_words),
-            bitwise_error=bitwise_error_probability(
-                measurement.exact_words, measurement.latched_words, width
-            ),
+            bitwise_error=error_bits.mean(axis=0),
             energy_per_operation=measurement.energy_per_operation,
             dynamic_energy_per_operation=measurement.dynamic_energy_per_operation,
             static_energy_per_operation=measurement.static_energy_per_operation,

@@ -84,6 +84,11 @@ class DynamicSpeculationController:
         self._front = pareto_front(characterization)
         if not self._front:
             raise ValueError("the characterization has no Pareto-optimal triads")
+        # Offline knowledge is static: resolve each front entry's energy
+        # efficiency once instead of re-deriving it on every control step.
+        self._front_efficiency = [
+            characterization.energy_efficiency_of(entry) for entry in self._front
+        ]
         self._index = self._initial_index()
         self._estimate = self.current_entry().ber
 
@@ -155,7 +160,7 @@ class DynamicSpeculationController:
             triad=entry.triad,
             estimated_ber=self._estimate,
             switched=self._index != previous_index,
-            energy_efficiency=self._characterization.energy_efficiency_of(entry),
+            energy_efficiency=self._front_efficiency[self._index],
         )
 
     def run_trace(self, window_bers: list[float]) -> list[SpeculationDecision]:
@@ -164,14 +169,20 @@ class DynamicSpeculationController:
 
     def accurate_mode(self) -> TriadCharacterization:
         """The most energy-efficient error-free entry (the paper's accurate mode)."""
-        error_free = [entry for entry in self._front if entry.ber == 0.0]
+        error_free = [
+            index for index, entry in enumerate(self._front) if entry.ber == 0.0
+        ]
         if not error_free:
             return self._front[0]
-        return max(error_free, key=self._characterization.energy_efficiency_of)
+        return self._front[max(error_free, key=self._front_efficiency.__getitem__)]
 
     def approximate_mode(self) -> TriadCharacterization:
         """The most energy-efficient entry within the error margin."""
-        within = [entry for entry in self._front if entry.ber <= self._margin]
+        within = [
+            index
+            for index, entry in enumerate(self._front)
+            if entry.ber <= self._margin
+        ]
         if not within:
             return self._front[0]
-        return max(within, key=self._characterization.energy_efficiency_of)
+        return self._front[max(within, key=self._front_efficiency.__getitem__)]

@@ -19,8 +19,17 @@ simulations; this package provides the functional equivalent:
   bit-flip baseline against which the VOS model is compared.
 * :mod:`repro.simulation.testbench`  -- per-triad measurement runs combining
   functional results with energy estimates.
+* :mod:`repro.simulation.engine`     -- compiled level-packed evaluation
+  plans, bit-packed (64 vectors/word) golden simulation, and the cached
+  per-netlist / per-operating-point metadata all simulators share.
 """
 
+from repro.simulation.engine import (
+    CompiledNetlistPlan,
+    compile_plan,
+    pack_vectors,
+    unpack_vectors,
+)
 from repro.simulation.logic_sim import LogicSimulator, simulate_outputs
 from repro.simulation.timing_sim import (
     TimingAnnotation,
@@ -62,4 +71,8 @@ __all__ = [
     "AdderTestbench",
     "MultiplierTestbench",
     "TriadMeasurement",
+    "CompiledNetlistPlan",
+    "compile_plan",
+    "pack_vectors",
+    "unpack_vectors",
 ]

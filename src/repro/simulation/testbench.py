@@ -11,6 +11,7 @@ bit-wise error probability, energy efficiency).
 from __future__ import annotations
 
 import dataclasses
+from typing import Iterable
 
 import numpy as np
 
@@ -121,15 +122,71 @@ class AdderTestbench:
         tclk: float,
         vdd: float,
         vbb: float = 0.0,
+        *,
+        use_reference: bool = False,
     ) -> TriadMeasurement:
-        """Apply an operand stream under one operating triad."""
+        """Apply an operand stream under one operating triad.
+
+        ``use_reference=True`` runs the legacy per-gate simulation loop
+        instead of the compiled engine (parity tests / benchmarks only).
+        """
         in1_arr = np.asarray(in1, dtype=np.int64)
         in2_arr = np.asarray(in2, dtype=np.int64)
         if in1_arr.shape != in2_arr.shape:
             raise ValueError("in1 and in2 must have the same shape")
         assignment = self._adder.input_assignment(in1_arr, in2_arr)
-        result = self._simulator.run(assignment, tclk=tclk, vdd=vdd, vbb=vbb)
+        simulate = (
+            self._simulator.run_reference if use_reference else self._simulator.run
+        )
+        result = simulate(assignment, tclk=tclk, vdd=vdd, vbb=vbb)
         return self._to_measurement(in1_arr, in2_arr, result, tclk, vdd, vbb)
+
+    def run_sweep(
+        self,
+        in1: np.ndarray,
+        in2: np.ndarray,
+        triads: Iterable,
+        *,
+        use_reference: bool = False,
+    ) -> list[TriadMeasurement]:
+        """Apply one operand stream under every triad of a sweep.
+
+        ``triads`` is any iterable of objects with ``tclk`` / ``vdd`` /
+        ``vbb`` attributes (e.g. :class:`repro.core.triad.OperatingTriad`).
+        Everything that does not depend on the triad is computed once for the
+        whole sweep: the operand-to-port binding, the golden sum and its bit
+        matrix, and -- inside the simulator -- the settled bits and the
+        per-``(vdd, vbb)`` arrival times, so a triad differing only in
+        ``tclk`` costs one latch comparison.
+        """
+        in1_arr = np.asarray(in1, dtype=np.int64)
+        in2_arr = np.asarray(in2, dtype=np.int64)
+        if in1_arr.shape != in2_arr.shape:
+            raise ValueError("in1 and in2 must have the same shape")
+        assignment = self._adder.input_assignment(in1_arr, in2_arr)
+        exact = self._adder.exact_sum(in1_arr, in2_arr)
+        exact_bits = _exact_bits(exact, self._adder.output_width)
+        simulate = (
+            self._simulator.run_reference if use_reference else self._simulator.run
+        )
+        measurements = []
+        for triad in triads:
+            result = simulate(
+                assignment, tclk=triad.tclk, vdd=triad.vdd, vbb=triad.vbb
+            )
+            measurements.append(
+                self._measurement_from_result(
+                    in1_arr,
+                    in2_arr,
+                    result,
+                    triad.tclk,
+                    triad.vdd,
+                    triad.vbb,
+                    exact,
+                    exact_bits,
+                )
+            )
+        return measurements
 
     def _to_measurement(
         self,
@@ -141,8 +198,30 @@ class AdderTestbench:
         vbb: float,
     ) -> TriadMeasurement:
         exact = self._adder.exact_sum(in1, in2)
+        return self._measurement_from_result(
+            in1,
+            in2,
+            result,
+            tclk,
+            vdd,
+            vbb,
+            exact,
+            _exact_bits(exact, self._adder.output_width),
+        )
+
+    def _measurement_from_result(
+        self,
+        in1: np.ndarray,
+        in2: np.ndarray,
+        result: VosSimulationResult,
+        tclk: float,
+        vdd: float,
+        vbb: float,
+        exact: np.ndarray,
+        exact_bits: np.ndarray,
+    ) -> TriadMeasurement:
         latched = result.latched_words
-        error_bits = result.latched_bits != _exact_bits(exact, self._adder.output_width)
+        error_bits = result.latched_bits != exact_bits
         return TriadMeasurement(
             adder_name=self._adder.name,
             tclk=tclk,

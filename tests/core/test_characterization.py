@@ -140,3 +140,33 @@ class TestCharacterizeBenchmarks:
         assert set(results) == {"rca4", "bka4"}
         for characterization in results.values():
             assert len(characterization.results) > 20
+
+
+class TestTriadIndex:
+    """The triad-keyed lookup survives post-construction list mutation."""
+
+    def test_find_after_same_length_mutation(self, rca8_characterization):
+        import dataclasses
+
+        characterization = dataclasses.replace(
+            rca8_characterization, results=list(rca8_characterization.results)
+        )
+        original = characterization.results[0]
+        new_triad = OperatingTriad(tclk=9.9e-9, vdd=1.0, vbb=0.0)
+        characterization.results[0] = dataclasses.replace(original, triad=new_triad)
+        # The stale lookup comes first: a hit on the removed triad must not
+        # serve the old entry out of the outdated index.
+        with pytest.raises(KeyError):
+            characterization.find(original.triad)
+        assert characterization.find(new_triad).triad == new_triad
+
+    def test_find_after_append(self, rca8_characterization):
+        import dataclasses
+
+        characterization = dataclasses.replace(rca8_characterization)
+        extra = dataclasses.replace(
+            characterization.results[0],
+            triad=OperatingTriad(tclk=8.8e-9, vdd=0.95, vbb=0.0),
+        )
+        characterization.results = list(characterization.results) + [extra]
+        assert characterization.find(extra.triad) is extra
