@@ -4,28 +4,56 @@ The benchmarks both *time* a representative kernel (pytest-benchmark) and
 *print* the reproduced table/figure so the output can be compared with the
 paper.  The expensive characterizations are computed once per session and
 shared; rendered outputs are also written to ``benchmarks/output/``.
+
+The session characterizations run on the sweep orchestrator
+(:mod:`repro.core.sweep`):
+
+* ``REPRO_BENCH_JOBS=N`` shards every triad grid over N worker processes,
+* ``REPRO_CACHE_DIR=path`` persists per-triad results in a content-addressed
+  store, so a re-run of the harness (locally or in CI with a cached
+  directory) skips the timing simulation entirely.
+
+Both knobs are bit-neutral: results are identical with any combination.
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
 from _bench_utils import bench_vectors
 from repro.analysis.tables import PAPER_BENCHMARKS
 from repro.core.characterization import AdderCharacterization, CharacterizationFlow
+from repro.core.store import SweepResultStore
 from repro.simulation.patterns import PatternConfig
+
+
+def bench_jobs() -> int:
+    """Worker processes used by the harness characterizations."""
+    return int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
+
+def bench_store() -> SweepResultStore | None:
+    """The sweep result store, enabled only when REPRO_CACHE_DIR is set."""
+    if os.environ.get("REPRO_CACHE_DIR"):
+        return SweepResultStore.default()
+    return None
 
 
 @pytest.fixture(scope="session")
 def benchmark_characterizations() -> dict[str, AdderCharacterization]:
     """Characterizations of the paper's four benchmark adders (Fig. 8 data)."""
+    store = bench_store()
     characterizations: dict[str, AdderCharacterization] = {}
     for architecture, width in PAPER_BENCHMARKS:
         flow = CharacterizationFlow.for_benchmark(architecture, width)
         characterization = flow.run(
             pattern=PatternConfig(
                 n_vectors=bench_vectors(), width=width, seed=2017, kind="uniform"
-            )
+            ),
+            jobs=bench_jobs(),
+            store=store,
         )
         characterizations[characterization.adder_name] = characterization
     return characterizations

@@ -7,4 +7,6 @@ package available offline).
 
 from setuptools import setup
 
-setup()
+# numpy >= 2.0: the fault simulator counts error bits with np.bitwise_count,
+# which NumPy added in 2.0.
+setup(install_requires=["numpy>=2.0"])

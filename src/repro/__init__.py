@@ -34,6 +34,8 @@ from repro.core import (
     TriadGrid,
     paper_triad_grid,
     CharacterizationFlow,
+    characterize_benchmarks,
+    SweepResultStore,
     AdderCharacterization,
     TriadCharacterization,
     CarryProbabilityTable,
@@ -57,6 +59,8 @@ __all__ = [
     "TriadGrid",
     "paper_triad_grid",
     "CharacterizationFlow",
+    "characterize_benchmarks",
+    "SweepResultStore",
     "AdderCharacterization",
     "TriadCharacterization",
     "CarryProbabilityTable",

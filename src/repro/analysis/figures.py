@@ -18,6 +18,7 @@ from repro.core.calibration import calibrate_probability_table
 from repro.core.characterization import AdderCharacterization, CharacterizationFlow
 from repro.core.metrics import normalized_hamming_distance, signal_to_noise_ratio_db
 from repro.core.modified_adder import ApproximateAdderModel
+from repro.core.store import SweepResultStore
 from repro.core.triad import OperatingTriad
 from repro.simulation.patterns import PatternConfig, generate_patterns
 from repro.technology.library import DEFAULT_LIBRARY, StandardCellLibrary
@@ -55,11 +56,15 @@ def fig5_ber_per_bit(
     seed: int = 2017,
     library: StandardCellLibrary = DEFAULT_LIBRARY,
     sta_margin: float = 1.5,
+    jobs: int = 1,
+    store: SweepResultStore | None = None,
 ) -> list[Fig5Series]:
     """Reproduce Fig. 5: BER distribution over output bits under Vdd scaling.
 
     The clock is held at the benchmark's nominal (matched Table III) period
     with no body bias while the supply is scaled, exactly as in the paper.
+    The supply points run as one sweep, so they shard over ``jobs`` worker
+    processes and persist to the optional result ``store``.
     """
     flow = CharacterizationFlow.for_benchmark(
         architecture, width, library=library, sta_margin=sta_margin
@@ -72,15 +77,28 @@ def fig5_ber_per_bit(
     nominal_tclk = aggressive_clocks[-2] if len(aggressive_clocks) > 1 else aggressive_clocks[-1]
     config = PatternConfig(n_vectors=n_vectors, width=width, seed=seed, kind="uniform")
     in1, in2 = generate_patterns(config)
-    series: list[Fig5Series] = []
-    for vdd in supply_voltages:
-        triad = OperatingTriad(tclk=nominal_tclk, vdd=vdd, vbb=0.0)
-        characterization = flow.run(
-            triads=[triad], operands=(in1, in2), keep_measurements=False
+    triads = [
+        OperatingTriad(tclk=nominal_tclk, vdd=vdd, vbb=0.0)
+        for vdd in supply_voltages
+    ]
+    characterization = flow.run(
+        triads=triads,
+        operands=(in1, in2),
+        keep_measurements=False,
+        jobs=jobs,
+        store=store,
+    )
+    return [
+        Fig5Series(
+            vdd=vdd,
+            ber_per_bit=np.asarray(
+                characterization.find(
+                    OperatingTriad(tclk=nominal_tclk, vdd=vdd, vbb=0.0)
+                ).bitwise_error
+            ),
         )
-        entry = characterization.results[0]
-        series.append(Fig5Series(vdd=vdd, ber_per_bit=np.asarray(entry.bitwise_error)))
-    return series
+        for vdd in supply_voltages
+    ]
 
 
 # -- Fig. 7: accuracy of the statistical model ---------------------------------

@@ -50,6 +50,23 @@ def build_adder(architecture: str, width: int) -> AdderCircuit:
     return generator(width)
 
 
+def parse_adder_name(name: str) -> tuple[str, int]:
+    """Split a benchmark-style adder name into ``(architecture, width)``.
+
+    ``"rca8"`` -> ``("rca", 8)``, ``"bka16"`` -> ``("bka", 16)`` ...  This is
+    the inverse of the ``AdderCircuit.name`` convention, used by the CLI and
+    by the sweep orchestrator to rebuild circuits inside worker processes.
+    """
+    for architecture in sorted(ADDER_GENERATORS, key=len, reverse=True):
+        if name.lower().startswith(architecture):
+            suffix = name[len(architecture) :]
+            if suffix.isdigit():
+                return architecture, int(suffix)
+    raise ValueError(
+        f"cannot parse adder name {name!r} (expected e.g. rca8, bka16)"
+    )
+
+
 __all__ = [
     "AdderCircuit",
     "ripple_carry_adder",
@@ -60,4 +77,5 @@ __all__ = [
     "carry_skip_adder",
     "ADDER_GENERATORS",
     "build_adder",
+    "parse_adder_name",
 ]

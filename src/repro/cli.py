@@ -5,13 +5,23 @@ The CLI exposes the most common workflows without writing Python:
 * ``repro synthesize``      -- Table II style synthesis report,
 * ``repro characterize``    -- characterize an adder over its triad grid and
   print the Fig. 8 series (optionally saving the JSON dataset),
-* ``repro table4``          -- Table IV aggregation from a characterization,
+* ``repro table4``          -- Table IV aggregation from characterization
+  JSON files and/or adder names characterized on the fly,
 * ``repro fig5``            -- per-bit BER profile of an adder under supply
   scaling,
 * ``repro calibrate``       -- run Algorithm 1 at one triad and save the
   probability table,
 * ``repro speculate``       -- report accurate/approximate operating modes
   for a given error margin.
+
+Sweep-running commands (``characterize``, ``fig5``, ``table4``,
+``calibrate``) execute on the sharded orchestrator of
+:mod:`repro.core.sweep`: ``--jobs N`` fans the triad grid out over N worker
+processes, and completed triads are persisted in a content-addressed result
+store (``--cache-dir``, default ``$REPRO_CACHE_DIR`` or
+``~/.cache/repro/sweeps``; disable with ``--no-cache``), so repeated
+invocations skip the timing simulation.  Results are bit-identical whatever
+the job count or cache state.
 
 Run ``python -m repro.cli --help`` (or ``repro --help`` once installed) for
 the full option list.
@@ -20,12 +30,13 @@ the full option list.
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 from typing import Sequence
 
 from repro.analysis.figures import fig5_ber_per_bit, fig8_ber_energy_series, render_fig8
 from repro.analysis.tables import render_table4, table2_synthesis
-from repro.circuits.adders import ADDER_GENERATORS, build_adder
+from repro.circuits.adders import ADDER_GENERATORS, build_adder, parse_adder_name
 from repro.core.calibration import calibrate_probability_table
 from repro.core.characterization import CharacterizationFlow
 from repro.core.dataset import (
@@ -35,6 +46,7 @@ from repro.core.dataset import (
 )
 from repro.core.energy import summarize_by_ber_range
 from repro.core.speculation import DynamicSpeculationController
+from repro.core.store import SweepResultStore
 from repro.core.triad import OperatingTriad
 from repro.simulation.patterns import PATTERN_GENERATORS, PatternConfig
 
@@ -55,14 +67,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_adder_arguments(characterize)
     _add_pattern_arguments(characterize)
+    _add_sweep_arguments(characterize)
     characterize.add_argument(
         "--output", help="write the characterization dataset to this JSON file"
     )
 
     table4 = subparsers.add_parser(
-        "table4", help="Table IV aggregation from a characterization JSON file"
+        "table4",
+        help="Table IV aggregation from characterization JSON files or adder names",
     )
-    table4.add_argument("dataset", nargs="+", help="characterization JSON file(s)")
+    table4.add_argument(
+        "dataset",
+        nargs="+",
+        help="characterization JSON file(s) and/or adder names (e.g. rca8) "
+        "to characterize on the fly",
+    )
+    table4.add_argument("--vectors", type=int, default=4000, help="stimulus vectors")
+    table4.add_argument("--seed", type=int, default=2017, help="stimulus seed")
+    _add_sweep_arguments(table4)
 
     fig5 = subparsers.add_parser("fig5", help="per-bit BER profile under supply scaling")
     _add_adder_arguments(fig5)
@@ -74,12 +96,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="supply voltages to sweep",
     )
     fig5.add_argument("--vectors", type=int, default=4000, help="stimulus vectors")
+    _add_sweep_arguments(fig5)
 
     calibrate = subparsers.add_parser(
         "calibrate", help="run Algorithm 1 at one triad and save the probability table"
     )
     _add_adder_arguments(calibrate)
     _add_pattern_arguments(calibrate)
+    _add_sweep_arguments(calibrate)
     calibrate.add_argument("--tclk-ns", type=float, required=True, help="clock period (ns)")
     calibrate.add_argument("--vdd", type=float, required=True, help="supply voltage (V)")
     calibrate.add_argument("--vbb", type=float, default=0.0, help="body-bias voltage (V)")
@@ -128,13 +152,38 @@ def _add_pattern_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=2017, help="stimulus seed")
 
 
+def _add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the sweep (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        help="sweep result store directory "
+        "(default: $REPRO_CACHE_DIR or ~/.cache/repro/sweeps)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="do not read or write the sweep result store",
+    )
+
+
+def _resolve_store(args: argparse.Namespace) -> SweepResultStore | None:
+    if args.no_cache:
+        return None
+    if args.cache_dir:
+        return SweepResultStore(args.cache_dir)
+    return SweepResultStore.default()
+
+
 def _parse_adder_name(name: str) -> tuple[str, int]:
-    for architecture in sorted(ADDER_GENERATORS, key=len, reverse=True):
-        if name.startswith(architecture):
-            suffix = name[len(architecture) :]
-            if suffix.isdigit():
-                return architecture, int(suffix)
-    raise SystemExit(f"cannot parse adder name {name!r} (expected e.g. rca8, bka16)")
+    try:
+        return parse_adder_name(name)
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
 
 
 def _command_synthesize(args: argparse.Namespace) -> int:
@@ -149,7 +198,12 @@ def _command_characterize(args: argparse.Namespace) -> int:
     config = PatternConfig(
         n_vectors=args.vectors, width=args.width, seed=args.seed, kind=args.pattern
     )
-    characterization = flow.run(pattern=config, keep_measurements=False)
+    characterization = flow.run(
+        pattern=config,
+        keep_measurements=False,
+        jobs=args.jobs,
+        store=_resolve_store(args),
+    )
     print(render_fig8(fig8_ber_energy_series(characterization)))
     if args.output:
         save_characterization(characterization, args.output)
@@ -158,9 +212,30 @@ def _command_characterize(args: argparse.Namespace) -> int:
 
 
 def _command_table4(args: argparse.Namespace) -> int:
+    store = _resolve_store(args)
     characterizations = {}
-    for path in args.dataset:
-        characterization = load_characterization(path)
+    for entry in args.dataset:
+        path = pathlib.Path(entry)
+        if path.is_file():
+            characterization = load_characterization(entry)
+        elif "." in entry or "/" in entry:
+            # Clearly meant as a file path (adder names are bare alnum
+            # tokens): report the missing file instead of misparsing it.
+            raise SystemExit(f"dataset file not found: {entry}")
+        else:
+            # Not a file: characterize the named adder on the fly through
+            # the cached sweep orchestrator.
+            architecture, width = _parse_adder_name(entry)
+            flow = CharacterizationFlow.for_benchmark(architecture, width)
+            config = PatternConfig(
+                n_vectors=args.vectors, width=width, seed=args.seed, kind="uniform"
+            )
+            characterization = flow.run(
+                pattern=config,
+                keep_measurements=False,
+                jobs=args.jobs,
+                store=store,
+            )
         characterizations[characterization.adder_name] = characterization
     summaries = {
         name: summarize_by_ber_range(characterization)
@@ -176,6 +251,8 @@ def _command_fig5(args: argparse.Namespace) -> int:
         width=args.width,
         supply_voltages=tuple(args.vdd),
         n_vectors=args.vectors,
+        jobs=args.jobs,
+        store=_resolve_store(args),
     )
     width = args.width + 1
     header = "Vdd " + "".join(f"  bit{i:>2}" for i in range(width))
@@ -195,7 +272,12 @@ def _command_calibrate(args: argparse.Namespace) -> int:
     config = PatternConfig(
         n_vectors=args.vectors, width=args.width, seed=args.seed, kind=args.pattern
     )
-    characterization = flow.run(triads=[triad], pattern=config)
+    characterization = flow.run(
+        triads=[triad],
+        pattern=config,
+        jobs=args.jobs,
+        store=_resolve_store(args),
+    )
     entry = characterization.results[0]
     measurement = characterization.measurement_for(triad)
     result = calibrate_probability_table(

@@ -23,6 +23,10 @@ Modules:
   error monitor and online BER estimator feeding the speculation loop.
 * :mod:`repro.core.dataset`         -- JSON serialisation of characterization
   results and trained models.
+* :mod:`repro.core.sweep`           -- sharded, cache-backed sweep
+  orchestration (worker processes + deterministic merge).
+* :mod:`repro.core.store`           -- content-addressed on-disk result
+  store backing the sweep orchestrator.
 """
 
 from repro.core.triad import (
@@ -59,6 +63,19 @@ from repro.core.characterization import (
     TriadCharacterization,
     AdderCharacterization,
     CharacterizationFlow,
+    characterize_benchmarks,
+)
+from repro.core.store import (
+    SweepResultStore,
+    library_fingerprint,
+    netlist_fingerprint,
+    operand_fingerprint,
+)
+from repro.core.sweep import (
+    CircuitSpec,
+    run_characterization_sweep,
+    run_fault_sweep,
+    shard_triads,
 )
 from repro.core.energy import (
     energy_efficiency,
@@ -109,6 +126,15 @@ __all__ = [
     "TriadCharacterization",
     "AdderCharacterization",
     "CharacterizationFlow",
+    "characterize_benchmarks",
+    "SweepResultStore",
+    "library_fingerprint",
+    "netlist_fingerprint",
+    "operand_fingerprint",
+    "CircuitSpec",
+    "run_characterization_sweep",
+    "run_fault_sweep",
+    "shard_triads",
     "energy_efficiency",
     "EfficiencySummary",
     "summarize_by_ber_range",

@@ -12,12 +12,13 @@ run on exactly the same data.
 from __future__ import annotations
 
 import dataclasses
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Mapping, Sequence
 
 import numpy as np
 
 from repro.circuits.adders import AdderCircuit, build_adder
-from repro.core.metrics import mean_squared_error
+from repro.core import sweep as sweep_module
+from repro.core.store import SweepResultStore
 from repro.core.triad import OperatingTriad, TriadGrid, matched_triad_grid
 from repro.simulation.patterns import PatternConfig, generate_patterns
 from repro.simulation.testbench import AdderTestbench, TriadMeasurement
@@ -200,6 +201,7 @@ class CharacterizationFlow:
         if sta_margin < 1.0:
             raise ValueError("sta_margin must be >= 1.0")
         self._adder = adder
+        self._library = library
         self._testbench = AdderTestbench(adder, library=library)
         self._sta_margin = sta_margin
 
@@ -253,14 +255,20 @@ class CharacterizationFlow:
         operands: tuple[np.ndarray, np.ndarray] | None = None,
         keep_measurements: bool = True,
         use_reference: bool = False,
+        jobs: int = 1,
+        store: SweepResultStore | None = None,
     ) -> AdderCharacterization:
         """Characterize the adder over a triad grid.
 
-        The sweep reuses everything that does not depend on the full triad:
-        golden settled bits are computed once per pattern set and arrival
-        times once per ``(vdd, vbb)`` pair, so triads differing only in the
-        clock period re-run only the latch comparison (see
+        The sweep runs on the orchestrator of :mod:`repro.core.sweep`: the
+        grid is sharded along ``(vdd, vbb)`` groups over ``jobs`` worker
+        processes, per-triad summaries are looked up in (and persisted to)
+        the optional result ``store``, and each worker reuses everything
+        that does not depend on the full triad -- golden settled bits per
+        pattern set, arrival times per ``(vdd, vbb)`` pair (see
         :meth:`repro.simulation.testbench.AdderTestbench.run_sweep`).
+        Results are bit-identical for every combination of ``jobs`` and
+        cache state.
 
         Parameters
         ----------
@@ -275,13 +283,20 @@ class CharacterizationFlow:
             Whether to retain raw per-triad outputs (needed for Algorithm 1).
         use_reference:
             Run the legacy per-gate simulation loop without sweep-level
-            reuse (engine-parity validation and benchmarks only).
+            reuse (engine-parity validation and benchmarks only); forces
+            serial, uncached execution.
+        jobs:
+            Worker processes for the sweep (``1`` = in-process).
+        store:
+            Optional :class:`~repro.core.store.SweepResultStore`; completed
+            triads are fetched from / persisted to it.
         """
         grid = self._resolve_grid(triads)
         if operands is not None:
             in1, in2 = (np.asarray(operands[0]), np.asarray(operands[1]))
             pattern_kind = "explicit"
             seed = 0
+            stimulus = sweep_module.operand_stimulus(in1, in2)
         else:
             config = pattern or PatternConfig(
                 n_vectors=2048, width=self._adder.width, kind="uniform"
@@ -294,16 +309,51 @@ class CharacterizationFlow:
             in1, in2 = generate_patterns(config)
             pattern_kind = config.kind
             seed = config.seed
+            stimulus = sweep_module.pattern_stimulus(config)
 
-        results: list[TriadCharacterization] = []
+        if use_reference:
+            payloads = [
+                sweep_module.measurement_to_payload(
+                    measurement, self._adder.output_width, keep_measurements
+                )
+                for measurement in self._testbench.run_sweep(
+                    in1, in2, grid, use_reference=True
+                )
+            ]
+        else:
+            payloads = sweep_module.run_characterization_sweep(
+                self._adder,
+                grid,
+                in1,
+                in2,
+                stimulus,
+                library=self._library,
+                jobs=jobs,
+                store=store,
+                keep_latched=keep_measurements,
+                testbench=self._testbench,
+            )
+
+        results = [entry_from_payload(payload) for payload in payloads]
         measurements: list[TriadMeasurement] = []
-        sweep = self._testbench.run_sweep(
-            in1, in2, grid, use_reference=use_reference
-        )
-        for triad, measurement in zip(grid, sweep):
-            results.append(self._summarize(triad, measurement))
-            if keep_measurements:
-                measurements.append(measurement)
+        if keep_measurements:
+            # The golden words are triad-independent: compute them once for
+            # the whole sweep, not per payload.
+            in1_arr = np.asarray(in1, dtype=np.int64)
+            in2_arr = np.asarray(in2, dtype=np.int64)
+            exact = self._adder.exact_sum(in1_arr, in2_arr)
+            exact_bits = _exact_bit_matrix(exact, self._adder.output_width)
+            measurements = [
+                sweep_module.payload_to_measurement(
+                    payload,
+                    self._adder,
+                    in1_arr,
+                    in2_arr,
+                    exact=exact,
+                    exact_bits=exact_bits,
+                )
+                for payload in payloads
+            ]
 
         return AdderCharacterization(
             adder_name=self._adder.name,
@@ -325,23 +375,37 @@ class CharacterizationFlow:
             return triads
         return TriadGrid(list(triads))
 
-    def _summarize(
-        self, triad: OperatingTriad, measurement: TriadMeasurement
-    ) -> TriadCharacterization:
-        # ``measurement.error_bits`` is exactly the bit-difference matrix
-        # ``bit_error_rate`` / ``bitwise_error_probability`` would rebuild
-        # from the words, so reduce it directly instead of re-deriving it.
-        error_bits = measurement.error_bits.reshape(-1, self._adder.output_width)
-        return TriadCharacterization(
-            triad=triad,
-            ber=float(error_bits.mean()),
-            mse=mean_squared_error(measurement.exact_words, measurement.latched_words),
-            bitwise_error=error_bits.mean(axis=0),
-            energy_per_operation=measurement.energy_per_operation,
-            dynamic_energy_per_operation=measurement.dynamic_energy_per_operation,
-            static_energy_per_operation=measurement.static_energy_per_operation,
-            faulty_vector_fraction=measurement.faulty_vector_fraction,
-        )
+
+def _exact_bit_matrix(values: np.ndarray, width: int) -> np.ndarray:
+    from repro.circuits.signals import int_to_bits
+
+    return int_to_bits(values, width)
+
+
+def entry_from_payload(payload: Mapping[str, Any]) -> TriadCharacterization:
+    """Rebuild one :class:`TriadCharacterization` from a sweep payload dict.
+
+    Payloads (see :mod:`repro.core.sweep`) are the exchange format between
+    sweep workers, the result store and the characterization flow; every
+    field round-trips exactly, so entries are identical whether a triad was
+    computed here, in a worker process, or fetched from disk.
+    """
+    triad_data = payload["triad"]
+    triad = OperatingTriad(
+        tclk=float(triad_data["tclk"]),
+        vdd=float(triad_data["vdd"]),
+        vbb=float(triad_data["vbb"]),
+    )
+    return TriadCharacterization(
+        triad=triad,
+        ber=float(payload["ber"]),
+        mse=float(payload["mse"]),
+        bitwise_error=np.asarray(payload["bitwise_error"], dtype=float),
+        energy_per_operation=float(payload["energy_per_operation"]),
+        dynamic_energy_per_operation=float(payload["dynamic_energy_per_operation"]),
+        static_energy_per_operation=float(payload["static_energy_per_operation"]),
+        faulty_vector_fraction=float(payload["faulty_vector_fraction"]),
+    )
 
 
 def characterize_benchmarks(
@@ -350,11 +414,18 @@ def characterize_benchmarks(
     pattern_kind: str = "uniform",
     seed: int = 2017,
     library: StandardCellLibrary = DEFAULT_LIBRARY,
+    jobs: int = 1,
+    store: SweepResultStore | None = None,
+    keep_measurements: bool = True,
 ) -> dict[str, AdderCharacterization]:
     """Characterize the paper's four benchmark adders in one call.
 
     Returns a mapping from benchmark name (``"rca8"`` ...) to its
     characterization; used by the figure/table generators and the examples.
+
+    ``jobs`` shards every adder's triad grid over worker processes and
+    ``store`` makes repeated invocations warm-cache hits (bit-identical to a
+    cold serial run in both cases).
     """
     characterizations: dict[str, AdderCharacterization] = {}
     for architecture, width in benchmarks:
@@ -362,6 +433,11 @@ def characterize_benchmarks(
         config = PatternConfig(
             n_vectors=pattern_vectors, width=width, seed=seed, kind=pattern_kind
         )
-        characterization = flow.run(pattern=config)
+        characterization = flow.run(
+            pattern=config,
+            jobs=jobs,
+            store=store,
+            keep_measurements=keep_measurements,
+        )
         characterizations[characterization.adder_name] = characterization
     return characterizations

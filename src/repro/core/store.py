@@ -1,0 +1,245 @@
+"""Content-addressed on-disk store for sweep results.
+
+Characterizing an operator over a triad grid is pure: the summary of one
+triad depends only on the circuit structure, the stimulus, the operating
+triad, the cell library and the simulation-engine version.  This module
+persists those per-triad summaries keyed by a cryptographic hash of exactly
+those ingredients, so repeated sweeps -- across CLI runs, benchmark sessions
+and CI jobs -- become warm-cache hits instead of recomputation.
+
+Design points:
+
+* **Content addressing.**  A key is the SHA-256 of the canonical JSON of the
+  key components (see :meth:`SweepResultStore.entry_key`).  Any change to the
+  circuit (netlist fingerprint), stimulus (pattern config or operand hash),
+  triad, library parameters or :data:`repro.simulation.engine.ENGINE_VERSION`
+  changes the key, which *is* the invalidation mechanism -- stale entries are
+  simply never looked up again (and can be purged with :meth:`clear`).
+* **One file per entry.**  Entries are small JSON documents (a triad summary
+  plus, optionally, the base64-packed latched output words that allow full
+  measurement reconstruction), fanned out over 256 subdirectories by key
+  prefix.  Writes are atomic (temp file + rename) so concurrent sweeps can
+  share one store.
+* **Corruption tolerance.**  A truncated/garbled entry is detected on read,
+  deleted, and treated as a miss; any OS-level error degrades to a miss as
+  well, so a broken cache can never fail a sweep.
+"""
+
+from __future__ import annotations
+
+import base64
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.circuits.netlist import Netlist
+from repro.technology.library import StandardCellLibrary
+
+#: Version of the on-disk entry layout.  Part of every key: bumping it
+#: invalidates all previously stored entries.
+STORE_FORMAT_VERSION = 1
+
+#: Environment variable selecting the default store location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+# ---------------------------------------------------------------------------
+# Fingerprints of the cache-key ingredients
+# ---------------------------------------------------------------------------
+
+
+def netlist_fingerprint(netlist: Netlist) -> str:
+    """Stable content hash of a netlist's structure.
+
+    Covers the primary ports and every gate (type, input nets, output net) in
+    topological order -- two netlists with the same fingerprint simulate
+    identically, whatever generator built them.
+    """
+    digest = hashlib.sha256()
+    digest.update(f"nets={netlist.net_count}".encode())
+    for port, net in sorted(netlist.primary_inputs.items()):
+        digest.update(f"|in:{port}={net}".encode())
+    for port, net in sorted(netlist.primary_outputs.items()):
+        digest.update(f"|out:{port}={net}".encode())
+    for gate in netlist.topological_gates:
+        digest.update(
+            f"|{gate.gate_type.value}:{','.join(map(str, gate.inputs))}>{gate.output}".encode()
+        )
+    return digest.hexdigest()
+
+
+def library_fingerprint(library: StandardCellLibrary) -> str:
+    """Stable content hash of a standard-cell library's parameters.
+
+    Covers the technology parameter set and every cell's timing/power
+    description, so a retuned library never reuses results computed with the
+    old parameters.
+    """
+    digest = hashlib.sha256()
+    digest.update(_canonical_json(dataclasses.asdict(library.technology)).encode())
+    for name in library.cell_names:
+        digest.update(_canonical_json(dataclasses.asdict(library.cell(name))).encode())
+    return digest.hexdigest()
+
+
+def operand_fingerprint(in1: np.ndarray, in2: np.ndarray) -> str:
+    """Content hash of an explicit operand-pair stimulus."""
+    digest = hashlib.sha256()
+    for array in (in1, in2):
+        data = np.ascontiguousarray(np.asarray(array, dtype=np.int64))
+        digest.update(repr(data.shape).encode())
+        digest.update(data.tobytes())
+    return digest.hexdigest()
+
+
+def _canonical_json(data: Any) -> str:
+    """Deterministic JSON encoding used for hashing key components."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+# ---------------------------------------------------------------------------
+# Array <-> JSON helpers (exact round-trips)
+# ---------------------------------------------------------------------------
+
+
+def encode_int64_array(values: np.ndarray) -> str:
+    """Base64 encoding of an int64 array (exact, little-endian)."""
+    data = np.ascontiguousarray(np.asarray(values, dtype="<i8"))
+    return base64.b64encode(data.tobytes()).decode("ascii")
+
+
+def decode_int64_array(text: str) -> np.ndarray:
+    """Inverse of :func:`encode_int64_array`."""
+    return np.frombuffer(base64.b64decode(text), dtype="<i8").astype(
+        np.int64, copy=True
+    )
+
+
+# ---------------------------------------------------------------------------
+# The store
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class StoreStats:
+    """Hit/miss counters of one store instance (not persisted)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corrupt: int = 0
+
+
+class SweepResultStore:
+    """Content-addressed result store rooted at one directory.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the entries.  Created on first write; a missing
+        directory reads as an empty store.
+    """
+
+    def __init__(self, root: str | os.PathLike[str]) -> None:
+        self._root = pathlib.Path(root)
+        self.stats = StoreStats()
+
+    @classmethod
+    def default(cls) -> "SweepResultStore":
+        """The store at ``$REPRO_CACHE_DIR`` (or ``~/.cache/repro/sweeps``)."""
+        configured = os.environ.get(CACHE_DIR_ENV)
+        if configured:
+            return cls(configured)
+        return cls(pathlib.Path.home() / ".cache" / "repro" / "sweeps")
+
+    @property
+    def root(self) -> pathlib.Path:
+        """Root directory of the store."""
+        return self._root
+
+    @staticmethod
+    def entry_key(components: Mapping[str, Any]) -> str:
+        """Content-addressed key of one result entry.
+
+        ``components`` must be a JSON-serialisable mapping fully describing
+        the computation (circuit fingerprint, stimulus, triad, library
+        fingerprint, engine version ...).  The store format version is mixed
+        in so layout changes invalidate everything at once.
+        """
+        payload = dict(components)
+        payload["store_format"] = STORE_FORMAT_VERSION
+        return hashlib.sha256(_canonical_json(payload).encode()).hexdigest()
+
+    def _entry_path(self, key: str) -> pathlib.Path:
+        return self._root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """Fetch an entry payload, or ``None`` on miss.
+
+        A corrupted entry (unreadable JSON, wrong shape) is deleted and
+        reported as a miss; OS-level errors also degrade to a miss so a
+        broken cache never fails the sweep.
+        """
+        path = self._entry_path(key)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            # Missing entry and unreadable cache look the same: a miss.
+            self.stats.misses += 1
+            return None
+        try:
+            payload = json.loads(text)
+            if not isinstance(payload, dict) or payload.get("key") != key:
+                raise ValueError("entry does not match its key")
+        except (ValueError, TypeError):
+            # Corrupted entry: drop it and recompute.
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        # The embedded key is integrity metadata, not part of the payload:
+        # strip it so cached payloads compare equal to freshly computed ones.
+        payload.pop("key", None)
+        return payload
+
+    def put(self, key: str, payload: Mapping[str, Any]) -> None:
+        """Store an entry payload atomically (temp file + rename)."""
+        document = dict(payload)
+        document["key"] = key
+        path = self._entry_path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            temp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+            temp.write_text(_canonical_json(document), encoding="utf-8")
+            os.replace(temp, path)
+        except OSError:
+            # Read-only or full filesystem: run uncached rather than fail.
+            return
+        self.stats.stores += 1
+
+    def __len__(self) -> int:
+        if not self._root.is_dir():
+            return 0
+        return sum(1 for _ in self._root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry (explicit invalidation); returns the count."""
+        removed = 0
+        if not self._root.is_dir():
+            return removed
+        for path in self._root.glob("*/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

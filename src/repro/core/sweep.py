@@ -1,0 +1,593 @@
+"""Sharded, cache-backed sweep orchestration.
+
+The paper's core experiment (the Fig. 4 flow feeding Fig. 5/8 and Tables
+III-IV) is a grid sweep of operating triads per operator.  PR 1 made one
+triad cheap; this module makes the *grid* scale:
+
+* **Sharding.**  A triad grid is split into shards along ``(vdd, vbb)``
+  groups -- the axis the simulator's sweep-level reuse is keyed on -- so
+  each worker pays the per-operating-point arrival computation exactly once
+  for its shard.  Shard assignment is deterministic (greedy balance over
+  sorted groups) and the merge is by grid order, so results are bit-identical
+  to a serial sweep regardless of worker count or completion order.
+* **Worker processes.**  Shards execute on a ``ProcessPoolExecutor``
+  (``jobs`` workers).  Workers rebuild the circuit from its generator name;
+  the parent verifies the rebuilt netlist fingerprint matches before
+  dispatching, and falls back to in-process execution for circuits the
+  registry cannot reproduce.
+* **Result store.**  Each triad's summary is a pure function of (circuit,
+  stimulus, triad, library, engine version); completed entries are persisted
+  in a content-addressed :class:`~repro.core.store.SweepResultStore`, so
+  repeated sweeps -- across CLI runs, benchmark sessions and CI jobs -- skip
+  the timing simulation entirely.
+
+Everything travels as JSON-serialisable *payload* dicts (exact float / int64
+round-trips), whether a result comes from this process, a worker, or the
+on-disk store; the conversion back to :class:`TriadCharacterization` /
+:class:`TriadMeasurement` is therefore identical on every path.
+
+The same machinery shards the structural fault campaigns of
+:mod:`repro.simulation.fault_injection` (fault sites instead of triads, see
+:func:`run_fault_sweep`), and multiplier grids run through the identical
+entry points because :class:`MultiplierTestbench` shares the testbench
+interface.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+from repro.circuits.adders import AdderCircuit, build_adder, parse_adder_name
+from repro.circuits.multipliers import MultiplierCircuit, array_multiplier
+from repro.circuits.signals import int_to_bits
+from repro.core.metrics import mean_squared_error
+from repro.core.store import (
+    SweepResultStore,
+    decode_int64_array,
+    encode_int64_array,
+    library_fingerprint,
+    netlist_fingerprint,
+    operand_fingerprint,
+)
+from repro.core.triad import OperatingTriad, TriadGrid
+from repro.simulation.engine import ENGINE_VERSION
+from repro.simulation.fault_injection import (
+    FaultSimulationResult,
+    StuckAtFault,
+    StuckAtFaultSimulator,
+    enumerate_stuck_at_faults,
+)
+from repro.simulation.multiplier_testbench import MultiplierTestbench
+from repro.simulation.patterns import PatternConfig
+from repro.simulation.testbench import AdderTestbench, TriadMeasurement
+from repro.technology.library import DEFAULT_LIBRARY, StandardCellLibrary
+
+#: Version of the payload dict layout (part of the stored entries).
+PAYLOAD_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Circuit specs (what a worker process needs to rebuild the circuit)
+# ---------------------------------------------------------------------------
+
+_MULTIPLIER_NAME = re.compile(r"^mul(\d+)x(\d+)$")
+
+
+@dataclasses.dataclass(frozen=True)
+class CircuitSpec:
+    """Generator coordinates of a circuit, picklable for worker processes.
+
+    Attributes
+    ----------
+    kind:
+        ``"adder"`` or ``"multiplier"``.
+    architecture:
+        Adder architecture name (``"rca"`` ...); ``"array"`` for multipliers.
+    width:
+        Operand width (``width_a`` for multipliers).
+    width_b:
+        Second operand width of a multiplier; ``None`` for adders.
+    """
+
+    kind: str
+    architecture: str
+    width: int
+    width_b: int | None = None
+
+    @classmethod
+    def from_circuit(cls, circuit: Any) -> "CircuitSpec | None":
+        """Derive the spec of a generator-built circuit, or ``None``.
+
+        Returns ``None`` when the circuit's name does not map back onto a
+        registry generator -- such circuits still sweep (in-process) and
+        still cache (keyed by netlist fingerprint), they just cannot be
+        shipped to worker processes by name.
+        """
+        if isinstance(circuit, MultiplierCircuit):
+            match = _MULTIPLIER_NAME.match(circuit.name)
+            if match is None:
+                return None
+            return cls(
+                kind="multiplier",
+                architecture="array",
+                width=int(match.group(1)),
+                width_b=int(match.group(2)),
+            )
+        if isinstance(circuit, AdderCircuit):
+            try:
+                architecture, width = parse_adder_name(circuit.name)
+            except ValueError:
+                return None
+            return cls(kind="adder", architecture=architecture, width=width)
+        return None
+
+    def build(self) -> Any:
+        """Rebuild the circuit from its generator."""
+        if self.kind == "adder":
+            return build_adder(self.architecture, self.width)
+        if self.kind == "multiplier":
+            return array_multiplier(self.width, self.width_b)
+        raise ValueError(f"unknown circuit kind {self.kind!r}")
+
+
+def _make_testbench(circuit: Any, library: StandardCellLibrary) -> Any:
+    if isinstance(circuit, MultiplierCircuit):
+        return MultiplierTestbench(circuit, library=library)
+    return AdderTestbench(circuit, library=library)
+
+
+def _exact_words(circuit: Any, in1: np.ndarray, in2: np.ndarray) -> np.ndarray:
+    if isinstance(circuit, MultiplierCircuit):
+        return circuit.exact_product(in1, in2)
+    return circuit.exact_sum(in1, in2)
+
+
+# ---------------------------------------------------------------------------
+# Stimulus descriptors (cache-key components + operand resolution)
+# ---------------------------------------------------------------------------
+
+
+def pattern_stimulus(config: PatternConfig) -> dict[str, Any]:
+    """Cache-key components of a generated pattern stimulus."""
+    return {
+        "type": "pattern",
+        "kind": config.kind,
+        "n_vectors": config.n_vectors,
+        "width": config.width,
+        "seed": config.seed,
+    }
+
+
+def operand_stimulus(in1: np.ndarray, in2: np.ndarray) -> dict[str, Any]:
+    """Cache-key components of an explicit operand-pair stimulus."""
+    return {
+        "type": "operands",
+        "sha256": operand_fingerprint(in1, in2),
+        "n_vectors": int(np.asarray(in1).size),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Payloads (the JSON-serialisable unit of result exchange)
+# ---------------------------------------------------------------------------
+
+
+def measurement_to_payload(
+    measurement: TriadMeasurement,
+    output_width: int,
+    keep_latched: bool,
+) -> dict[str, Any]:
+    """Condense one triad measurement into a payload dict.
+
+    Uses exactly the reduction expressions the characterization flow always
+    used (``error_bits.mean()`` ...), so payload statistics are bit-identical
+    with a direct in-process summary.
+    """
+    error_bits = measurement.error_bits.reshape(-1, output_width)
+    payload: dict[str, Any] = {
+        "payload_version": PAYLOAD_VERSION,
+        "triad": {
+            "tclk": measurement.tclk,
+            "vdd": measurement.vdd,
+            "vbb": measurement.vbb,
+        },
+        "n_vectors": measurement.n_vectors,
+        "ber": float(error_bits.mean()),
+        "mse": mean_squared_error(measurement.exact_words, measurement.latched_words),
+        "bitwise_error": [float(value) for value in error_bits.mean(axis=0)],
+        "energy_per_operation": measurement.energy_per_operation,
+        "dynamic_energy_per_operation": measurement.dynamic_energy_per_operation,
+        "static_energy_per_operation": measurement.static_energy_per_operation,
+        "faulty_vector_fraction": measurement.faulty_vector_fraction,
+    }
+    if keep_latched:
+        payload["latched_words"] = encode_int64_array(measurement.latched_words)
+    return payload
+
+
+def payload_to_measurement(
+    payload: Mapping[str, Any],
+    circuit: Any,
+    in1: np.ndarray,
+    in2: np.ndarray,
+    exact: np.ndarray | None = None,
+    exact_bits: np.ndarray | None = None,
+) -> TriadMeasurement:
+    """Rebuild the raw measurement of one triad from its payload.
+
+    Only the latched output words are stored; the golden words and the error
+    bit matrix are recomputed from the operands, which is deterministic and
+    exact.  ``exact`` / ``exact_bits`` are triad-independent -- pass them in
+    when rebuilding a whole sweep so they are computed once, not per triad.
+    """
+    if "latched_words" not in payload:
+        raise KeyError("payload does not carry latched words")
+    in1_arr = np.asarray(in1, dtype=np.int64)
+    in2_arr = np.asarray(in2, dtype=np.int64)
+    latched = decode_int64_array(payload["latched_words"]).reshape(in1_arr.shape)
+    if exact is None:
+        exact = _exact_words(circuit, in1_arr, in2_arr)
+    if exact_bits is None:
+        exact_bits = int_to_bits(exact, circuit.output_width)
+    latched_bits = int_to_bits(latched, circuit.output_width)
+    triad = payload["triad"]
+    return TriadMeasurement(
+        adder_name=circuit.name,
+        tclk=float(triad["tclk"]),
+        vdd=float(triad["vdd"]),
+        vbb=float(triad["vbb"]),
+        in1=in1_arr,
+        in2=in2_arr,
+        latched_words=latched,
+        exact_words=exact,
+        error_bits=latched_bits != exact_bits,
+        energy_per_operation=float(payload["energy_per_operation"]),
+        dynamic_energy_per_operation=float(payload["dynamic_energy_per_operation"]),
+        static_energy_per_operation=float(payload["static_energy_per_operation"]),
+    )
+
+
+def _payload_usable(
+    payload: Mapping[str, Any] | None, n_vectors: int, keep_latched: bool
+) -> bool:
+    if payload is None:
+        return False
+    if payload.get("payload_version") != PAYLOAD_VERSION:
+        return False
+    if payload.get("n_vectors") != n_vectors:
+        return False
+    if keep_latched and "latched_words" not in payload:
+        return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Sharding
+# ---------------------------------------------------------------------------
+
+
+def shard_triads(
+    triads: Sequence[OperatingTriad], n_shards: int
+) -> list[list[OperatingTriad]]:
+    """Split a triad list into at most ``n_shards`` balanced shards.
+
+    Triads sharing an operating point ``(vdd, vbb)`` always land in the same
+    shard, because settled bits are reused per pattern set and arrival times
+    per operating point -- splitting such a group across workers would
+    duplicate the expensive part of the sweep.  Assignment is deterministic:
+    groups (largest first) go to the currently lightest shard.
+    """
+    if n_shards <= 0:
+        raise ValueError("n_shards must be positive")
+    groups: dict[tuple[float, float], list[OperatingTriad]] = {}
+    for triad in triads:
+        groups.setdefault((triad.vdd, triad.vbb), []).append(triad)
+    ordered = sorted(
+        groups.items(), key=lambda item: (-len(item[1]), item[0][0], item[0][1])
+    )
+    shards: list[list[OperatingTriad]] = [[] for _ in range(min(n_shards, len(groups)))]
+    loads = [0] * len(shards)
+    for _, group in ordered:
+        lightest = loads.index(min(loads))
+        shards[lightest].extend(group)
+        loads[lightest] += len(group)
+    return [shard for shard in shards if shard]
+
+
+# ---------------------------------------------------------------------------
+# Worker entry points (module level: picklable)
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class _CharacterizationShard:
+    spec: CircuitSpec
+    library: StandardCellLibrary
+    in1: np.ndarray
+    in2: np.ndarray
+    triads: tuple[tuple[float, float, float], ...]
+    keep_latched: bool
+
+
+def _run_characterization_shard(task: _CharacterizationShard) -> list[dict[str, Any]]:
+    circuit = task.spec.build()
+    testbench = _make_testbench(circuit, task.library)
+    triads = [OperatingTriad(tclk=t, vdd=v, vbb=b) for t, v, b in task.triads]
+    measurements = testbench.run_sweep(task.in1, task.in2, triads)
+    return [
+        measurement_to_payload(m, circuit.output_width, task.keep_latched)
+        for m in measurements
+    ]
+
+
+@dataclasses.dataclass(frozen=True)
+class _FaultShard:
+    spec: CircuitSpec
+    in1: np.ndarray
+    in2: np.ndarray
+    faults: tuple[tuple[int, bool], ...]
+
+
+def _run_fault_shard(task: _FaultShard) -> list[dict[str, Any]]:
+    circuit = task.spec.build()
+    simulator = StuckAtFaultSimulator(
+        circuit.netlist, output_ports=circuit.output_ports()
+    )
+    assignment = circuit.input_assignment(
+        np.asarray(task.in1, dtype=np.int64), np.asarray(task.in2, dtype=np.int64)
+    )
+    faults = [StuckAtFault(net=net, stuck_value=value) for net, value in task.faults]
+    results = simulator.run(assignment, faults)
+    return [_fault_result_to_payload(result) for result in results]
+
+
+def _fault_result_to_payload(result: FaultSimulationResult) -> dict[str, Any]:
+    return {
+        "payload_version": PAYLOAD_VERSION,
+        "fault": {"net": result.fault.net, "value": bool(result.fault.stuck_value)},
+        "detected": bool(result.detected),
+        "faulty_vector_fraction": result.faulty_vector_fraction,
+        "ber": result.ber,
+    }
+
+
+def _payload_to_fault_result(payload: Mapping[str, Any]) -> FaultSimulationResult:
+    fault = payload["fault"]
+    return FaultSimulationResult(
+        fault=StuckAtFault(net=int(fault["net"]), stuck_value=bool(fault["value"])),
+        detected=bool(payload["detected"]),
+        faulty_vector_fraction=float(payload["faulty_vector_fraction"]),
+        ber=float(payload["ber"]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Orchestration
+# ---------------------------------------------------------------------------
+
+
+def _verified_spec(circuit: Any, fingerprint: str) -> CircuitSpec | None:
+    """Spec whose rebuilt netlist is proven identical to ``circuit``'s."""
+    spec = CircuitSpec.from_circuit(circuit)
+    if spec is None:
+        return None
+    if netlist_fingerprint(spec.build().netlist) != fingerprint:
+        return None
+    return spec
+
+
+def run_characterization_sweep(
+    circuit: Any,
+    grid: TriadGrid,
+    in1: np.ndarray,
+    in2: np.ndarray,
+    stimulus: Mapping[str, Any],
+    *,
+    library: StandardCellLibrary = DEFAULT_LIBRARY,
+    jobs: int = 1,
+    store: SweepResultStore | None = None,
+    keep_latched: bool = True,
+    testbench: Any = None,
+) -> list[dict[str, Any]]:
+    """Characterize a circuit over a triad grid, sharded and cached.
+
+    Parameters
+    ----------
+    circuit:
+        :class:`AdderCircuit` or :class:`MultiplierCircuit` under test.
+    grid:
+        The triad grid to sweep.
+    in1, in2:
+        Operand streams (already resolved from the pattern config).
+    stimulus:
+        Cache-key components of the stimulus (:func:`pattern_stimulus` or
+        :func:`operand_stimulus`).
+    library:
+        Standard-cell library used by the simulation.
+    jobs:
+        Worker processes; ``1`` executes in-process.  Results are
+        bit-identical for every value.
+    store:
+        Optional result store; ``None`` disables persistence.
+    keep_latched:
+        Whether payloads must carry the latched output words (required to
+        reconstruct raw measurements).  Cached entries without them are
+        recomputed when requested.
+    testbench:
+        Optional pre-built testbench to reuse for in-process execution.
+
+    Returns
+    -------
+    list of payload dicts in grid order.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    in1_arr = np.asarray(in1, dtype=np.int64)
+    in2_arr = np.asarray(in2, dtype=np.int64)
+    fingerprint = netlist_fingerprint(circuit.netlist)
+    base_components: dict[str, Any] = {
+        "scenario": "characterization",
+        "engine_version": ENGINE_VERSION,
+        "circuit": fingerprint,
+        "circuit_name": circuit.name,
+        "library": library_fingerprint(library),
+        "stimulus": dict(stimulus),
+    }
+    n_vectors = int(in1_arr.size)
+
+    keys: dict[OperatingTriad, str] = {}
+    payloads: dict[OperatingTriad, dict[str, Any]] = {}
+    for triad in grid:
+        key = SweepResultStore.entry_key(
+            {
+                **base_components,
+                "triad": {"tclk": triad.tclk, "vdd": triad.vdd, "vbb": triad.vbb},
+            }
+        )
+        keys[triad] = key
+        if store is not None:
+            cached = store.get(key)
+            if _payload_usable(cached, n_vectors, keep_latched):
+                payloads[triad] = cached  # type: ignore[assignment]
+
+    missing = [triad for triad in grid if triad not in payloads]
+    if missing:
+        spec = _verified_spec(circuit, fingerprint) if jobs > 1 else None
+        shards = shard_triads(missing, jobs if spec is not None else 1)
+        if spec is not None and len(shards) > 1:
+            tasks = [
+                _CharacterizationShard(
+                    spec=spec,
+                    library=library,
+                    in1=in1_arr,
+                    in2=in2_arr,
+                    triads=tuple((t.tclk, t.vdd, t.vbb) for t in shard),
+                    keep_latched=keep_latched,
+                )
+                for shard in shards
+            ]
+            with ProcessPoolExecutor(max_workers=len(tasks)) as pool:
+                shard_payloads = list(pool.map(_run_characterization_shard, tasks))
+        else:
+            bench = testbench or _make_testbench(circuit, library)
+            shards = [missing]
+            shard_payloads = [
+                [
+                    measurement_to_payload(m, circuit.output_width, keep_latched)
+                    for m in bench.run_sweep(in1_arr, in2_arr, missing)
+                ]
+            ]
+        for shard, shard_result in zip(shards, shard_payloads):
+            for triad, payload in zip(shard, shard_result):
+                payloads[triad] = payload
+                if store is not None:
+                    store.put(keys[triad], payload)
+
+    return [payloads[triad] for triad in grid]
+
+
+def run_fault_sweep(
+    circuit: Any,
+    in1: np.ndarray,
+    in2: np.ndarray,
+    stimulus: Mapping[str, Any],
+    *,
+    faults: Sequence[StuckAtFault] | None = None,
+    jobs: int = 1,
+    store: SweepResultStore | None = None,
+) -> list[FaultSimulationResult]:
+    """Run a stuck-at fault campaign, sharded over fault sites and cached.
+
+    The fault list (default: the full single-stuck-at universe of the
+    circuit) is split into contiguous chunks across ``jobs`` workers; each
+    worker evaluates its chunk on the compiled packed engine.  Per-fault
+    results are stored content-addressed, keyed on (circuit, stimulus,
+    fault, engine version) -- the cell library does not enter the key because
+    stuck-at simulation is purely functional.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    in1_arr = np.asarray(in1, dtype=np.int64)
+    in2_arr = np.asarray(in2, dtype=np.int64)
+    fault_list = list(
+        enumerate_stuck_at_faults(circuit.netlist) if faults is None else faults
+    )
+    fingerprint = netlist_fingerprint(circuit.netlist)
+    base_components: dict[str, Any] = {
+        "scenario": "stuck_at",
+        "engine_version": ENGINE_VERSION,
+        "circuit": fingerprint,
+        "circuit_name": circuit.name,
+        "stimulus": dict(stimulus),
+    }
+    n_vectors = int(in1_arr.size)
+
+    keys: list[str] = []
+    results: dict[int, FaultSimulationResult] = {}
+    missing_indices: list[int] = []
+    for index, fault in enumerate(fault_list):
+        key = SweepResultStore.entry_key(
+            {
+                **base_components,
+                "fault": {"net": fault.net, "value": bool(fault.stuck_value)},
+            }
+        )
+        keys.append(key)
+        cached = store.get(key) if store is not None else None
+        if (
+            cached is not None
+            and cached.get("payload_version") == PAYLOAD_VERSION
+            and cached.get("n_vectors", n_vectors) == n_vectors
+        ):
+            results[index] = _payload_to_fault_result(cached)
+        else:
+            missing_indices.append(index)
+
+    if missing_indices:
+        spec = _verified_spec(circuit, fingerprint) if jobs > 1 else None
+        n_shards = min(jobs, len(missing_indices)) if spec is not None else 1
+        chunks = [
+            missing_indices[start::n_shards] for start in range(n_shards)
+        ]
+        if spec is not None and len(chunks) > 1:
+            tasks = [
+                _FaultShard(
+                    spec=spec,
+                    in1=in1_arr,
+                    in2=in2_arr,
+                    faults=tuple(
+                        (fault_list[i].net, bool(fault_list[i].stuck_value))
+                        for i in chunk
+                    ),
+                )
+                for chunk in chunks
+            ]
+            with ProcessPoolExecutor(max_workers=len(tasks)) as pool:
+                chunk_payloads = list(pool.map(_run_fault_shard, tasks))
+        else:
+            simulator = StuckAtFaultSimulator(
+                circuit.netlist, output_ports=circuit.output_ports()
+            )
+            assignment = circuit.input_assignment(in1_arr, in2_arr)
+            chunks = [missing_indices]
+            chunk_payloads = [
+                [
+                    _fault_result_to_payload(result)
+                    for result in simulator.run(
+                        assignment, [fault_list[i] for i in missing_indices]
+                    )
+                ]
+            ]
+        for chunk, chunk_result in zip(chunks, chunk_payloads):
+            for index, payload in zip(chunk, chunk_result):
+                payload = {**payload, "n_vectors": n_vectors}
+                results[index] = _payload_to_fault_result(payload)
+                if store is not None:
+                    store.put(keys[index], payload)
+
+    return [results[index] for index in range(len(fault_list))]

@@ -16,7 +16,9 @@ simulations; this package provides the functional equivalent:
 * :mod:`repro.simulation.patterns`   -- input stimulus generators, including
   the paper's "equal carry-propagation probability" training patterns.
 * :mod:`repro.simulation.fault_injection` -- position-independent random
-  bit-flip baseline against which the VOS model is compared.
+  bit-flip baseline against which the VOS model is compared, plus
+  gate-level single-stuck-at fault simulation on the compiled packed
+  engine (shardable across worker processes by :mod:`repro.core.sweep`).
 * :mod:`repro.simulation.testbench`  -- per-triad measurement runs combining
   functional results with energy estimates.
 * :mod:`repro.simulation.engine`     -- compiled level-packed evaluation
@@ -47,7 +49,13 @@ from repro.simulation.patterns import (
     generate_patterns,
     PATTERN_GENERATORS,
 )
-from repro.simulation.fault_injection import RandomBitFlipModel
+from repro.simulation.fault_injection import (
+    RandomBitFlipModel,
+    StuckAtFault,
+    StuckAtFaultSimulator,
+    FaultSimulationResult,
+    enumerate_stuck_at_faults,
+)
 from repro.simulation.testbench import TriadMeasurement, AdderTestbench
 from repro.simulation.multiplier_testbench import MultiplierTestbench
 
@@ -68,6 +76,10 @@ __all__ = [
     "generate_patterns",
     "PATTERN_GENERATORS",
     "RandomBitFlipModel",
+    "StuckAtFault",
+    "StuckAtFaultSimulator",
+    "FaultSimulationResult",
+    "enumerate_stuck_at_faults",
     "AdderTestbench",
     "MultiplierTestbench",
     "TriadMeasurement",

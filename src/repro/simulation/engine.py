@@ -45,6 +45,12 @@ from repro.circuits.cells import GATE_WORD_FUNCTIONS, GateType, evaluate_gate
 from repro.circuits.netlist import Netlist
 from repro.technology.library import DEFAULT_LIBRARY, StandardCellLibrary
 
+#: Version tag of the simulation numerics.  The sweep result store keys every
+#: cached entry on this value; bump it whenever a change alters any number an
+#: engine simulation produces (delays, energies, latched bits), so stale
+#: on-disk results are invalidated instead of silently reused.
+ENGINE_VERSION = 2
+
 #: Extra load on primary outputs standing in for the capture register input.
 OUTPUT_REGISTER_LOAD_CELL = "DFF"
 
@@ -374,6 +380,35 @@ class CompiledNetlistPlan:
             step(values)
         return values
 
+    def evaluate_forced(
+        self, values: np.ndarray, forced: Mapping[int, bool]
+    ) -> np.ndarray:
+        """Settle all gate outputs with selected nets forced to constants.
+
+        ``forced`` maps net ids to stuck values; a forced net keeps its
+        constant regardless of what its driver computes, which models a
+        stuck-at fault at that net.  Works on the same value-array layouts as
+        :meth:`evaluate` (``bool`` rows or bit-packed ``uint64`` rows --
+        padding bits of a forced packed row are junk, like every packed tail).
+        """
+        if not forced:
+            return self.evaluate(values)
+        one = (
+            np.iinfo(np.uint64).max
+            if values.dtype == np.uint64
+            else values.dtype.type(True)
+        )
+        zero = values.dtype.type(0)
+        for net, value in forced.items():
+            values[net] = one if value else zero
+        for step, group in zip(self._program, self._groups):
+            step(values)
+            for net in group.output_nets:
+                stuck = forced.get(int(net))
+                if stuck is not None:
+                    values[net] = one if stuck else zero
+        return values
+
     def arrival_pass(
         self, changed: np.ndarray, gate_delays: np.ndarray
     ) -> np.ndarray:
@@ -530,6 +565,31 @@ def evaluate_values(
     return plan.evaluate(values)
 
 
+def pack_bound_inputs(
+    net_count: int, bound_inputs: Mapping[int, np.ndarray]
+) -> tuple[np.ndarray, int]:
+    """Bit-packed value matrix with the primary-input rows filled.
+
+    Returns ``(words, n_vectors)`` where ``words`` has shape
+    ``(net_count, n_words)`` -- 64 stimulus vectors per ``uint64`` word, all
+    undriven rows zero.  Each port is packed straight into its row of the
+    word matrix: no stacked boolean intermediate, one packbits pass per
+    input array.  This is the single definition of the packed input layout;
+    every packed evaluation (golden, fault-forced) must build on it.
+    """
+    sample = next(iter(bound_inputs.values()))
+    n_vectors = int(np.shape(sample)[0])
+    n_words = (n_vectors + WORD_BITS - 1) // WORD_BITS
+    words = np.zeros((net_count, n_words), dtype=np.uint64)
+    byte_rows = words.view(np.uint8)
+    for net, array in bound_inputs.items():
+        packed = np.packbits(
+            np.ascontiguousarray(array, dtype=bool), bitorder="little"
+        )
+        byte_rows[net, : packed.size] = packed
+    return words, n_vectors
+
+
 def evaluate_packed(
     netlist: Netlist, bound_inputs: Mapping[int, np.ndarray]
 ) -> tuple[np.ndarray, int]:
@@ -539,18 +599,7 @@ def evaluate_packed(
     ``(net_count, n_words)`` -- 64 stimulus vectors per ``uint64`` word.
     """
     plan = compile_plan(netlist)
-    sample = next(iter(bound_inputs.values()))
-    n_vectors = int(np.shape(sample)[0])
-    n_words = (n_vectors + WORD_BITS - 1) // WORD_BITS
-    words = np.zeros((plan.net_count, n_words), dtype=np.uint64)
-    # Pack each port straight into its row of the word matrix: no stacked
-    # boolean intermediate, one packbits pass over each input array.
-    byte_rows = words.view(np.uint8)
-    for net, array in bound_inputs.items():
-        packed = np.packbits(
-            np.ascontiguousarray(array, dtype=bool), bitorder="little"
-        )
-        byte_rows[net, : packed.size] = packed
+    words, n_vectors = pack_bound_inputs(plan.net_count, bound_inputs)
     return plan.evaluate(words), n_vectors
 
 

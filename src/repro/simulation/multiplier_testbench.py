@@ -6,15 +6,26 @@ testbench to the array multiplier of :mod:`repro.circuits.multipliers`, so
 the VOS behaviour of a multiply unit can be characterized with exactly the
 same machinery (and compared against the adder results in the ablation
 benchmarks).
+
+Like :class:`~repro.simulation.testbench.AdderTestbench`, sweeps run on the
+compiled engine with sweep-level reuse (:meth:`MultiplierTestbench.run_sweep`
+computes the golden product and its bit matrix once per pattern set), so the
+sweep orchestrator shards multiplier grids exactly like adder grids.
 """
 
 from __future__ import annotations
+
+from typing import Iterable
 
 import numpy as np
 
 from repro.circuits.multipliers import MultiplierCircuit
 from repro.circuits.signals import int_to_bits
-from repro.simulation.testbench import TriadMeasurement
+from repro.simulation.testbench import (
+    TriadMeasurement,
+    measurement_from_result,
+    sweep_measurements,
+)
 from repro.simulation.timing_sim import VosTimingSimulator
 from repro.technology.library import DEFAULT_LIBRARY, StandardCellLibrary
 
@@ -62,27 +73,65 @@ class MultiplierTestbench:
         tclk: float,
         vdd: float,
         vbb: float = 0.0,
+        *,
+        use_reference: bool = False,
     ) -> TriadMeasurement:
-        """Apply an operand stream under one operating triad."""
+        """Apply an operand stream under one operating triad.
+
+        ``use_reference=True`` runs the legacy per-gate simulation loop
+        instead of the compiled engine (parity tests / benchmarks only).
+        """
         in1_arr = np.asarray(in1, dtype=np.int64)
         in2_arr = np.asarray(in2, dtype=np.int64)
         if in1_arr.shape != in2_arr.shape:
             raise ValueError("in1 and in2 must have the same shape")
         assignment = self._multiplier.input_assignment(in1_arr, in2_arr)
-        result = self._simulator.run(assignment, tclk=tclk, vdd=vdd, vbb=vbb)
+        simulate = (
+            self._simulator.run_reference if use_reference else self._simulator.run
+        )
+        result = simulate(assignment, tclk=tclk, vdd=vdd, vbb=vbb)
         exact = self._multiplier.exact_product(in1_arr, in2_arr)
-        exact_bits = int_to_bits(exact, self._multiplier.output_width)
-        return TriadMeasurement(
-            adder_name=self._multiplier.name,
-            tclk=tclk,
-            vdd=vdd,
-            vbb=vbb,
-            in1=in1_arr,
-            in2=in2_arr,
-            latched_words=result.latched_words,
-            exact_words=exact,
-            error_bits=result.latched_bits != exact_bits,
-            energy_per_operation=float(result.total_energy.mean()),
-            dynamic_energy_per_operation=float(result.dynamic_energy.mean()),
-            static_energy_per_operation=float(result.static_energy.mean()),
+        return measurement_from_result(
+            self._multiplier.name,
+            in1_arr,
+            in2_arr,
+            result,
+            tclk,
+            vdd,
+            vbb,
+            exact,
+            int_to_bits(exact, self._multiplier.output_width),
+        )
+
+    def run_sweep(
+        self,
+        in1: np.ndarray,
+        in2: np.ndarray,
+        triads: Iterable,
+        *,
+        use_reference: bool = False,
+    ) -> list[TriadMeasurement]:
+        """Apply one operand stream under every triad of a sweep.
+
+        ``triads`` is any iterable of objects with ``tclk`` / ``vdd`` /
+        ``vbb`` attributes.  The operand-to-port binding and the golden
+        product (with its bit matrix) are computed once for the whole sweep;
+        the simulator additionally reuses settled bits per pattern set and
+        arrival times per ``(vdd, vbb)`` pair, exactly like the adder sweep.
+        """
+        in1_arr = np.asarray(in1, dtype=np.int64)
+        in2_arr = np.asarray(in2, dtype=np.int64)
+        if in1_arr.shape != in2_arr.shape:
+            raise ValueError("in1 and in2 must have the same shape")
+        exact = self._multiplier.exact_product(in1_arr, in2_arr)
+        return sweep_measurements(
+            self._simulator,
+            self._multiplier.name,
+            self._multiplier.input_assignment(in1_arr, in2_arr),
+            in1_arr,
+            in2_arr,
+            exact,
+            int_to_bits(exact, self._multiplier.output_width),
+            triads,
+            use_reference=use_reference,
         )

@@ -163,30 +163,18 @@ class AdderTestbench:
         in2_arr = np.asarray(in2, dtype=np.int64)
         if in1_arr.shape != in2_arr.shape:
             raise ValueError("in1 and in2 must have the same shape")
-        assignment = self._adder.input_assignment(in1_arr, in2_arr)
         exact = self._adder.exact_sum(in1_arr, in2_arr)
-        exact_bits = _exact_bits(exact, self._adder.output_width)
-        simulate = (
-            self._simulator.run_reference if use_reference else self._simulator.run
+        return sweep_measurements(
+            self._simulator,
+            self._adder.name,
+            self._adder.input_assignment(in1_arr, in2_arr),
+            in1_arr,
+            in2_arr,
+            exact,
+            _exact_bits(exact, self._adder.output_width),
+            triads,
+            use_reference=use_reference,
         )
-        measurements = []
-        for triad in triads:
-            result = simulate(
-                assignment, tclk=triad.tclk, vdd=triad.vdd, vbb=triad.vbb
-            )
-            measurements.append(
-                self._measurement_from_result(
-                    in1_arr,
-                    in2_arr,
-                    result,
-                    triad.tclk,
-                    triad.vdd,
-                    triad.vbb,
-                    exact,
-                    exact_bits,
-                )
-            )
-        return measurements
 
     def _to_measurement(
         self,
@@ -198,7 +186,8 @@ class AdderTestbench:
         vbb: float,
     ) -> TriadMeasurement:
         exact = self._adder.exact_sum(in1, in2)
-        return self._measurement_from_result(
+        return measurement_from_result(
+            self._adder.name,
             in1,
             in2,
             result,
@@ -209,33 +198,69 @@ class AdderTestbench:
             _exact_bits(exact, self._adder.output_width),
         )
 
-    def _measurement_from_result(
-        self,
-        in1: np.ndarray,
-        in2: np.ndarray,
-        result: VosSimulationResult,
-        tclk: float,
-        vdd: float,
-        vbb: float,
-        exact: np.ndarray,
-        exact_bits: np.ndarray,
-    ) -> TriadMeasurement:
-        latched = result.latched_words
-        error_bits = result.latched_bits != exact_bits
-        return TriadMeasurement(
-            adder_name=self._adder.name,
-            tclk=tclk,
-            vdd=vdd,
-            vbb=vbb,
-            in1=in1,
-            in2=in2,
-            latched_words=latched,
-            exact_words=exact,
-            error_bits=error_bits,
-            energy_per_operation=float(result.total_energy.mean()),
-            dynamic_energy_per_operation=float(result.dynamic_energy.mean()),
-            static_energy_per_operation=float(result.static_energy.mean()),
+
+def measurement_from_result(
+    name: str,
+    in1: np.ndarray,
+    in2: np.ndarray,
+    result: VosSimulationResult,
+    tclk: float,
+    vdd: float,
+    vbb: float,
+    exact: np.ndarray,
+    exact_bits: np.ndarray,
+) -> TriadMeasurement:
+    """Assemble a :class:`TriadMeasurement` from one simulation result.
+
+    Shared by the adder and multiplier testbenches; ``exact`` /
+    ``exact_bits`` are the circuit's golden words and their bit matrix.
+    """
+    return TriadMeasurement(
+        adder_name=name,
+        tclk=tclk,
+        vdd=vdd,
+        vbb=vbb,
+        in1=in1,
+        in2=in2,
+        latched_words=result.latched_words,
+        exact_words=exact,
+        error_bits=result.latched_bits != exact_bits,
+        energy_per_operation=float(result.total_energy.mean()),
+        dynamic_energy_per_operation=float(result.dynamic_energy.mean()),
+        static_energy_per_operation=float(result.static_energy.mean()),
+    )
+
+
+def sweep_measurements(
+    simulator: VosTimingSimulator,
+    name: str,
+    assignment: dict[str, np.ndarray],
+    in1: np.ndarray,
+    in2: np.ndarray,
+    exact: np.ndarray,
+    exact_bits: np.ndarray,
+    triads: Iterable,
+    *,
+    use_reference: bool = False,
+) -> list[TriadMeasurement]:
+    """Run one operand stream under every triad of a sweep.
+
+    The triad-independent state (port binding, golden words and bit matrix)
+    is taken pre-computed; the simulator adds its own sweep-level reuse
+    (settled bits per pattern set, arrivals per ``(vdd, vbb)``).  Shared by
+    the adder and multiplier testbenches.
+    """
+    simulate = simulator.run_reference if use_reference else simulator.run
+    measurements = []
+    for triad in triads:
+        result = simulate(assignment, tclk=triad.tclk, vdd=triad.vdd, vbb=triad.vbb)
+        measurements.append(
+            measurement_from_result(
+                name, in1, in2, result, triad.tclk, triad.vdd, triad.vbb,
+                exact, exact_bits,
+            )
         )
+    return measurements
 
 
 def _exact_bits(values: np.ndarray, width: int) -> np.ndarray:

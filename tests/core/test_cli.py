@@ -111,3 +111,109 @@ class TestCommands:
         assert main(["speculate", str(dataset), "--margin", "0.1"]) == 0
         out = capsys.readouterr().out
         assert "accurate mode" in out and "approximate mode" in out
+
+
+class TestSweepOptions:
+    def test_characterize_with_jobs_matches_serial(self, tmp_path, capsys):
+        common = [
+            "characterize",
+            "--architecture",
+            "rca",
+            "--width",
+            "8",
+            "--vectors",
+            "300",
+            "--no-cache",
+        ]
+        assert main(common) == 0
+        serial_out = capsys.readouterr().out
+        assert main(common + ["--jobs", "3"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert parallel_out == serial_out
+
+    def test_characterize_warm_cache_round_trip(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        command = [
+            "characterize",
+            "--architecture",
+            "rca",
+            "--width",
+            "8",
+            "--vectors",
+            "300",
+            "--cache-dir",
+            str(cache),
+        ]
+        assert main(command) == 0
+        cold_out = capsys.readouterr().out
+        assert any(cache.glob("*/*.json"))
+        assert main(command) == 0
+        warm_out = capsys.readouterr().out
+        assert warm_out == cold_out
+
+    def test_table4_accepts_adder_names(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "table4",
+                    "rca8",
+                    "--vectors",
+                    "300",
+                    "--cache-dir",
+                    str(tmp_path / "cache"),
+                    "--jobs",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "BER Range" in out and "rca8" in out
+
+    def test_table4_rejects_unknown_token(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["table4", "no-such-file.json", "--no-cache"])
+
+    def test_fig5_with_cache(self, tmp_path, capsys):
+        command = [
+            "fig5",
+            "--architecture",
+            "rca",
+            "--width",
+            "8",
+            "--vdd",
+            "0.6",
+            "--vectors",
+            "300",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+        ]
+        assert main(command) == 0
+        cold_out = capsys.readouterr().out
+        assert main(command) == 0
+        assert capsys.readouterr().out == cold_out
+
+    def test_calibrate_with_cache(self, tmp_path, capsys):
+        output = tmp_path / "table.json"
+        command = [
+            "calibrate",
+            "--architecture",
+            "rca",
+            "--width",
+            "8",
+            "--tclk-ns",
+            "0.28",
+            "--vdd",
+            "0.6",
+            "--vectors",
+            "300",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+            "--output",
+            str(output),
+        ]
+        assert main(command) == 0
+        first = json.loads(output.read_text())
+        capsys.readouterr()
+        assert main(command) == 0  # warm: served from the store
+        assert json.loads(output.read_text()) == first

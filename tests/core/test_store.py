@@ -1,0 +1,161 @@
+"""Tests of the content-addressed sweep result store."""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.circuits.adders import build_adder
+from repro.core.store import (
+    SweepResultStore,
+    decode_int64_array,
+    encode_int64_array,
+    library_fingerprint,
+    netlist_fingerprint,
+    operand_fingerprint,
+)
+from repro.technology.fdsoi28 import FDSOI28_LVT
+from repro.technology.library import DEFAULT_LIBRARY, StandardCellLibrary
+
+
+class TestFingerprints:
+    def test_netlist_fingerprint_is_stable(self):
+        a = netlist_fingerprint(build_adder("rca", 8).netlist)
+        b = netlist_fingerprint(build_adder("rca", 8).netlist)
+        assert a == b
+
+    def test_netlist_fingerprint_separates_architectures_and_widths(self):
+        prints = {
+            netlist_fingerprint(build_adder(arch, width).netlist)
+            for arch, width in (("rca", 8), ("rca", 16), ("bka", 8), ("bka", 16))
+        }
+        assert len(prints) == 4
+
+    def test_library_fingerprint_is_stable(self):
+        assert library_fingerprint(DEFAULT_LIBRARY) == library_fingerprint(
+            StandardCellLibrary()
+        )
+
+    def test_library_fingerprint_tracks_parameter_changes(self):
+        retuned = StandardCellLibrary(
+            tech=dataclasses.replace(FDSOI28_LVT, vt0=FDSOI28_LVT.vt0 * 1.01)
+        )
+        assert library_fingerprint(retuned) != library_fingerprint(DEFAULT_LIBRARY)
+
+    def test_operand_fingerprint_tracks_content_and_shape(self):
+        in1 = np.arange(100)
+        in2 = np.arange(100)[::-1].copy()
+        base = operand_fingerprint(in1, in2)
+        assert base == operand_fingerprint(in1.copy(), in2.copy())
+        assert base != operand_fingerprint(in2, in1)
+        changed = in1.copy()
+        changed[3] += 1
+        assert base != operand_fingerprint(changed, in2)
+
+    def test_int64_array_round_trip(self):
+        values = np.array([0, 1, -5, 2**62, -(2**62)], dtype=np.int64)
+        assert np.array_equal(decode_int64_array(encode_int64_array(values)), values)
+
+
+class TestEntryKeys:
+    def test_key_is_deterministic_and_order_insensitive(self):
+        a = SweepResultStore.entry_key({"x": 1, "y": {"a": 2.5, "b": "s"}})
+        b = SweepResultStore.entry_key({"y": {"b": "s", "a": 2.5}, "x": 1})
+        assert a == b
+
+    def test_key_changes_with_any_component(self):
+        base = {"circuit": "f" * 64, "engine_version": 2, "triad": {"vdd": 0.8}}
+        key = SweepResultStore.entry_key(base)
+        assert key != SweepResultStore.entry_key({**base, "engine_version": 3})
+        assert key != SweepResultStore.entry_key({**base, "circuit": "0" * 64})
+        assert key != SweepResultStore.entry_key({**base, "triad": {"vdd": 0.7}})
+
+    def test_key_distinguishes_close_floats(self):
+        a = SweepResultStore.entry_key({"tclk": 2.8e-10})
+        b = SweepResultStore.entry_key({"tclk": 2.8000000001e-10})
+        assert a != b
+
+
+class TestSweepResultStore:
+    def test_round_trip(self, tmp_path):
+        store = SweepResultStore(tmp_path)
+        key = store.entry_key({"n": 1})
+        assert store.get(key) is None
+        store.put(key, {"ber": 0.25, "bitwise_error": [0.0, 0.5]})
+        fetched = SweepResultStore(tmp_path).get(key)
+        assert fetched == {"ber": 0.25, "bitwise_error": [0.0, 0.5]}
+
+    def test_missing_directory_reads_empty(self, tmp_path):
+        store = SweepResultStore(tmp_path / "does-not-exist")
+        assert len(store) == 0
+        assert store.get("ab" + "0" * 62) is None
+
+    def test_corrupted_entry_is_dropped_and_recomputed(self, tmp_path):
+        store = SweepResultStore(tmp_path)
+        key = store.entry_key({"n": 2})
+        store.put(key, {"ber": 0.5})
+        path = store.root / key[:2] / f"{key}.json"
+        path.write_text("{ truncated garbage", encoding="utf-8")
+        assert store.get(key) is None
+        assert store.stats.corrupt == 1
+        assert not path.exists()
+        # The entry can be rewritten and read again afterwards.
+        store.put(key, {"ber": 0.5})
+        assert store.get(key) == {"ber": 0.5}
+
+    def test_entry_under_wrong_key_is_rejected(self, tmp_path):
+        store = SweepResultStore(tmp_path)
+        key_a = store.entry_key({"n": "a"})
+        key_b = store.entry_key({"n": "b"})
+        store.put(key_a, {"ber": 0.5})
+        source = store.root / key_a[:2] / f"{key_a}.json"
+        target = store.root / key_b[:2]
+        target.mkdir(parents=True, exist_ok=True)
+        (target / f"{key_b}.json").write_text(
+            source.read_text(encoding="utf-8"), encoding="utf-8"
+        )
+        # The copied entry embeds key_a, so looking it up under key_b is a
+        # corruption, not a hit.
+        assert store.get(key_b) is None
+        assert store.stats.corrupt == 1
+
+    def test_clear_and_len(self, tmp_path):
+        store = SweepResultStore(tmp_path)
+        for n in range(5):
+            store.put(store.entry_key({"n": n}), {"n": n})
+        assert len(store) == 5
+        assert store.clear() == 5
+        assert len(store) == 0
+
+    def test_stats_count_hits_and_misses(self, tmp_path):
+        store = SweepResultStore(tmp_path)
+        key = store.entry_key({"n": 3})
+        store.get(key)
+        store.put(key, {"v": 1})
+        store.get(key)
+        assert store.stats.misses == 1
+        assert store.stats.hits == 1
+        assert store.stats.stores == 1
+
+    def test_payloads_are_json_documents(self, tmp_path):
+        store = SweepResultStore(tmp_path)
+        key = store.entry_key({"n": 4})
+        store.put(key, {"ber": 0.125})
+        path = store.root / key[:2] / f"{key}.json"
+        document = json.loads(path.read_text(encoding="utf-8"))
+        assert document["key"] == key
+        assert document["ber"] == 0.125
+
+    def test_unwritable_root_degrades_to_uncached(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory", encoding="utf-8")
+        store = SweepResultStore(blocker / "sub")
+        key = store.entry_key({"n": 5})
+        store.put(key, {"v": 1})  # must not raise
+        assert store.get(key) is None
+
+    def test_default_store_honours_environment(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
+        store = SweepResultStore.default()
+        assert store.root == tmp_path / "env-cache"

@@ -61,3 +61,50 @@ class TestMultiplierTestbench:
         assert measurement.adder_name == "mul4x4"
         assert measurement.output_width == 8
         assert measurement.n_vectors == in1.size
+
+
+class TestMultiplierSweep:
+    def _triads(self, testbench):
+        from repro.core.triad import OperatingTriad
+
+        critical = testbench.nominal_critical_path()
+        return [
+            OperatingTriad(tclk=critical * ratio, vdd=vdd, vbb=vbb)
+            for ratio in (1.5, 0.9)
+            for vdd in (1.0, 0.6)
+            for vbb in (0.0, 2.0)
+        ]
+
+    def test_run_sweep_matches_run_triad(self, mul4_testbench, mul_operands):
+        in1, in2 = mul_operands
+        triads = self._triads(mul4_testbench)
+        sweep = mul4_testbench.run_sweep(in1, in2, triads)
+        assert len(sweep) == len(triads)
+        for triad, measurement in zip(triads, sweep):
+            single = mul4_testbench.run_triad(
+                in1, in2, tclk=triad.tclk, vdd=triad.vdd, vbb=triad.vbb
+            )
+            assert np.array_equal(measurement.latched_words, single.latched_words)
+            assert np.array_equal(measurement.error_bits, single.error_bits)
+            assert measurement.energy_per_operation == single.energy_per_operation
+
+    def test_engine_sweep_matches_reference_sweep(self, mul4_testbench, mul_operands):
+        """The compiled engine path is bit-identical to the per-gate loop."""
+        in1, in2 = mul_operands
+        triads = self._triads(mul4_testbench)
+        engine_sweep = mul4_testbench.run_sweep(in1, in2, triads)
+        reference_sweep = mul4_testbench.run_sweep(
+            in1, in2, triads, use_reference=True
+        )
+        for fast, reference in zip(engine_sweep, reference_sweep):
+            assert np.array_equal(fast.latched_words, reference.latched_words)
+            assert np.array_equal(fast.error_bits, reference.error_bits)
+            assert fast.energy_per_operation == reference.energy_per_operation
+            assert (
+                fast.dynamic_energy_per_operation
+                == reference.dynamic_energy_per_operation
+            )
+
+    def test_sweep_shape_mismatch_rejected(self, mul4_testbench):
+        with pytest.raises(ValueError, match="same shape"):
+            mul4_testbench.run_sweep(np.array([1, 2]), np.array([1]), [])
