@@ -14,6 +14,9 @@ The package is organised in layers:
 * :mod:`repro.core`       -- the paper's contribution: characterization over
   operating triads, the carry-chain statistical model, Algorithm 1
   calibration, energy-efficiency analysis and dynamic speculation,
+* :mod:`repro.explore`    -- design-space exploration: parameterized operator
+  search over architecture x width x speculation window x triad ranges with
+  adaptive Pareto refinement,
 * :mod:`repro.apps`       -- error-resilient applications mapped onto the
   approximate operator model,
 * :mod:`repro.analysis`   -- generators for every table and figure of the
@@ -49,6 +52,14 @@ from repro.core import (
     signal_to_noise_ratio_db,
 )
 from repro.circuits import build_adder, ripple_carry_adder, brent_kung_adder
+from repro.explore import (
+    CandidateEvaluator,
+    DesignSpace,
+    OperatorCandidate,
+    ParetoFrontier,
+    TriadSpec,
+    run_search,
+)
 from repro.simulation import PatternConfig, generate_patterns
 from repro.synthesis import synthesize
 
@@ -78,5 +89,11 @@ __all__ = [
     "PatternConfig",
     "generate_patterns",
     "synthesize",
+    "DesignSpace",
+    "TriadSpec",
+    "OperatorCandidate",
+    "CandidateEvaluator",
+    "ParetoFrontier",
+    "run_search",
     "__version__",
 ]

@@ -10,6 +10,11 @@ and print the same rows/series the paper reports.
 * Fig. 5    -- :func:`repro.analysis.figures.fig5_ber_per_bit`
 * Fig. 7    -- :func:`repro.analysis.figures.fig7_model_accuracy`
 * Fig. 8    -- :func:`repro.analysis.figures.fig8_ber_energy_series`
+
+Beyond the paper, the exploration subsystem's reports live here too:
+the Pareto-frontier series (:func:`repro.analysis.figures.frontier_series`)
+and the ranked-configuration table
+(:func:`repro.analysis.tables.ranked_configurations`).
 """
 
 from repro.analysis.tables import (
@@ -17,6 +22,9 @@ from repro.analysis.tables import (
     table3_triads,
     table4_energy_efficiency,
     render_table4,
+    RankedConfiguration,
+    ranked_configurations,
+    render_ranked_configurations,
 )
 from repro.analysis.figures import (
     Fig5Series,
@@ -26,6 +34,9 @@ from repro.analysis.figures import (
     Fig8Series,
     fig8_ber_energy_series,
     render_fig8,
+    FrontierSeries,
+    frontier_series,
+    render_frontier,
 )
 
 __all__ = [
@@ -40,4 +51,10 @@ __all__ = [
     "Fig8Series",
     "fig8_ber_energy_series",
     "render_fig8",
+    "FrontierSeries",
+    "frontier_series",
+    "render_frontier",
+    "RankedConfiguration",
+    "ranked_configurations",
+    "render_ranked_configurations",
 ]

@@ -249,3 +249,59 @@ def render_fig8(series: Fig8Series) -> str:
 def build_adder_name(architecture: str, width: int) -> str:
     """Helper mirroring the benchmark naming convention (``rca8`` ...)."""
     return build_adder(architecture, width).name
+
+
+# -- Exploration: the BER-vs-energy Pareto frontier ----------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class FrontierSeries:
+    """The Pareto-frontier curve of one design-space exploration.
+
+    Attributes
+    ----------
+    labels:
+        ``operator @ triad`` label per frontier point, ordered by
+        increasing BER.
+    ber_percent:
+        BER (%) per point in the same order.
+    energy_per_operation_pj:
+        Energy per operation (pJ) per point in the same order.
+    """
+
+    labels: tuple[str, ...]
+    ber_percent: np.ndarray
+    energy_per_operation_pj: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+
+def frontier_series(frontier) -> FrontierSeries:
+    """Series of a :class:`repro.explore.frontier.ParetoFrontier`.
+
+    Structured like the Fig. 8 series: plot energy against BER to see the
+    achievable trade-off curve of the whole design space instead of one
+    adder's triad grid.
+    """
+    points = frontier.points
+    return FrontierSeries(
+        labels=tuple(
+            f"{point.operator_name} @ {point.triad.label()}" for point in points
+        ),
+        ber_percent=np.array([point.ber * 100.0 for point in points]),
+        energy_per_operation_pj=np.array(
+            [point.energy_per_operation * 1e12 for point in points]
+        ),
+    )
+
+
+def render_frontier(series: FrontierSeries) -> str:
+    """Render a frontier series as a text table (label, BER %, energy pJ)."""
+    lines = ["Pareto frontier: BER vs Energy/Operation"]
+    lines.append(f"{'operator @ triad':<40}{'BER %':>10}{'E/op pJ':>12}")
+    for label, ber, energy in zip(
+        series.labels, series.ber_percent, series.energy_per_operation_pj
+    ):
+        lines.append(f"{label:<40}{ber:>10.2f}{energy:>12.4f}")
+    return "\n".join(lines)

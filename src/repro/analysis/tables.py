@@ -1,7 +1,8 @@
-"""Generators for the paper's tables (II, III, IV)."""
+"""Generators for the paper's tables (II, III, IV) and exploration reports."""
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Mapping, Sequence
 
 from repro.circuits.adders import build_adder
@@ -125,3 +126,86 @@ def render_table4(summaries: Mapping[str, list[EfficiencySummary]]) -> str:
                 row.append(f"{(entry.ber_at_max_efficiency or 0.0) * 100:.1f}")
         rows.append(tuple(row))
     return format_table(tuple(header), rows)
+
+
+# -- Exploration: ranked operator configurations -------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class RankedConfiguration:
+    """One row of the exploration ranking report.
+
+    Attributes
+    ----------
+    rank:
+        1-based rank (lowest energy within the BER budget first).
+    operator_name / triad_label:
+        The configuration's identity.
+    ber / energy_per_operation / mse:
+        Its measured trade-off coordinates.
+    """
+
+    rank: int
+    operator_name: str
+    triad_label: str
+    ber: float
+    energy_per_operation: float
+    mse: float
+
+
+def ranked_configurations(
+    frontier,
+    max_ber: float | None = None,
+    top_n: int | None = None,
+) -> list[RankedConfiguration]:
+    """Rank the frontier points of an exploration by energy per operation.
+
+    Parameters
+    ----------
+    frontier:
+        A :class:`repro.explore.frontier.ParetoFrontier`.
+    max_ber:
+        Optional BER budget (fraction); points above it are dropped.
+    top_n:
+        Optional cap on the number of returned rows.
+    """
+    points = [
+        point
+        for point in frontier.points
+        if max_ber is None or point.ber <= max_ber
+    ]
+    points.sort(key=lambda point: (point.energy_per_operation, point))
+    if top_n is not None:
+        points = points[:top_n]
+    return [
+        RankedConfiguration(
+            rank=index + 1,
+            operator_name=point.operator_name,
+            triad_label=point.triad.label(),
+            ber=point.ber,
+            energy_per_operation=point.energy_per_operation,
+            mse=point.mse,
+        )
+        for index, point in enumerate(points)
+    ]
+
+
+def render_ranked_configurations(rows: Sequence[RankedConfiguration]) -> str:
+    """Render the exploration ranking as a text table."""
+    if not rows:
+        return "no configuration satisfies the BER budget"
+    table_rows = [
+        (
+            str(row.rank),
+            row.operator_name,
+            row.triad_label,
+            f"{row.ber * 100:.2f}",
+            f"{row.energy_per_operation * 1e12:.4f}",
+            f"{row.mse:.3g}",
+        )
+        for row in rows
+    ]
+    return format_table(
+        ("Rank", "Operator", "Triad (ns,V,V)", "BER %", "E/op pJ", "MSE"),
+        table_rows,
+    )

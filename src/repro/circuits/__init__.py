@@ -29,12 +29,14 @@ from repro.circuits.signals import (
 )
 from repro.circuits.adders import (
     AdderCircuit,
+    SpeculativeAdderCircuit,
     ripple_carry_adder,
     brent_kung_adder,
     kogge_stone_adder,
     carry_lookahead_adder,
     carry_select_adder,
     carry_skip_adder,
+    speculative_adder,
     ADDER_GENERATORS,
     build_adder,
 )
@@ -53,6 +55,8 @@ __all__ = [
     "random_operands",
     "operand_bit_matrix",
     "AdderCircuit",
+    "SpeculativeAdderCircuit",
+    "speculative_adder",
     "ripple_carry_adder",
     "brent_kung_adder",
     "kogge_stone_adder",

@@ -18,6 +18,11 @@ from repro.circuits.adders.kogge_stone import kogge_stone_adder
 from repro.circuits.adders.carry_lookahead import carry_lookahead_adder
 from repro.circuits.adders.carry_select import carry_select_adder
 from repro.circuits.adders.carry_skip import carry_skip_adder
+from repro.circuits.adders.speculative import (
+    SPECULATIVE_ARCHITECTURE,
+    SpeculativeAdderCircuit,
+    speculative_adder,
+)
 
 #: Registry mapping architecture names to generator callables.
 ADDER_GENERATORS = {
@@ -69,12 +74,15 @@ def parse_adder_name(name: str) -> tuple[str, int]:
 
 __all__ = [
     "AdderCircuit",
+    "SpeculativeAdderCircuit",
+    "SPECULATIVE_ARCHITECTURE",
     "ripple_carry_adder",
     "brent_kung_adder",
     "kogge_stone_adder",
     "carry_lookahead_adder",
     "carry_select_adder",
     "carry_skip_adder",
+    "speculative_adder",
     "ADDER_GENERATORS",
     "build_adder",
     "parse_adder_name",

@@ -1,0 +1,98 @@
+"""Speculative adder generator: window-bounded carry computation (extension).
+
+The design-space exploration subsystem (:mod:`repro.explore`) searches over a
+*speculation window* axis: instead of propagating the carry through the full
+operand width, the carry into bit ``i`` is computed from at most ``window``
+lower-order bit positions (an ACA/ETAII-style almost-correct adder).  This is
+the *structural* twin of the functional
+:class:`repro.baselines.static_adders.SpeculativeSegmentAdder`: every carry
+chain longer than the window is broken by construction, which shortens the
+critical path (the longest timing path spans only ``window + 1`` bit
+positions) at the price of a design-time error floor on rare long-chain
+operands.
+
+Under voltage over-scaling both error sources combine: the window sets the
+functional floor, the operating triad adds timing errors on top -- exactly
+the architecture × window × triad trade-off the exploration subsystem maps.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.circuits.adders.base import AdderCircuit
+from repro.circuits.builder import NetlistBuilder
+
+#: Architecture tag used by speculative adders ("speculative adder").
+SPECULATIVE_ARCHITECTURE = "spa"
+
+
+@dataclasses.dataclass(frozen=True)
+class SpeculativeAdderCircuit(AdderCircuit):
+    """An :class:`AdderCircuit` with a bounded carry look-back window.
+
+    Attributes
+    ----------
+    window:
+        Carry look-back depth in bit positions.  ``window >= width`` makes
+        the adder functionally exact (and structurally identical to the
+        ripple-carry adder).
+    """
+
+    window: int = 0
+
+    def __post_init__(self) -> None:
+        if self.window <= 0:
+            raise ValueError("window must be positive")
+        super().__post_init__()
+
+    @property
+    def name(self) -> str:
+        """Name encoding width and window, e.g. ``"spa8w4"``."""
+        return f"{self.architecture}{self.width}w{self.window}"
+
+
+def speculative_adder(width: int, window: int) -> SpeculativeAdderCircuit:
+    """Generate a ``width``-bit adder with a ``window``-bit carry look-back.
+
+    For each bit ``i`` the carry-in is produced by a private ripple chain
+    over bits ``[max(0, i - window) .. i - 1]`` starting from carry 0; bits
+    within ``window`` of the LSB therefore receive their exact carry, higher
+    bits a speculated one.  The sum is ``s_i = (a_i ^ b_i) ^ c_i`` and the
+    carry-out is the chain ending at the MSB.
+    """
+    if width <= 0:
+        raise ValueError("width must be positive")
+    if window <= 0:
+        raise ValueError("window must be positive")
+    builder = NetlistBuilder(f"{SPECULATIVE_ARCHITECTURE}{width}w{window}")
+    a_nets = [builder.add_input(f"a{i}") for i in range(width)]
+    b_nets = [builder.add_input(f"b{i}") for i in range(width)]
+    propagate = [builder.xor2(a_nets[i], b_nets[i]) for i in range(width)]
+    zero = builder.constant_zero()
+
+    def lookback_carry(position: int) -> int:
+        """Carry into ``position`` from a window-bounded ripple chain."""
+        start = max(0, position - window)
+        carry = zero
+        for bit in range(start, position):
+            carry = builder.maj3(a_nets[bit], b_nets[bit], carry)
+        return carry
+
+    # Exact carries are shared while the chain start stays pinned at bit 0;
+    # beyond the window each bit needs its own (shifted) look-back chain.
+    shared_carry = zero
+    for i in range(width):
+        carry = shared_carry if i <= window else lookback_carry(i)
+        builder.add_output(f"s{i}", builder.xor2(propagate[i], carry))
+        if i < window:
+            shared_carry = builder.maj3(a_nets[i], b_nets[i], shared_carry)
+    carry_out = shared_carry if width <= window else lookback_carry(width)
+    builder.add_output(f"s{width}", builder.buf(carry_out))
+
+    return SpeculativeAdderCircuit(
+        netlist=builder.build(),
+        width=width,
+        architecture=SPECULATIVE_ARCHITECTURE,
+        window=window,
+    )

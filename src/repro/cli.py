@@ -12,10 +12,15 @@ The CLI exposes the most common workflows without writing Python:
 * ``repro calibrate``       -- run Algorithm 1 at one triad and save the
   probability table,
 * ``repro speculate``       -- report accurate/approximate operating modes
-  for a given error margin.
+  for a given error margin,
+* ``repro explore``         -- search the operator design space
+  (architecture x width x speculation window x triads) for the BER/energy
+  Pareto frontier,
+* ``repro store``           -- inspect (``stats``) and bound (``prune``) the
+  on-disk sweep result store.
 
 Sweep-running commands (``characterize``, ``fig5``, ``table4``,
-``calibrate``) execute on the sharded orchestrator of
+``calibrate``, ``explore``) execute on the sharded orchestrator of
 :mod:`repro.core.sweep`: ``--jobs N`` fans the triad grid out over N worker
 processes, and completed triads are persisted in a content-addressed result
 store (``--cache-dir``, default ``$REPRO_CACHE_DIR`` or
@@ -34,8 +39,19 @@ import pathlib
 import sys
 from typing import Sequence
 
-from repro.analysis.figures import fig5_ber_per_bit, fig8_ber_energy_series, render_fig8
-from repro.analysis.tables import render_table4, table2_synthesis
+from repro.analysis.figures import (
+    fig5_ber_per_bit,
+    fig8_ber_energy_series,
+    frontier_series,
+    render_fig8,
+    render_frontier,
+)
+from repro.analysis.tables import (
+    ranked_configurations,
+    render_ranked_configurations,
+    render_table4,
+    table2_synthesis,
+)
 from repro.circuits.adders import ADDER_GENERATORS, build_adder, parse_adder_name
 from repro.core.calibration import calibrate_probability_table
 from repro.core.characterization import CharacterizationFlow
@@ -48,6 +64,14 @@ from repro.core.energy import summarize_by_ber_range
 from repro.core.speculation import DynamicSpeculationController
 from repro.core.store import SweepResultStore
 from repro.core.triad import OperatingTriad
+from repro.explore import (
+    CandidateEvaluator,
+    DesignSpace,
+    ParetoFrontier,
+    TriadSpec,
+    run_search,
+)
+from repro.explore.search import SEARCH_STRATEGIES
 from repro.simulation.patterns import PATTERN_GENERATORS, PatternConfig
 
 
@@ -122,6 +146,112 @@ def build_parser() -> argparse.ArgumentParser:
     speculate.add_argument(
         "--margin", type=float, default=0.10, help="BER tolerance (fraction, default 0.10)"
     )
+
+    explore = subparsers.add_parser(
+        "explore",
+        help="search the operator design space for the BER/energy Pareto frontier",
+    )
+    explore.add_argument(
+        "--architectures",
+        nargs="+",
+        choices=sorted(ADDER_GENERATORS),
+        default=["rca", "bka"],
+        help="adder architectures spanned by the space",
+    )
+    explore.add_argument(
+        "--widths",
+        type=int,
+        nargs="+",
+        default=[8, 16],
+        help="operand widths in bits (e.g. 8 16 32 64)",
+    )
+    explore.add_argument(
+        "--windows",
+        nargs="+",
+        default=["none"],
+        help="speculation windows; 'none' selects the plain architectures, "
+        "integers add the speculative carry-window operator (e.g. none 4 8)",
+    )
+    explore.add_argument(
+        "--clock-scales",
+        type=float,
+        nargs="+",
+        default=None,
+        help="clock periods as fractions of each candidate's guard-banded "
+        "critical path (default: the matched Table III grid)",
+    )
+    explore.add_argument(
+        "--vdd",
+        type=float,
+        nargs="+",
+        default=None,
+        help="supply voltages of the dense grid (with --clock-scales)",
+    )
+    explore.add_argument(
+        "--vbb",
+        type=float,
+        nargs="+",
+        default=None,
+        help="body-bias voltages of the dense grid (with --clock-scales)",
+    )
+    explore.add_argument(
+        "--strategy",
+        choices=sorted(SEARCH_STRATEGIES),
+        default="successive-halving",
+        help="search strategy",
+    )
+    explore.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="maximum paper-fidelity candidate evaluations (default: unbounded)",
+    )
+    explore.add_argument("--seed", type=int, default=2017, help="sampling/stimulus seed")
+    explore.add_argument(
+        "--vectors", type=int, default=4000, help="paper-fidelity stimulus vectors"
+    )
+    explore.add_argument(
+        "--screen-vectors",
+        type=int,
+        default=None,
+        help="screening stimulus vectors (default: max(200, vectors // 8))",
+    )
+    explore.add_argument(
+        "--max-ber",
+        type=float,
+        default=None,
+        help="BER budget (fraction) applied to the ranked report",
+    )
+    explore.add_argument(
+        "--top", type=int, default=10, help="rows of the ranked-configuration table"
+    )
+    explore.add_argument(
+        "--frontier",
+        help="frontier JSON file: loaded (resume) when present, always written",
+    )
+    _add_sweep_arguments(explore)
+
+    store = subparsers.add_parser(
+        "store", help="inspect and bound the on-disk sweep result store"
+    )
+    store_commands = store.add_subparsers(dest="store_command", required=True)
+    store_stats = store_commands.add_parser(
+        "stats", help="entry count and on-disk footprint of the store"
+    )
+    _add_store_dir_argument(store_stats)
+    store_prune = store_commands.add_parser(
+        "prune", help="delete oldest entries until the store fits the limits"
+    )
+    _add_store_dir_argument(store_prune)
+    store_prune.add_argument(
+        "--max-entries", type=int, default=None, help="keep at most this many entries"
+    )
+    store_prune.add_argument(
+        "--max-bytes", type=int, default=None, help="keep at most this many bytes"
+    )
+    store_prune.add_argument(
+        "--all", action="store_true", help="delete every entry (same as --max-entries 0)"
+    )
     return parser
 
 
@@ -159,11 +289,7 @@ def _add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
         default=1,
         help="worker processes for the sweep (default: 1, serial)",
     )
-    parser.add_argument(
-        "--cache-dir",
-        help="sweep result store directory "
-        "(default: $REPRO_CACHE_DIR or ~/.cache/repro/sweeps)",
-    )
+    _add_store_dir_argument(parser)
     parser.add_argument(
         "--no-cache",
         action="store_true",
@@ -171,8 +297,16 @@ def _add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_store_dir_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir",
+        help="sweep result store directory "
+        "(default: $REPRO_CACHE_DIR or ~/.cache/repro/sweeps)",
+    )
+
+
 def _resolve_store(args: argparse.Namespace) -> SweepResultStore | None:
-    if args.no_cache:
+    if getattr(args, "no_cache", False):
         return None
     if args.cache_dir:
         return SweepResultStore(args.cache_dir)
@@ -268,7 +402,10 @@ def _command_fig5(args: argparse.Namespace) -> int:
 def _command_calibrate(args: argparse.Namespace) -> int:
     adder = build_adder(args.architecture, args.width)
     flow = CharacterizationFlow(adder)
-    triad = OperatingTriad(tclk=args.tclk_ns * 1e-9, vdd=args.vdd, vbb=args.vbb)
+    try:
+        triad = OperatingTriad(tclk=args.tclk_ns * 1e-9, vdd=args.vdd, vbb=args.vbb)
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
     config = PatternConfig(
         n_vectors=args.vectors, width=args.width, seed=args.seed, kind=args.pattern
     )
@@ -313,6 +450,153 @@ def _command_speculate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_windows(tokens: Sequence[str]) -> tuple[int | None, ...]:
+    windows: list[int | None] = []
+    for token in tokens:
+        if token.lower() in ("none", "off"):
+            windows.append(None)
+            continue
+        try:
+            windows.append(int(token))
+        except ValueError:
+            raise SystemExit(
+                f"invalid speculation window {token!r} (expected 'none' or an integer)"
+            ) from None
+    return tuple(windows)
+
+
+def _command_explore(args: argparse.Namespace) -> int:
+    try:
+        if args.clock_scales is not None:
+            triads = TriadSpec(
+                clock_scales=tuple(args.clock_scales),
+                supply_voltages=(
+                    tuple(args.vdd) if args.vdd else TriadSpec().supply_voltages
+                ),
+                body_bias_voltages=(
+                    tuple(args.vbb) if args.vbb else TriadSpec().body_bias_voltages
+                ),
+            )
+        elif args.vdd or args.vbb:
+            raise SystemExit("--vdd/--vbb require --clock-scales (a dense triad grid)")
+        else:
+            triads = TriadSpec()
+        space = DesignSpace.from_axes(
+            architectures=args.architectures,
+            widths=args.widths,
+            speculation_windows=_parse_windows(args.windows),
+            triads=triads,
+        )
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+    for width, window in space.skipped_windows():
+        print(
+            f"note: window {window} does not fit width {width} "
+            f"(needs window < width); spa{width}w{window} is not in the space"
+        )
+    if not space.candidates():
+        raise SystemExit(
+            "the declared axes produce no candidates "
+            "(every window was skipped and no 'none' entry is present)"
+        )
+
+    resume = _load_resume_frontier(args.frontier, args.vectors, args.seed)
+    try:
+        evaluator = CandidateEvaluator(
+            space, jobs=args.jobs, store=_resolve_store(args), seed=args.seed
+        )
+        result = run_search(
+            space,
+            args.strategy,
+            evaluator,
+            seed=args.seed,
+            budget=args.budget,
+            full_vectors=args.vectors,
+            screen_vectors=args.screen_vectors,
+            resume=resume,
+        )
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+
+    print(
+        f"strategy {result.strategy}: {result.total_candidates} candidates, "
+        f"{result.screening_evaluations} screened at {result.screen_vectors} vectors, "
+        f"{result.full_evaluations} evaluated at {result.full_vectors} vectors"
+    )
+    if result.evaluated_candidates:
+        print("paper-fidelity evaluations: " + ", ".join(result.evaluated_candidates))
+    print()
+    print(render_frontier(frontier_series(result.frontier)))
+    print()
+    ranked = ranked_configurations(
+        result.frontier, max_ber=args.max_ber, top_n=args.top
+    )
+    print(render_ranked_configurations(ranked))
+    if args.frontier:
+        result.frontier.save(args.frontier)
+        print(f"\nsaved frontier to {args.frontier}")
+    return 0
+
+
+def _load_resume_frontier(
+    path: str | None, full_vectors: int, seed: int
+) -> ParetoFrontier | None:
+    """Load a ``--frontier`` file for resume, keeping one stimulus per run.
+
+    Points measured on a different stimulus (size, seed or pattern kind) are
+    dropped with a note: letting a noisy low-vector point -- or a point from
+    another operand stream -- compete against this run's measurements could
+    evict the accurate ones from the frontier.
+    """
+    if not path:
+        return None
+    try:
+        loaded = ParetoFrontier.load_or_empty(path)
+    except Exception as error:  # corrupt/truncated JSON, wrong schema ...
+        raise SystemExit(
+            f"cannot resume from frontier file {path}: {error}"
+        ) from None
+    matching = [
+        point
+        for point in loaded
+        if point.n_vectors == full_vectors
+        and point.seed == seed
+        and point.pattern_kind == "uniform"
+    ]
+    dropped = len(loaded) - len(matching)
+    if dropped:
+        print(
+            f"note: dropped {dropped} frontier point(s) measured on a "
+            f"different stimulus than --vectors {full_vectors} --seed {seed}"
+        )
+    return ParetoFrontier(matching)
+
+
+def _command_store(args: argparse.Namespace) -> int:
+    store = _resolve_store(args)
+    assert store is not None  # the store subcommands have no --no-cache flag
+    if args.store_command == "stats":
+        stats = store.disk_stats()
+        print(f"store root : {store.root}")
+        print(f"entries    : {stats.entries}")
+        print(f"total bytes: {stats.total_bytes}")
+        if stats.entries:
+            span = (stats.newest_mtime or 0.0) - (stats.oldest_mtime or 0.0)
+            print(f"age span   : {span:.0f} s between oldest and newest entry")
+        return 0
+    # store_command == "prune" (the subparser enforces the choice)
+    max_entries = 0 if args.all else args.max_entries
+    if max_entries is None and args.max_bytes is None:
+        raise SystemExit("prune needs --max-entries, --max-bytes or --all")
+    removed = store.prune(max_entries=max_entries, max_bytes=args.max_bytes)
+    stats = store.disk_stats()
+    print(
+        f"pruned {removed} entries; {stats.entries} entries "
+        f"({stats.total_bytes} bytes) remain in {store.root}"
+    )
+    return 0
+
+
 _COMMANDS = {
     "synthesize": _command_synthesize,
     "characterize": _command_characterize,
@@ -320,6 +604,8 @@ _COMMANDS = {
     "fig5": _command_fig5,
     "calibrate": _command_calibrate,
     "speculate": _command_speculate,
+    "explore": _command_explore,
+    "store": _command_store,
 }
 
 

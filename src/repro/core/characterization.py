@@ -226,6 +226,15 @@ class CharacterizationFlow:
         """The underlying testbench (exposed for custom experiments)."""
         return self._testbench
 
+    def guard_banded_critical_path(self) -> float:
+        """The adder's critical path with the STA pessimism margin, seconds.
+
+        This is the clock-period base every derived triad grid is scaled
+        from -- both :meth:`default_triad_grid` and the dense clock-scale
+        ranges of the exploration subsystem (:mod:`repro.explore`).
+        """
+        return self._testbench.nominal_critical_path() * self._sta_margin
+
     def default_triad_grid(self) -> TriadGrid:
         """Table III triad grid rescaled to this adder's own critical path.
 
@@ -235,7 +244,7 @@ class CharacterizationFlow:
         grid is derived from the synthesised critical path directly.
         """
         name = self._adder.name
-        critical_path = self._testbench.nominal_critical_path() * self._sta_margin
+        critical_path = self.guard_banded_critical_path()
         try:
             return matched_triad_grid(name, critical_path)
         except ValueError:

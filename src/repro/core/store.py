@@ -135,6 +135,27 @@ class StoreStats:
     corrupt: int = 0
 
 
+@dataclasses.dataclass(frozen=True)
+class StoreDiskStats:
+    """On-disk footprint of a store directory.
+
+    Attributes
+    ----------
+    entries:
+        Number of stored result entries.
+    total_bytes:
+        Bytes occupied by the entry files.
+    oldest_mtime / newest_mtime:
+        Modification-time range of the entries (Unix seconds), or ``None``
+        for an empty store.
+    """
+
+    entries: int
+    total_bytes: int
+    oldest_mtime: float | None
+    newest_mtime: float | None
+
+
 class SweepResultStore:
     """Content-addressed result store rooted at one directory.
 
@@ -242,4 +263,68 @@ class SweepResultStore:
                 removed += 1
             except OSError:
                 pass
+        return removed
+
+    def _entry_files(self) -> list[tuple[pathlib.Path, os.stat_result]]:
+        """Stat every entry file, skipping ones that vanish concurrently."""
+        entries: list[tuple[pathlib.Path, os.stat_result]] = []
+        if not self._root.is_dir():
+            return entries
+        for path in self._root.glob("*/*.json"):
+            try:
+                entries.append((path, path.stat()))
+            except OSError:
+                continue
+        return entries
+
+    def disk_stats(self) -> StoreDiskStats:
+        """Measure the store's on-disk footprint (``repro store stats``)."""
+        files = self._entry_files()
+        if not files:
+            return StoreDiskStats(
+                entries=0, total_bytes=0, oldest_mtime=None, newest_mtime=None
+            )
+        mtimes = [stat.st_mtime for _, stat in files]
+        return StoreDiskStats(
+            entries=len(files),
+            total_bytes=sum(stat.st_size for _, stat in files),
+            oldest_mtime=min(mtimes),
+            newest_mtime=max(mtimes),
+        )
+
+    def prune(
+        self,
+        max_entries: int | None = None,
+        max_bytes: int | None = None,
+    ) -> int:
+        """Bound the store by deleting the oldest entries first.
+
+        Entries are removed in ascending modification-time order (path as a
+        deterministic tie-break) until both limits hold.  Returns the number
+        of entries deleted.  With no limit given nothing is removed.
+        """
+        if max_entries is not None and max_entries < 0:
+            raise ValueError("max_entries must be non-negative")
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError("max_bytes must be non-negative")
+        if max_entries is None and max_bytes is None:
+            return 0
+        files = sorted(
+            self._entry_files(), key=lambda item: (item[1].st_mtime, str(item[0]))
+        )
+        remaining = len(files)
+        remaining_bytes = sum(stat.st_size for _, stat in files)
+        removed = 0
+        for path, stat in files:
+            over_entries = max_entries is not None and remaining > max_entries
+            over_bytes = max_bytes is not None and remaining_bytes > max_bytes
+            if not over_entries and not over_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+            remaining -= 1
+            remaining_bytes -= stat.st_size
         return removed

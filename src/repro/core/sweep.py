@@ -42,7 +42,13 @@ from typing import Any, Mapping, Sequence
 
 import numpy as np
 
-from repro.circuits.adders import AdderCircuit, build_adder, parse_adder_name
+from repro.circuits.adders import (
+    AdderCircuit,
+    SpeculativeAdderCircuit,
+    build_adder,
+    parse_adder_name,
+    speculative_adder,
+)
 from repro.circuits.multipliers import MultiplierCircuit, array_multiplier
 from repro.circuits.signals import int_to_bits
 from repro.core.metrics import mean_squared_error
@@ -92,12 +98,15 @@ class CircuitSpec:
         Operand width (``width_a`` for multipliers).
     width_b:
         Second operand width of a multiplier; ``None`` for adders.
+    window:
+        Carry look-back window of a speculative adder; ``None`` otherwise.
     """
 
     kind: str
     architecture: str
     width: int
     width_b: int | None = None
+    window: int | None = None
 
     @classmethod
     def from_circuit(cls, circuit: Any) -> "CircuitSpec | None":
@@ -118,6 +127,13 @@ class CircuitSpec:
                 width=int(match.group(1)),
                 width_b=int(match.group(2)),
             )
+        if isinstance(circuit, SpeculativeAdderCircuit):
+            return cls(
+                kind="adder",
+                architecture=circuit.architecture,
+                width=circuit.width,
+                window=circuit.window,
+            )
         if isinstance(circuit, AdderCircuit):
             try:
                 architecture, width = parse_adder_name(circuit.name)
@@ -129,6 +145,8 @@ class CircuitSpec:
     def build(self) -> Any:
         """Rebuild the circuit from its generator."""
         if self.kind == "adder":
+            if self.window is not None:
+                return speculative_adder(self.width, self.window)
             return build_adder(self.architecture, self.width)
         if self.kind == "multiplier":
             return array_multiplier(self.width, self.width_b)

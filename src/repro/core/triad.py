@@ -13,6 +13,8 @@ import dataclasses
 import itertools
 from typing import Iterator, Sequence
 
+from repro.technology.library import SUPPORTED_BODY_BIAS_RANGE
+
 
 @dataclasses.dataclass(frozen=True, order=True)
 class OperatingTriad:
@@ -37,6 +39,14 @@ class OperatingTriad:
             raise ValueError("tclk must be positive")
         if self.vdd <= 0:
             raise ValueError("vdd must be positive")
+        low, high = SUPPORTED_BODY_BIAS_RANGE
+        if not low <= self.vbb <= high:
+            # Reject unsupported body bias here instead of letting the delay
+            # lookup silently clamp the threshold voltage much later.
+            raise ValueError(
+                f"vbb {self.vbb:g} V is outside the library's supported "
+                f"body-bias range [{low:g}, {high:g}] V"
+            )
 
     @property
     def tclk_ns(self) -> float:

@@ -1,0 +1,225 @@
+"""Batched candidate evaluation on the cached sweep orchestrator.
+
+Evaluating one candidate means lowering it to a circuit, deriving its triad
+grid from the space's :class:`~repro.explore.space.TriadSpec`, and running
+the grid as one :class:`~repro.core.characterization.CharacterizationFlow`
+job -- which executes on the sharded orchestrator of
+:mod:`repro.core.sweep`: the grid fans out over ``jobs``
+``ProcessPoolExecutor`` workers and every completed triad is persisted in
+the content-addressed :class:`~repro.core.store.SweepResultStore` under
+exactly the fingerprint keys ``repro characterize`` uses, so exploration and
+characterization share one warm cache and re-screening a candidate at a
+fidelity it was already evaluated at costs no simulation at all.
+
+The evaluator is deliberately summary-only (``keep_measurements=False``):
+the search strategies need (BER, energy) points, not raw latched words.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+from typing import Sequence
+
+from repro.core.characterization import CharacterizationFlow
+from repro.core.store import SweepResultStore
+from repro.core.triad import OperatingTriad
+from repro.explore.frontier import FrontierPoint
+from repro.explore.space import DesignSpace, OperatorCandidate, TriadSpec
+from repro.simulation.patterns import PatternConfig
+from repro.technology.library import DEFAULT_LIBRARY, StandardCellLibrary
+
+
+@dataclasses.dataclass(frozen=True)
+class DesignPoint:
+    """One (candidate, triad) evaluation outcome."""
+
+    candidate: OperatorCandidate
+    triad: OperatingTriad
+    ber: float
+    mse: float
+    energy_per_operation: float
+    n_vectors: int
+    seed: int = 2017
+    pattern_kind: str = "uniform"
+
+    def to_frontier_point(self) -> FrontierPoint:
+        """The point's representation on the Pareto frontier."""
+        return FrontierPoint(
+            ber=self.ber,
+            energy_per_operation=self.energy_per_operation,
+            architecture=self.candidate.architecture,
+            width=self.candidate.width,
+            window=self.candidate.window,
+            triad=self.triad,
+            mse=self.mse,
+            n_vectors=self.n_vectors,
+            seed=self.seed,
+            pattern_kind=self.pattern_kind,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class CandidateEvaluation:
+    """All design points of one candidate at one stimulus fidelity.
+
+    Attributes
+    ----------
+    candidate:
+        The evaluated operator configuration.
+    n_vectors:
+        Stimulus size of this evaluation.
+    points:
+        One :class:`DesignPoint` per triad, in grid order.
+    reference_energy:
+        Energy per operation of the candidate's nominal (ideal) triad --
+        the baseline its energy savings are quoted against.
+    """
+
+    candidate: OperatorCandidate
+    n_vectors: int
+    points: tuple[DesignPoint, ...]
+    reference_energy: float
+
+
+@dataclasses.dataclass
+class EvaluatorStats:
+    """Work counters of one evaluator instance."""
+
+    candidate_evaluations: int = 0
+    triad_evaluations: int = 0
+    evaluations_by_fidelity: dict[int, int] = dataclasses.field(default_factory=dict)
+
+
+#: Flows kept alive between evaluations of the same candidate (screening ->
+#: promotion).  Bounded: a large space would otherwise pin every built
+#: netlist and testbench in memory for the evaluator's lifetime, and
+#: rebuilding an evicted flow costs only a generator run + plan compile.
+FLOW_CACHE_SIZE = 64
+
+
+class CandidateEvaluator:
+    """Evaluate operator candidates over the space's triad axes.
+
+    Parameters
+    ----------
+    space:
+        The design space (its :class:`TriadSpec` defines every candidate's
+        grid); alternatively pass a bare :class:`TriadSpec`.
+    library:
+        Standard-cell library used by the simulations.
+    jobs:
+        Worker processes per candidate sweep (``1`` = in-process).
+    store:
+        Optional shared result store; exploration keys are identical to the
+        characterization flow's, so any warm store accelerates both.
+    pattern_kind / seed:
+        Stimulus configuration; the seed is shared across candidates (each
+        width draws its own operand stream from it, deterministically).
+    sta_margin:
+        Clock-path pessimism factor (see :class:`CharacterizationFlow`).
+    """
+
+    def __init__(
+        self,
+        space: DesignSpace | TriadSpec,
+        library: StandardCellLibrary = DEFAULT_LIBRARY,
+        jobs: int = 1,
+        store: SweepResultStore | None = None,
+        pattern_kind: str = "uniform",
+        seed: int = 2017,
+        sta_margin: float = 1.5,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self._triads = space.triads if isinstance(space, DesignSpace) else space
+        self._library = library
+        self._jobs = jobs
+        self._store = store
+        self._pattern_kind = pattern_kind
+        self._seed = seed
+        self._sta_margin = sta_margin
+        self._flows: collections.OrderedDict[
+            OperatorCandidate, CharacterizationFlow
+        ] = collections.OrderedDict()
+        self.stats = EvaluatorStats()
+
+    @property
+    def store(self) -> SweepResultStore | None:
+        """The shared result store (or ``None`` when caching is disabled)."""
+        return self._store
+
+    @property
+    def seed(self) -> int:
+        """Stimulus seed shared by every evaluation."""
+        return self._seed
+
+    def _flow_for(self, candidate: OperatorCandidate) -> CharacterizationFlow:
+        flow = self._flows.get(candidate)
+        if flow is None:
+            flow = CharacterizationFlow(
+                candidate.build(),
+                library=self._library,
+                sta_margin=self._sta_margin,
+            )
+            self._flows[candidate] = flow
+            if len(self._flows) > FLOW_CACHE_SIZE:
+                self._flows.popitem(last=False)
+        else:
+            self._flows.move_to_end(candidate)
+        return flow
+
+    def evaluate(
+        self, candidate: OperatorCandidate, n_vectors: int
+    ) -> CandidateEvaluation:
+        """Evaluate one candidate over its triad grid at one fidelity."""
+        if n_vectors <= 0:
+            raise ValueError("n_vectors must be positive")
+        flow = self._flow_for(candidate)
+        grid = self._triads.grid_for(flow)
+        characterization = flow.run(
+            triads=grid,
+            pattern=PatternConfig(
+                n_vectors=n_vectors,
+                width=candidate.width,
+                seed=self._seed,
+                kind=self._pattern_kind,
+            ),
+            keep_measurements=False,
+            jobs=self._jobs,
+            store=self._store,
+        )
+        points = tuple(
+            DesignPoint(
+                candidate=candidate,
+                triad=entry.triad,
+                ber=entry.ber,
+                mse=entry.mse,
+                energy_per_operation=entry.energy_per_operation,
+                n_vectors=n_vectors,
+                seed=self._seed,
+                pattern_kind=self._pattern_kind,
+            )
+            for entry in characterization.results
+        )
+        self.stats.candidate_evaluations += 1
+        self.stats.triad_evaluations += len(points)
+        self.stats.evaluations_by_fidelity[n_vectors] = (
+            self.stats.evaluations_by_fidelity.get(n_vectors, 0) + 1
+        )
+        return CandidateEvaluation(
+            candidate=candidate,
+            n_vectors=n_vectors,
+            points=points,
+            reference_energy=characterization.reference_energy,
+        )
+
+    def evaluate_many(
+        self, candidates: Sequence[OperatorCandidate], n_vectors: int
+    ) -> list[CandidateEvaluation]:
+        """Evaluate a batch of candidates (deterministic input order)."""
+        return [self.evaluate(candidate, n_vectors) for candidate in candidates]
+
+    def evaluations_at(self, n_vectors: int) -> int:
+        """How many candidate evaluations ran at the given fidelity."""
+        return self.stats.evaluations_by_fidelity.get(n_vectors, 0)

@@ -33,7 +33,11 @@ from repro.technology.power import (
     leakage_energy_per_cycle,
     EnergyBreakdown,
 )
-from repro.technology.library import CellTimingModel, StandardCellLibrary
+from repro.technology.library import (
+    SUPPORTED_BODY_BIAS_RANGE,
+    CellTimingModel,
+    StandardCellLibrary,
+)
 from repro.technology.corners import ProcessCorner, VariabilityModel
 
 __all__ = [
@@ -50,6 +54,7 @@ __all__ = [
     "EnergyBreakdown",
     "CellTimingModel",
     "StandardCellLibrary",
+    "SUPPORTED_BODY_BIAS_RANGE",
     "ProcessCorner",
     "VariabilityModel",
 ]

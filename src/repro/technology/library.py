@@ -189,3 +189,12 @@ class StandardCellLibrary:
 
 #: Library instance used by default throughout the package.
 DEFAULT_LIBRARY = StandardCellLibrary()
+
+#: Body-bias range (volts, inclusive) supported by the library's FDSOI
+#: substrate.  28nm FDSOI offers an exceptionally wide body-bias window
+#: (the paper sweeps -2 V .. +2 V; wide-range LVT wells extend to about
+#: +/-3 V) -- beyond it the threshold-voltage shift saturates at the
+#: ``vt_min``/``vt_max`` clamp of the technology parameters and the delay
+#: model stops responding, so operating points outside the range are
+#: rejected up front rather than silently clamped.
+SUPPORTED_BODY_BIAS_RANGE: tuple[float, float] = (-3.0, 3.0)

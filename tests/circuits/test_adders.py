@@ -115,3 +115,77 @@ class TestAdderCircuitWrapper:
         in1 = np.array([10, 250])
         in2 = np.array([20, 250])
         assert np.array_equal(rca8.exact_sum(in1, in2), np.array([30, 500]))
+
+
+class TestSpeculativeAdder:
+    def test_full_window_is_exact(self):
+        from repro.circuits.adders import speculative_adder
+
+        adder = speculative_adder(8, 8)
+        rng = np.random.default_rng(31)
+        in1 = rng.integers(0, 256, 400)
+        in2 = rng.integers(0, 256, 400)
+        assert np.array_equal(_simulate_add(adder, in1, in2), in1 + in2)
+
+    @pytest.mark.parametrize("width,window", [(8, 4), (16, 5), (6, 3)])
+    def test_window_bounds_every_carry_chain(self, width, window):
+        """The result matches a bit-level model whose carry into bit i is
+        computed from at most `window` lower-order positions."""
+        from repro.circuits.adders import speculative_adder
+
+        adder = speculative_adder(width, window)
+        rng = np.random.default_rng(width * 31 + window)
+        in1 = rng.integers(0, 1 << width, 300)
+        in2 = rng.integers(0, 1 << width, 300)
+
+        def reference(a, b):
+            result = 0
+            for i in range(width + 1):
+                carry = 0
+                for j in range(max(0, i - window), i):
+                    a_j, b_j = (a >> j) & 1, (b >> j) & 1
+                    carry = (a_j & b_j) | (a_j & carry) | (b_j & carry)
+                if i < width:
+                    result |= (((a >> i) & 1) ^ ((b >> i) & 1) ^ carry) << i
+                else:
+                    result |= carry << width
+            return result
+
+        expected = np.array([reference(int(a), int(b)) for a, b in zip(in1, in2)])
+        assert np.array_equal(_simulate_add(adder, in1, in2), expected)
+
+    def test_low_bits_within_window_stay_exact(self):
+        from repro.circuits.adders import speculative_adder
+
+        adder = speculative_adder(8, 4)
+        rng = np.random.default_rng(17)
+        in1 = rng.integers(0, 256, 500)
+        in2 = rng.integers(0, 256, 500)
+        got = _simulate_add(adder, in1, in2)
+        mask = (1 << 4) - 1
+        assert np.array_equal(got & mask, (in1 + in2) & mask)
+
+    def test_window_shortens_the_critical_path(self):
+        from repro.circuits.adders import speculative_adder
+        from repro.simulation.testbench import AdderTestbench
+
+        windowed = AdderTestbench(speculative_adder(16, 4)).nominal_critical_path()
+        exact = AdderTestbench(build_adder("rca", 16)).nominal_critical_path()
+        assert windowed < exact
+
+    def test_structure_and_naming(self):
+        from repro.circuits.adders import SpeculativeAdderCircuit, speculative_adder
+
+        adder = speculative_adder(8, 3)
+        assert isinstance(adder, SpeculativeAdderCircuit)
+        assert adder.name == "spa8w3"
+        assert adder.window == 3
+        validate_netlist(adder.netlist)
+
+    def test_invalid_parameters_rejected(self):
+        from repro.circuits.adders import speculative_adder
+
+        with pytest.raises(ValueError):
+            speculative_adder(0, 2)
+        with pytest.raises(ValueError):
+            speculative_adder(8, 0)

@@ -102,3 +102,61 @@ class TestCalibrationOnCharacterizedHardware:
             )
             expectations[name] = result.table.expected_cmax(8)
         assert expectations["severe"] <= expectations["mild"]
+
+
+class TestCalibrationEdgeCases:
+    def test_single_training_vector(self):
+        """One vector is a legal (if degenerate) training set: the whole
+        probability mass lands in its observed column."""
+        in1 = np.array([0b1111])
+        in2 = np.array([0b0001])
+        result = calibrate_probability_table(in1, in2, in1 + in2, 4)
+        theoretical = int(theoretical_max_carry_chain(in1, in2, 4)[0])
+        assert result.n_training_vectors == 1
+        assert result.table.probability(theoretical, theoretical) == pytest.approx(1.0)
+
+    def test_ties_resolve_towards_the_smallest_chain(self):
+        """Zero operands make every candidate chain produce the same output;
+        the downward iteration with `<=` must keep the smallest C."""
+        in1 = np.zeros(10, dtype=np.int64)
+        in2 = np.zeros(10, dtype=np.int64)
+        result = calibrate_probability_table(in1, in2, in1 + in2, 8)
+        assert result.counts[0, 0] == pytest.approx(10.0)
+        assert result.counts.sum() == pytest.approx(10.0)
+
+    def test_multidimensional_inputs_are_flattened(self, training_operands):
+        in1, in2 = training_operands
+        shaped = (in1.reshape(50, -1), in2.reshape(50, -1))
+        flat = calibrate_probability_table(in1, in2, in1 + in2, 8)
+        reshaped = calibrate_probability_table(
+            shaped[0], shaped[1], (in1 + in2).reshape(50, -1), 8
+        )
+        assert np.allclose(flat.table.matrix, reshaped.table.matrix)
+        assert flat.n_training_vectors == reshaped.n_training_vectors
+
+    def test_width_one_operands(self):
+        in1 = np.array([0, 1, 1, 0])
+        in2 = np.array([1, 1, 0, 0])
+        result = calibrate_probability_table(in1, in2, in1 + in2, 1)
+        assert result.table.width == 1
+        assert result.mean_best_distance == pytest.approx(0.0)
+
+    def test_observed_columns_are_conditional_distributions(self, training_operands):
+        """Every observed Cth_max column must sum to exactly one (the
+        deviation-from-paper normalisation documented in the module)."""
+        in1, in2 = training_operands
+        faulty = carry_truncated_add(in1, in2, 8, 2)
+        result = calibrate_probability_table(in1, in2, faulty, 8, metric="hamming")
+        observed = result.counts.sum(axis=0) > 0
+        sums = result.table.matrix.sum(axis=0)
+        assert np.allclose(sums[observed], 1.0)
+        assert np.allclose(sums[~observed], 0.0)
+
+    def test_mean_best_distance_grows_with_hardware_error(self, training_operands):
+        in1, in2 = training_operands
+        mild = carry_truncated_add(in1, in2, 8, 6)
+        rng = np.random.default_rng(3)
+        garbage = rng.integers(0, 512, in1.size)
+        mild_result = calibrate_probability_table(in1, in2, mild, 8)
+        garbage_result = calibrate_probability_table(in1, in2, garbage, 8)
+        assert mild_result.mean_best_distance <= garbage_result.mean_best_distance

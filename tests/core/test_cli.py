@@ -217,3 +217,322 @@ class TestSweepOptions:
         capsys.readouterr()
         assert main(command) == 0  # warm: served from the store
         assert json.loads(output.read_text()) == first
+
+
+class TestExploreCommand:
+    def _explore(self, tmp_path, *extra):
+        return [
+            "explore",
+            "--architectures",
+            "rca",
+            "bka",
+            "--widths",
+            "8",
+            "--clock-scales",
+            "1.0",
+            "0.6",
+            "--vdd",
+            "1.0",
+            "0.5",
+            "--vbb",
+            "0",
+            "2",
+            "--vectors",
+            "400",
+            "--screen-vectors",
+            "200",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+            *extra,
+        ]
+
+    def test_explore_prints_frontier_and_ranking(self, tmp_path, capsys):
+        assert main(self._explore(tmp_path)) == 0
+        out = capsys.readouterr().out
+        assert "Pareto frontier" in out
+        assert "Rank" in out
+        assert "successive-halving" in out
+
+    def test_explore_strategies_agree_on_the_frontier(self, tmp_path, capsys):
+        assert main(self._explore(tmp_path, "--strategy", "exhaustive")) == 0
+        exhaustive_out = capsys.readouterr().out
+        assert main(self._explore(tmp_path, "--strategy", "successive-halving")) == 0
+        halving_out = capsys.readouterr().out
+
+        def frontier_block(text):
+            lines = text.splitlines()
+            start = lines.index("Pareto frontier: BER vs Energy/Operation")
+            end = next(i for i, line in enumerate(lines[start:], start) if not line.strip())
+            return lines[start:end]
+
+        assert frontier_block(exhaustive_out) == frontier_block(halving_out)
+
+    def test_explore_windows_axis(self, tmp_path, capsys):
+        assert (
+            main(self._explore(tmp_path, "--windows", "none", "4", "--strategy", "exhaustive"))
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "spa8w4" in out
+
+    def test_explore_budget_caps_evaluations(self, tmp_path, capsys):
+        assert (
+            main(self._explore(tmp_path, "--strategy", "exhaustive", "--budget", "1")) == 0
+        )
+        out = capsys.readouterr().out
+        assert "1 evaluated at 400 vectors" in out
+
+    def test_explore_frontier_persistence_and_resume(self, tmp_path, capsys):
+        frontier_path = tmp_path / "frontier.json"
+        assert main(self._explore(tmp_path, "--frontier", str(frontier_path))) == 0
+        capsys.readouterr()
+        assert frontier_path.exists()
+        first = json.loads(frontier_path.read_text())
+        # resume run: warm store + existing frontier, identical result
+        assert main(self._explore(tmp_path, "--frontier", str(frontier_path))) == 0
+        capsys.readouterr()
+        assert json.loads(frontier_path.read_text()) == first
+
+    def test_explore_seed_is_deterministic(self, tmp_path, capsys):
+        command = self._explore(tmp_path, "--strategy", "random", "--budget", "1", "--seed", "5")
+        assert main(command) == 0
+        first = capsys.readouterr().out
+        assert main(command) == 0
+        assert capsys.readouterr().out == first
+
+    def test_explore_rejects_bad_window_token(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(self._explore(tmp_path, "--windows", "sometimes"))
+
+    def test_explore_rejects_dense_axes_without_clock_scales(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "explore",
+                    "--widths",
+                    "8",
+                    "--vdd",
+                    "0.6",
+                    "--no-cache",
+                    "--cache-dir",
+                    str(tmp_path),
+                ]
+            )
+
+
+class TestStoreCommand:
+    def _populate(self, tmp_path):
+        cache = tmp_path / "cache"
+        assert (
+            main(
+                [
+                    "characterize",
+                    "--architecture",
+                    "rca",
+                    "--width",
+                    "8",
+                    "--vectors",
+                    "300",
+                    "--cache-dir",
+                    str(cache),
+                ]
+            )
+            == 0
+        )
+        return cache
+
+    def test_stats_reports_entries_and_bytes(self, tmp_path, capsys):
+        cache = self._populate(tmp_path)
+        capsys.readouterr()
+        assert main(["store", "stats", "--cache-dir", str(cache)]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out and "total bytes" in out
+        assert str(cache) in out
+
+    def test_prune_bounds_the_store(self, tmp_path, capsys):
+        cache = self._populate(tmp_path)
+        capsys.readouterr()
+        assert (
+            main(["store", "prune", "--cache-dir", str(cache), "--max-entries", "5"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "pruned" in out
+        assert len(list(cache.glob("*/*.json"))) == 5
+
+    def test_prune_all(self, tmp_path, capsys):
+        cache = self._populate(tmp_path)
+        capsys.readouterr()
+        assert main(["store", "prune", "--cache-dir", str(cache), "--all"]) == 0
+        assert not list(cache.glob("*/*.json"))
+
+    def test_prune_requires_a_limit(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["store", "prune", "--cache-dir", str(tmp_path)])
+
+    def test_store_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["store"])
+
+
+class TestExploreReviewRegressions:
+    def test_invalid_clock_scale_is_a_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "explore",
+                    "--widths",
+                    "8",
+                    "--clock-scales",
+                    "-1",
+                    "--no-cache",
+                    "--cache-dir",
+                    str(tmp_path),
+                ]
+            )
+
+    def test_unsupported_body_bias_is_a_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "explore",
+                    "--widths",
+                    "8",
+                    "--clock-scales",
+                    "1.0",
+                    "--vbb",
+                    "5",
+                    "--no-cache",
+                    "--cache-dir",
+                    str(tmp_path),
+                ]
+            )
+
+    def test_skipped_window_is_announced(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "explore",
+                    "--architectures",
+                    "rca",
+                    "--widths",
+                    "8",
+                    "--windows",
+                    "none",
+                    "8",
+                    "--clock-scales",
+                    "1.0",
+                    "--vdd",
+                    "0.5",
+                    "--vbb",
+                    "2",
+                    "--vectors",
+                    "300",
+                    "--no-cache",
+                    "--cache-dir",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "window 8 does not fit width 8" in out
+
+    def test_corrupt_frontier_file_is_a_clean_error(self, tmp_path):
+        frontier = tmp_path / "frontier.json"
+        frontier.write_text("{ truncated")
+        with pytest.raises(SystemExit, match="cannot resume"):
+            main(
+                [
+                    "explore",
+                    "--widths",
+                    "8",
+                    "--vectors",
+                    "300",
+                    "--no-cache",
+                    "--cache-dir",
+                    str(tmp_path),
+                    "--frontier",
+                    str(frontier),
+                ]
+            )
+
+    def test_resume_drops_points_of_other_fidelities(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        frontier = tmp_path / "frontier.json"
+        base = [
+            "explore",
+            "--architectures",
+            "rca",
+            "--widths",
+            "8",
+            "--clock-scales",
+            "1.0",
+            "0.6",
+            "--vdd",
+            "1.0",
+            "0.5",
+            "--vbb",
+            "2",
+            "--cache-dir",
+            str(cache),
+            "--frontier",
+            str(frontier),
+        ]
+        assert main(base + ["--vectors", "300", "--screen-vectors", "200"]) == 0
+        capsys.readouterr()
+        assert main(base + ["--vectors", "400", "--screen-vectors", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "dropped" in out
+        saved = json.loads(frontier.read_text())
+        assert all(point["n_vectors"] == 400 for point in saved["points"])
+
+
+class TestExploreStimulusIdentity:
+    def test_resume_drops_points_of_other_seeds(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        frontier = tmp_path / "frontier.json"
+        base = [
+            "explore",
+            "--architectures",
+            "rca",
+            "--widths",
+            "8",
+            "--clock-scales",
+            "1.0",
+            "--vdd",
+            "0.5",
+            "--vbb",
+            "2",
+            "--vectors",
+            "300",
+            "--screen-vectors",
+            "200",
+            "--cache-dir",
+            str(cache),
+            "--frontier",
+            str(frontier),
+        ]
+        assert main(base + ["--seed", "1"]) == 0
+        capsys.readouterr()
+        assert main(base + ["--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "dropped" in out
+        saved = json.loads(frontier.read_text())
+        assert all(point["seed"] == 2 for point in saved["points"])
+
+    def test_empty_candidate_set_is_a_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="no candidates"):
+            main(
+                [
+                    "explore",
+                    "--architectures",
+                    "rca",
+                    "--widths",
+                    "8",
+                    "--windows",
+                    "8",
+                    "--no-cache",
+                    "--cache-dir",
+                    str(tmp_path),
+                ]
+            )

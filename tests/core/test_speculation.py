@@ -95,3 +95,72 @@ class TestControlLoop:
         controller.observe(1.0)
         assert controller.estimated_ber < 1.0
         assert controller.estimated_ber > baseline
+
+
+class TestControllerEdgeCases:
+    def _single_triad_characterization(self, rca8_characterization):
+        from repro.core.characterization import AdderCharacterization
+
+        entry = rca8_characterization.results[0]
+        return AdderCharacterization(
+            adder_name=rca8_characterization.adder_name,
+            width=rca8_characterization.width,
+            results=[entry],
+            reference_triad=entry.triad,
+        )
+
+    def test_empty_characterization_rejected(self, rca8_characterization):
+        from repro.core.characterization import AdderCharacterization
+
+        empty = AdderCharacterization(
+            adder_name="rca8",
+            width=8,
+            results=[],
+            reference_triad=rca8_characterization.reference_triad,
+        )
+        with pytest.raises(ValueError, match="no Pareto-optimal triads"):
+            DynamicSpeculationController(empty, error_margin=0.10)
+
+    def test_single_triad_front_never_switches(self, rca8_characterization):
+        characterization = self._single_triad_characterization(rca8_characterization)
+        controller = DynamicSpeculationController(characterization, error_margin=0.10)
+        assert len(controller.pareto_entries) == 1
+        decisions = controller.run_trace([0.0, 0.5, 1.0, 0.0])
+        assert all(not decision.switched for decision in decisions)
+        assert all(
+            decision.triad == characterization.results[0].triad
+            for decision in decisions
+        )
+
+    def test_single_triad_front_modes_collapse(self, rca8_characterization):
+        characterization = self._single_triad_characterization(rca8_characterization)
+        controller = DynamicSpeculationController(characterization, error_margin=0.10)
+        only = characterization.results[0]
+        assert controller.accurate_mode() == only
+        assert controller.approximate_mode() == only
+
+    def test_margin_exactly_met_is_honoured(self, rca8_characterization):
+        """A triad whose offline BER equals the margin exactly is eligible."""
+        controller = DynamicSpeculationController(rca8_characterization, error_margin=0.10)
+        front = controller.pareto_entries
+        exact_margin = front[len(front) // 2].ber
+        if exact_margin == 0.0:
+            pytest.skip("characterized front has no faulty mid entry")
+        exact = DynamicSpeculationController(
+            rca8_characterization, error_margin=exact_margin
+        )
+        assert exact.approximate_mode().ber <= exact_margin
+        # the boundary triad itself is selectable, not excluded
+        eligible = [entry for entry in front if entry.ber <= exact_margin]
+        assert any(entry.ber == exact_margin for entry in eligible)
+
+    def test_estimate_exactly_at_margin_does_not_back_off(self, rca8_characterization):
+        controller = DynamicSpeculationController(
+            rca8_characterization, error_margin=0.10, smoothing=1.0, headroom=0.1
+        )
+        start = controller.current_entry()
+        decision = controller.observe(0.10)  # estimate == margin exactly
+        assert decision.estimated_ber == pytest.approx(0.10)
+        # margin not violated (strict >), headroom not satisfied: stay put
+        assert not decision.switched
+        assert controller.current_entry() == start

@@ -159,3 +159,68 @@ class TestSweepResultStore:
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
         store = SweepResultStore.default()
         assert store.root == tmp_path / "env-cache"
+
+
+class TestDiskStatsAndPrune:
+    def _fill(self, store, count, payload_size=0):
+        for index in range(count):
+            key = SweepResultStore.entry_key({"index": index})
+            store.put(key, {"index": index, "pad": "x" * payload_size})
+
+    def test_disk_stats_empty_store(self, tmp_path):
+        stats = SweepResultStore(tmp_path / "absent").disk_stats()
+        assert stats.entries == 0
+        assert stats.total_bytes == 0
+        assert stats.oldest_mtime is None and stats.newest_mtime is None
+
+    def test_disk_stats_counts_entries_and_bytes(self, tmp_path):
+        store = SweepResultStore(tmp_path)
+        self._fill(store, 5)
+        stats = store.disk_stats()
+        assert stats.entries == 5 == len(store)
+        assert stats.total_bytes > 0
+        assert stats.oldest_mtime is not None
+        assert stats.newest_mtime >= stats.oldest_mtime
+
+    def test_prune_max_entries_keeps_newest(self, tmp_path):
+        import os, time
+
+        store = SweepResultStore(tmp_path)
+        keys = []
+        for index in range(4):
+            key = SweepResultStore.entry_key({"index": index})
+            store.put(key, {"index": index})
+            keys.append(key)
+            # Make mtimes strictly ordered regardless of filesystem resolution.
+            os.utime(store._entry_path(key), (index, index))
+        removed = store.prune(max_entries=2)
+        assert removed == 2
+        assert store.get(keys[0]) is None and store.get(keys[1]) is None
+        assert store.get(keys[2]) is not None and store.get(keys[3]) is not None
+
+    def test_prune_max_bytes(self, tmp_path):
+        store = SweepResultStore(tmp_path)
+        self._fill(store, 6, payload_size=100)
+        total = store.disk_stats().total_bytes
+        store.prune(max_bytes=total // 2)
+        assert store.disk_stats().total_bytes <= total // 2
+        assert store.disk_stats().entries > 0
+
+    def test_prune_without_limits_is_a_no_op(self, tmp_path):
+        store = SweepResultStore(tmp_path)
+        self._fill(store, 3)
+        assert store.prune() == 0
+        assert store.disk_stats().entries == 3
+
+    def test_prune_to_zero_clears_everything(self, tmp_path):
+        store = SweepResultStore(tmp_path)
+        self._fill(store, 3)
+        assert store.prune(max_entries=0) == 3
+        assert store.disk_stats().entries == 0
+
+    def test_prune_rejects_negative_limits(self, tmp_path):
+        store = SweepResultStore(tmp_path)
+        with pytest.raises(ValueError):
+            store.prune(max_entries=-1)
+        with pytest.raises(ValueError):
+            store.prune(max_bytes=-1)

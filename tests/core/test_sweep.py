@@ -74,8 +74,35 @@ class TestCircuitSpec:
         )
         assert spec.build().name == multiplier.name
 
+    def test_speculative_adder_spec_round_trip(self):
+        from repro.circuits.adders import speculative_adder
+        from repro.core.store import netlist_fingerprint
+
+        adder = speculative_adder(16, 5)
+        spec = CircuitSpec.from_circuit(adder)
+        assert spec == CircuitSpec(
+            kind="adder", architecture="spa", width=16, window=5
+        )
+        rebuilt = spec.build()
+        assert rebuilt.name == adder.name
+        assert netlist_fingerprint(rebuilt.netlist) == netlist_fingerprint(adder.netlist)
+
     def test_unknown_circuit_yields_none(self):
         assert CircuitSpec.from_circuit(object()) is None
+
+    def test_speculative_sweep_shards_bit_identically(self, small_grid):
+        from repro.circuits.adders import speculative_adder
+
+        adder = speculative_adder(8, 4)
+        config = PatternConfig(n_vectors=300, width=8, seed=3)
+        in1, in2 = generate_patterns(config)
+        serial = run_characterization_sweep(
+            adder, small_grid, in1, in2, pattern_stimulus(config), jobs=1
+        )
+        sharded = run_characterization_sweep(
+            adder, small_grid, in1, in2, pattern_stimulus(config), jobs=3
+        )
+        assert serial == sharded
 
 
 class TestCharacterizationSweep:

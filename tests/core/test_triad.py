@@ -123,3 +123,27 @@ class TestPaperGrids:
     def test_benchmark_grid_requires_two_clocks(self):
         with pytest.raises(ValueError):
             benchmark_triad_grid((0.5,))
+
+
+class TestBodyBiasValidation:
+    def test_paper_body_biases_accepted(self):
+        for vbb in (-2.0, 0.0, 2.0):
+            assert OperatingTriad(tclk=1e-9, vdd=1.0, vbb=vbb).vbb == vbb
+
+    def test_range_limits_are_inclusive(self):
+        from repro.technology.library import SUPPORTED_BODY_BIAS_RANGE
+
+        low, high = SUPPORTED_BODY_BIAS_RANGE
+        assert OperatingTriad(tclk=1e-9, vdd=1.0, vbb=low).vbb == low
+        assert OperatingTriad(tclk=1e-9, vdd=1.0, vbb=high).vbb == high
+
+    def test_out_of_range_body_bias_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="body-bias range"):
+            OperatingTriad(tclk=1e-9, vdd=1.0, vbb=5.0)
+        with pytest.raises(ValueError, match="body-bias range"):
+            OperatingTriad(tclk=1e-9, vdd=1.0, vbb=-3.5)
+
+    def test_replace_revalidates(self):
+        triad = OperatingTriad(tclk=1e-9, vdd=1.0, vbb=0.0)
+        with pytest.raises(ValueError, match="body-bias range"):
+            triad.replace(vbb=10.0)

@@ -1,0 +1,213 @@
+"""Tests of the search strategies (determinism, pruning, equivalence)."""
+
+import pytest
+
+from repro.core.store import SweepResultStore
+from repro.explore import (
+    CandidateEvaluator,
+    DesignSpace,
+    ParetoFrontier,
+    TriadSpec,
+    run_search,
+)
+from repro.explore.search import (
+    SuccessiveHalvingSearch,
+    default_screen_vectors,
+)
+
+#: A small but meaningful grid: two clocks, three supplies, forward bias on.
+FAST_TRIADS = TriadSpec(
+    clock_scales=(1.0, 0.6),
+    supply_voltages=(1.0, 0.6, 0.4),
+    body_bias_voltages=(0.0, 2.0),
+)
+
+
+@pytest.fixture(scope="module")
+def space():
+    return DesignSpace.from_axes(("rca", "bka"), (8, 16), (None,), triads=FAST_TRIADS)
+
+
+@pytest.fixture(scope="module")
+def shared_store(tmp_path_factory):
+    return SweepResultStore(tmp_path_factory.mktemp("sweep-store"))
+
+
+@pytest.fixture(scope="module")
+def exhaustive_result(space, shared_store):
+    evaluator = CandidateEvaluator(space, store=shared_store, seed=2017)
+    return run_search(
+        space, "exhaustive", evaluator, seed=2017, full_vectors=800, screen_vectors=200
+    )
+
+
+class TestExhaustive:
+    def test_covers_every_candidate(self, space, exhaustive_result):
+        assert exhaustive_result.evaluated_candidates == tuple(
+            candidate.name for candidate in space
+        )
+        assert exhaustive_result.screening_evaluations == 0
+        assert len(exhaustive_result.frontier) > 0
+
+    def test_budget_caps_evaluations(self, space, shared_store):
+        evaluator = CandidateEvaluator(space, store=shared_store, seed=2017)
+        result = run_search(
+            space, "exhaustive", evaluator, seed=2017, budget=2, full_vectors=800
+        )
+        assert result.full_evaluations == 2
+
+
+class TestRandom:
+    def test_seeded_sample_is_deterministic(self, space, shared_store):
+        results = [
+            run_search(
+                space,
+                "random",
+                CandidateEvaluator(space, store=shared_store, seed=2017),
+                seed=11,
+                budget=2,
+                full_vectors=800,
+            )
+            for _ in range(2)
+        ]
+        assert results[0].evaluated_candidates == results[1].evaluated_candidates
+        assert results[0].frontier == results[1].frontier
+        assert results[0].full_evaluations == 2
+
+    def test_different_seeds_can_differ(self, space, shared_store):
+        samples = {
+            run_search(
+                space,
+                "random",
+                CandidateEvaluator(space, store=shared_store, seed=2017),
+                seed=seed,
+                budget=2,
+                full_vectors=800,
+            ).evaluated_candidates
+            for seed in range(6)
+        }
+        assert len(samples) > 1
+
+
+class TestSuccessiveHalving:
+    def test_reproduces_the_exhaustive_frontier_with_fewer_full_evals(
+        self, space, shared_store, exhaustive_result
+    ):
+        """The acceptance criterion, on a compact dense subspace."""
+        evaluator = CandidateEvaluator(space, store=shared_store, seed=2017)
+        result = run_search(
+            space,
+            "successive-halving",
+            evaluator,
+            seed=2017,
+            full_vectors=800,
+            screen_vectors=200,
+        )
+        assert result.frontier == exhaustive_result.frontier
+        assert result.screening_evaluations == len(space)
+        assert result.full_evaluations < exhaustive_result.full_evaluations
+
+    def test_deterministic_for_a_seed(self, space, shared_store):
+        runs = [
+            run_search(
+                space,
+                "successive-halving",
+                CandidateEvaluator(space, store=shared_store, seed=2017),
+                seed=2017,
+                full_vectors=800,
+                screen_vectors=200,
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].evaluated_candidates == runs[1].evaluated_candidates
+        assert runs[0].frontier == runs[1].frontier
+
+    def test_budget_keeps_best_ranked_survivors(self, space, shared_store):
+        evaluator = CandidateEvaluator(space, store=shared_store, seed=2017)
+        result = run_search(
+            space,
+            "successive-halving",
+            evaluator,
+            seed=2017,
+            budget=1,
+            full_vectors=800,
+            screen_vectors=200,
+        )
+        assert result.full_evaluations == 1
+
+    def test_zero_margin_promotes_only_frontier_candidates(self, space, shared_store):
+        evaluator = CandidateEvaluator(space, store=shared_store, seed=2017)
+        strict = run_search(
+            space,
+            SuccessiveHalvingSearch(promote_margin=0.0),
+            evaluator,
+            seed=2017,
+            full_vectors=800,
+            screen_vectors=200,
+        )
+        generous = run_search(
+            space,
+            SuccessiveHalvingSearch(promote_margin=10.0),
+            CandidateEvaluator(space, store=shared_store, seed=2017),
+            seed=2017,
+            full_vectors=800,
+            screen_vectors=200,
+        )
+        assert strict.full_evaluations <= generous.full_evaluations
+        assert generous.full_evaluations == len(space)
+
+    def test_degrades_to_exhaustive_when_screening_is_not_cheaper(
+        self, space, shared_store
+    ):
+        evaluator = CandidateEvaluator(space, store=shared_store, seed=2017)
+        result = run_search(
+            space,
+            "successive-halving",
+            evaluator,
+            seed=2017,
+            full_vectors=800,
+            screen_vectors=800,
+        )
+        assert result.screening_evaluations == 0
+        assert result.full_evaluations == len(space)
+
+
+class TestRunSearch:
+    def test_unknown_strategy_rejected(self, space):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            run_search(space, "simulated-annealing", CandidateEvaluator(space))
+
+    def test_invalid_parameters_rejected(self, space):
+        evaluator = CandidateEvaluator(space)
+        with pytest.raises(ValueError):
+            run_search(space, "exhaustive", evaluator, budget=0)
+        with pytest.raises(ValueError):
+            run_search(space, "exhaustive", evaluator, full_vectors=0)
+        with pytest.raises(ValueError):
+            run_search(space, "exhaustive", evaluator, screen_vectors=0)
+
+    def test_default_screen_vectors(self):
+        assert default_screen_vectors(4000) == 500
+        assert default_screen_vectors(800) == 200  # floor applies
+
+    def test_resume_refines_an_existing_frontier(self, space, shared_store):
+        evaluator = CandidateEvaluator(space, store=shared_store, seed=2017)
+        first = run_search(
+            space, "exhaustive", evaluator, seed=2017, budget=1, full_vectors=800
+        )
+        resumed = run_search(
+            space,
+            "exhaustive",
+            CandidateEvaluator(space, store=shared_store, seed=2017),
+            seed=2017,
+            full_vectors=800,
+            resume=ParetoFrontier(first.frontier.points),
+        )
+        complete = run_search(
+            space,
+            "exhaustive",
+            CandidateEvaluator(space, store=shared_store, seed=2017),
+            seed=2017,
+            full_vectors=800,
+        )
+        assert resumed.frontier == complete.frontier

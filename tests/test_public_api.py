@@ -24,6 +24,7 @@ class TestPublicApi:
             "repro.synthesis",
             "repro.simulation",
             "repro.core",
+            "repro.explore",
             "repro.baselines",
             "repro.apps",
             "repro.analysis",
