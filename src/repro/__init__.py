@@ -17,6 +17,9 @@ The package is organised in layers:
 * :mod:`repro.explore`    -- design-space exploration: parameterized operator
   search over architecture x width x speculation window x triad ranges with
   adaptive Pareto refinement,
+* :mod:`repro.variation`  -- Monte Carlo variation characterization: sampled
+  per-gate mismatch lowered as a batch dimension through the packed engine,
+  distribution statistics and yield analysis,
 * :mod:`repro.apps`       -- error-resilient applications mapped onto the
   approximate operator model,
 * :mod:`repro.analysis`   -- generators for every table and figure of the
@@ -62,6 +65,12 @@ from repro.explore import (
 )
 from repro.simulation import PatternConfig, generate_patterns
 from repro.synthesis import synthesize
+from repro.variation import (
+    MonteCarloConfig,
+    TriadVariationResult,
+    VariationSampler,
+    run_montecarlo_sweep,
+)
 
 __version__ = "1.0.0"
 
@@ -95,5 +104,9 @@ __all__ = [
     "CandidateEvaluator",
     "ParetoFrontier",
     "run_search",
+    "MonteCarloConfig",
+    "TriadVariationResult",
+    "VariationSampler",
+    "run_montecarlo_sweep",
     "__version__",
 ]

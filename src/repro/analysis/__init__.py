@@ -14,7 +14,9 @@ and print the same rows/series the paper reports.
 Beyond the paper, the exploration subsystem's reports live here too:
 the Pareto-frontier series (:func:`repro.analysis.figures.frontier_series`)
 and the ranked-configuration table
-(:func:`repro.analysis.tables.ranked_configurations`).
+(:func:`repro.analysis.tables.ranked_configurations`), as do the Monte Carlo
+variation reports (:mod:`repro.analysis.variation`: per-triad BER
+distribution tables and yield-vs-Vdd series).
 """
 
 from repro.analysis.tables import (
@@ -38,6 +40,12 @@ from repro.analysis.figures import (
     frontier_series,
     render_frontier,
 )
+from repro.analysis.variation import (
+    YieldPoint,
+    render_variation_table,
+    render_yield_series,
+    yield_vs_vdd_series,
+)
 
 __all__ = [
     "table2_synthesis",
@@ -57,4 +65,8 @@ __all__ = [
     "RankedConfiguration",
     "ranked_configurations",
     "render_ranked_configurations",
+    "YieldPoint",
+    "render_variation_table",
+    "render_yield_series",
+    "yield_vs_vdd_series",
 ]

@@ -1,0 +1,102 @@
+"""Reports of the Monte Carlo variation subsystem.
+
+Beyond the paper: the paper's Fig. 5/8 numbers are nominal-process values;
+these renderers report their spread under sampled process variation -- the
+per-triad BER/energy distribution table and the yield-vs-Vdd series a
+manufacturing-margin analysis reads.  Like the other analysis generators,
+every function returns structured data (or a rendered text table) so the
+benchmarks can assert shapes and print the same rows.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from repro.variation.stats import TriadVariationResult
+
+
+def render_variation_table(
+    results: Sequence[TriadVariationResult], max_ber: float
+) -> str:
+    """Distribution table: per-triad BER spread, yield and energy.
+
+    One row per triad in input order; BER columns are percentages, the yield
+    column is the fraction of sampled instances meeting ``max_ber``.
+    """
+    lines = ["Variation-aware characterization: BER distribution per triad"]
+    lines.append(
+        f"{'triad (Tclk ns, Vdd V, Vbb V)':<30}{'mean %':>9}{'p50 %':>9}"
+        f"{'p95 %':>9}{'p99 %':>9}{f'yield@{max_ber * 100:g}%':>11}"
+        f"{'E/op pJ':>10}"
+    )
+    for result in results:
+        ber = result.ber
+        lines.append(
+            f"{result.triad.label():<30}"
+            f"{ber.mean * 100:>9.2f}{ber.p50 * 100:>9.2f}"
+            f"{ber.p95 * 100:>9.2f}{ber.p99 * 100:>9.2f}"
+            f"{result.yield_at(max_ber) * 100:>10.1f}%"
+            f"{result.energy.mean * 1e12:>10.4f}"
+        )
+    return "\n".join(lines)
+
+
+@dataclasses.dataclass(frozen=True)
+class YieldPoint:
+    """Parametric yield of one operating triad under a BER margin.
+
+    Attributes
+    ----------
+    vdd / tclk / vbb:
+        The operating triad's coordinates.
+    yield_fraction:
+        Fraction of sampled instances whose BER meets the margin (0..1).
+    ber_p95:
+        95th-percentile BER across instances (fraction) -- the robust BER
+        the yield is effectively gated by.
+    """
+
+    vdd: float
+    tclk: float
+    vbb: float
+    yield_fraction: float
+    ber_p95: float
+
+
+def yield_vs_vdd_series(
+    results: Sequence[TriadVariationResult], max_ber: float
+) -> list[YieldPoint]:
+    """Yield as a function of supply voltage, highest supply first.
+
+    Intended for supply-scaling grids (one triad per Vdd, e.g.
+    :func:`repro.variation.montecarlo.supply_scaling_grid`); with several
+    triads per supply each keeps its own point, ordered by descending Vdd
+    then descending Tclk.
+    """
+    ordered = sorted(
+        results, key=lambda result: (-result.triad.vdd, -result.triad.tclk)
+    )
+    return [
+        YieldPoint(
+            vdd=result.triad.vdd,
+            tclk=result.triad.tclk,
+            vbb=result.triad.vbb,
+            yield_fraction=result.yield_at(max_ber),
+            ber_p95=result.ber_quantile(0.95),
+        )
+        for result in ordered
+    ]
+
+
+def render_yield_series(series: Sequence[YieldPoint], max_ber: float) -> str:
+    """Render a yield-vs-Vdd series as a text table."""
+    lines = [f"Yield vs Vdd (margin: BER <= {max_ber * 100:g}%)"]
+    lines.append(f"{'Vdd V':>6}{'Tclk ns':>9}{'yield %':>9}{'BER p95 %':>11}")
+    for point in series:
+        lines.append(
+            f"{point.vdd:>6.2f}{point.tclk * 1e9:>9.4f}"
+            f"{point.yield_fraction * 100:>8.1f}%"
+            f"{point.ber_p95 * 100:>11.2f}"
+        )
+    return "\n".join(lines)

@@ -15,12 +15,15 @@ The CLI exposes the most common workflows without writing Python:
   for a given error margin,
 * ``repro explore``         -- search the operator design space
   (architecture x width x speculation window x triads) for the BER/energy
-  Pareto frontier,
+  Pareto frontier (optionally robust under variation via
+  ``--robust-quantile``),
+* ``repro montecarlo``      -- Monte Carlo variation characterization: BER
+  distributions and parametric yield vs supply voltage at a process corner,
 * ``repro store``           -- inspect (``stats``) and bound (``prune``) the
   on-disk sweep result store.
 
 Sweep-running commands (``characterize``, ``fig5``, ``table4``,
-``calibrate``, ``explore``) execute on the sharded orchestrator of
+``calibrate``, ``explore``, ``montecarlo``) execute on the sharded orchestrator of
 :mod:`repro.core.sweep`: ``--jobs N`` fans the triad grid out over N worker
 processes, and completed triads are persisted in a content-addressed result
 store (``--cache-dir``, default ``$REPRO_CACHE_DIR`` or
@@ -45,6 +48,11 @@ from repro.analysis.figures import (
     frontier_series,
     render_fig8,
     render_frontier,
+)
+from repro.analysis.variation import (
+    render_variation_table,
+    render_yield_series,
+    yield_vs_vdd_series,
 )
 from repro.analysis.tables import (
     ranked_configurations,
@@ -71,8 +79,21 @@ from repro.explore import (
     TriadSpec,
     run_search,
 )
+from repro.explore.evaluator import robust_tag
 from repro.explore.search import SEARCH_STRATEGIES
-from repro.simulation.patterns import PATTERN_GENERATORS, PatternConfig
+from repro.simulation.patterns import (
+    PATTERN_GENERATORS,
+    PatternConfig,
+    generate_patterns,
+)
+from repro.core.sweep import pattern_stimulus
+from repro.core.triad import PAPER_SUPPLY_VOLTAGES
+from repro.technology.corners import GateVariationModel, ProcessCorner
+from repro.variation import (
+    MonteCarloConfig,
+    run_montecarlo_sweep,
+    supply_scaling_grid,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -229,7 +250,66 @@ def build_parser() -> argparse.ArgumentParser:
         "--frontier",
         help="frontier JSON file: loaded (resume) when present, always written",
     )
+    explore.add_argument(
+        "--robust-quantile",
+        type=float,
+        default=None,
+        help="score candidates by this BER quantile over Monte Carlo "
+        "variation samples instead of nominal BER (e.g. 0.95); on "
+        "--frontier resume, points scored differently are dropped",
+    )
+    explore.add_argument(
+        "--robust-samples",
+        type=int,
+        default=None,
+        help="Monte Carlo samples per candidate for robust scoring "
+        "(default 32; requires --robust-quantile)",
+    )
     _add_sweep_arguments(explore)
+
+    montecarlo = subparsers.add_parser(
+        "montecarlo",
+        help="Monte Carlo variation characterization: BER distributions and "
+        "yield vs Vdd under sampled per-gate mismatch",
+    )
+    _add_adder_arguments(montecarlo)
+    _add_pattern_arguments(montecarlo)
+    _add_sweep_arguments(montecarlo)
+    montecarlo.add_argument(
+        "--corner",
+        choices=[corner.value for corner in ProcessCorner],
+        default=ProcessCorner.TYPICAL.value,
+        help="process corner the mismatch is sampled around (default TT)",
+    )
+    montecarlo.add_argument(
+        "--samples", type=int, default=64, help="Monte Carlo samples (dies)"
+    )
+    montecarlo.add_argument(
+        "--sigma-vt",
+        type=float,
+        default=GateVariationModel().sigma_vt,
+        help="per-gate threshold-voltage mismatch sigma in volts",
+    )
+    montecarlo.add_argument(
+        "--sigma-current",
+        type=float,
+        default=GateVariationModel().sigma_current_factor,
+        help="per-gate relative current-factor mismatch sigma",
+    )
+    montecarlo.add_argument(
+        "--margin",
+        type=float,
+        default=0.02,
+        help="BER margin (fraction) the yield is evaluated against",
+    )
+    montecarlo.add_argument(
+        "--vdd",
+        type=float,
+        nargs="+",
+        default=list(PAPER_SUPPLY_VOLTAGES),
+        help="supply voltages of the yield sweep (matched nominal clock, "
+        "no body bias)",
+    )
 
     store = subparsers.add_parser(
         "store", help="inspect and bound the on-disk sweep result store"
@@ -307,6 +387,11 @@ def _add_store_dir_argument(parser: argparse.ArgumentParser) -> None:
 
 def _resolve_store(args: argparse.Namespace) -> SweepResultStore | None:
     if getattr(args, "no_cache", False):
+        if getattr(args, "cache_dir", None):
+            raise SystemExit(
+                "--no-cache conflicts with --cache-dir (disable the store "
+                "or point it somewhere, not both)"
+            )
         return None
     if args.cache_dir:
         return SweepResultStore(args.cache_dir)
@@ -500,10 +585,40 @@ def _command_explore(args: argparse.Namespace) -> int:
             "(every window was skipped and no 'none' entry is present)"
         )
 
-    resume = _load_resume_frontier(args.frontier, args.vectors, args.seed)
+    if args.robust_samples is not None and args.robust_quantile is None:
+        raise SystemExit("--robust-samples requires --robust-quantile")
+    variation = None
+    if args.robust_quantile is not None:
+        if not 0.0 < args.robust_quantile < 1.0:
+            raise SystemExit("--robust-quantile must lie strictly within (0, 1)")
+        try:
+            variation = MonteCarloConfig(
+                n_samples=(
+                    32 if args.robust_samples is None else args.robust_samples
+                ),
+                seed=args.seed,
+            )
+        except ValueError as error:
+            raise SystemExit(str(error)) from None
+
+    expected_robust = (
+        None
+        if variation is None
+        else robust_tag(variation, args.robust_quantile)
+    )
+    resume = _load_resume_frontier(
+        args.frontier, args.vectors, args.seed, expected_robust
+    )
     try:
         evaluator = CandidateEvaluator(
-            space, jobs=args.jobs, store=_resolve_store(args), seed=args.seed
+            space,
+            jobs=args.jobs,
+            store=_resolve_store(args),
+            seed=args.seed,
+            variation=variation,
+            robust_quantile=(
+                args.robust_quantile if args.robust_quantile is not None else 0.95
+            ),
         )
         result = run_search(
             space,
@@ -539,14 +654,19 @@ def _command_explore(args: argparse.Namespace) -> int:
 
 
 def _load_resume_frontier(
-    path: str | None, full_vectors: int, seed: int
+    path: str | None,
+    full_vectors: int,
+    seed: int,
+    robust: str | None,
 ) -> ParetoFrontier | None:
-    """Load a ``--frontier`` file for resume, keeping one stimulus per run.
+    """Load a ``--frontier`` file for resume, keeping one measurement per run.
 
-    Points measured on a different stimulus (size, seed or pattern kind) are
-    dropped with a note: letting a noisy low-vector point -- or a point from
-    another operand stream -- compete against this run's measurements could
-    evict the accurate ones from the frontier.
+    Points measured on a different stimulus (size, seed or pattern kind) or
+    under a different scoring identity (nominal vs robust quantile-BER, or a
+    different Monte Carlo configuration) are dropped with a note: a nominal
+    BER is systematically lower than a quantile BER over sampled dies, so
+    letting the two compete -- like letting a noisy low-vector point compete
+    -- could evict this run's measurements from the frontier.
     """
     if not path:
         return None
@@ -562,14 +682,67 @@ def _load_resume_frontier(
         if point.n_vectors == full_vectors
         and point.seed == seed
         and point.pattern_kind == "uniform"
+        and point.robust == robust
     ]
     dropped = len(loaded) - len(matching)
     if dropped:
         print(
             f"note: dropped {dropped} frontier point(s) measured on a "
-            f"different stimulus than --vectors {full_vectors} --seed {seed}"
+            f"different stimulus or scoring than --vectors {full_vectors} "
+            f"--seed {seed} "
+            + (f"--robust-quantile (tag {robust})" if robust else "(nominal)")
         )
     return ParetoFrontier(matching)
+
+
+def _command_montecarlo(args: argparse.Namespace) -> int:
+    if args.samples <= 0:
+        raise SystemExit("--samples must be positive")
+    if not 0.0 <= args.margin <= 1.0:
+        raise SystemExit("--margin must lie within [0, 1] (a BER fraction)")
+    try:
+        config = MonteCarloConfig(
+            corner=ProcessCorner(args.corner),
+            model=GateVariationModel(
+                sigma_current_factor=args.sigma_current, sigma_vt=args.sigma_vt
+            ),
+            n_samples=args.samples,
+            seed=args.seed,
+        )
+        pattern = PatternConfig(
+            n_vectors=args.vectors,
+            width=args.width,
+            seed=args.seed,
+            kind=args.pattern,
+        )
+        flow = CharacterizationFlow.for_benchmark(args.architecture, args.width)
+        grid = supply_scaling_grid(flow, tuple(args.vdd))
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+    in1, in2 = generate_patterns(pattern)
+    results = run_montecarlo_sweep(
+        flow.adder,
+        grid,
+        in1,
+        in2,
+        pattern_stimulus(pattern),
+        config=config,
+        jobs=args.jobs,
+        store=_resolve_store(args),
+    )
+    model = config.model
+    print(
+        f"{flow.adder.name} @ corner {config.corner.value}: "
+        f"{config.n_samples} samples, seed {config.seed}, "
+        f"sigma_vt {model.sigma_vt * 1e3:g} mV, "
+        f"sigma_k {model.sigma_current_factor * 100:g}%, "
+        f"{args.vectors} vectors"
+    )
+    print()
+    print(render_variation_table(results, args.margin))
+    print()
+    print(render_yield_series(yield_vs_vdd_series(results, args.margin), args.margin))
+    return 0
 
 
 def _command_store(args: argparse.Namespace) -> int:
@@ -585,6 +758,11 @@ def _command_store(args: argparse.Namespace) -> int:
             print(f"age span   : {span:.0f} s between oldest and newest entry")
         return 0
     # store_command == "prune" (the subparser enforces the choice)
+    if args.all and (args.max_entries is not None or args.max_bytes is not None):
+        raise SystemExit(
+            "--all conflicts with --max-entries/--max-bytes (it already "
+            "deletes everything)"
+        )
     max_entries = 0 if args.all else args.max_entries
     if max_entries is None and args.max_bytes is None:
         raise SystemExit("prune needs --max-entries, --max-bytes or --all")
@@ -605,6 +783,7 @@ _COMMANDS = {
     "calibrate": _command_calibrate,
     "speculate": _command_speculate,
     "explore": _command_explore,
+    "montecarlo": _command_montecarlo,
     "store": _command_store,
 }
 

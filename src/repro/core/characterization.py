@@ -235,6 +235,17 @@ class CharacterizationFlow:
         """
         return self._testbench.nominal_critical_path() * self._sta_margin
 
+    def nominal_clock_period(self) -> float:
+        """The matched equivalent of the paper's nominal clock, in seconds.
+
+        The largest of the aggressive periods of :meth:`default_triad_grid`
+        (the relaxed reference clock -- the overall maximum -- is excluded).
+        This is the single definition of the rule; the Fig. 5 supply sweep
+        and the Monte Carlo yield grids both scale from it.
+        """
+        clocks = sorted({triad.tclk for triad in self.default_triad_grid()})
+        return clocks[-2] if len(clocks) > 1 else clocks[-1]
+
     def default_triad_grid(self) -> TriadGrid:
         """Table III triad grid rescaled to this adder's own critical path.
 

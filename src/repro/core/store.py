@@ -120,6 +120,24 @@ def decode_int64_array(text: str) -> np.ndarray:
     )
 
 
+def encode_float64_array(values: np.ndarray) -> str:
+    """Base64 encoding of a float64 array (bit-exact, little-endian).
+
+    Used by the Monte Carlo payloads for per-sample statistics: the encoding
+    is byte-identical for byte-identical inputs, which is what makes
+    serial-vs-sharded store entries comparable file for file.
+    """
+    data = np.ascontiguousarray(np.asarray(values, dtype="<f8"))
+    return base64.b64encode(data.tobytes()).decode("ascii")
+
+
+def decode_float64_array(text: str) -> np.ndarray:
+    """Inverse of :func:`encode_float64_array`."""
+    return np.frombuffer(base64.b64decode(text), dtype="<f8").astype(
+        np.float64, copy=True
+    )
+
+
 # ---------------------------------------------------------------------------
 # The store
 # ---------------------------------------------------------------------------

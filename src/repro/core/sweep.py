@@ -389,14 +389,23 @@ def _payload_to_fault_result(payload: Mapping[str, Any]) -> FaultSimulationResul
 # ---------------------------------------------------------------------------
 
 
-def _verified_spec(circuit: Any, fingerprint: str) -> CircuitSpec | None:
-    """Spec whose rebuilt netlist is proven identical to ``circuit``'s."""
+def verified_spec(circuit: Any, fingerprint: str) -> CircuitSpec | None:
+    """Spec whose rebuilt netlist is proven identical to ``circuit``'s.
+
+    Shared by every orchestrator that ships circuits to worker processes by
+    generator name (characterization, fault campaigns, and the Monte Carlo
+    variation sweeps of :mod:`repro.variation.montecarlo`).
+    """
     spec = CircuitSpec.from_circuit(circuit)
     if spec is None:
         return None
     if netlist_fingerprint(spec.build().netlist) != fingerprint:
         return None
     return spec
+
+
+#: Backwards-compatible alias of :func:`verified_spec`.
+_verified_spec = verified_spec
 
 
 def run_characterization_sweep(

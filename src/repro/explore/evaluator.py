@@ -21,18 +21,43 @@ import collections
 import dataclasses
 from typing import Sequence
 
+import numpy as np
+
+from repro.core import sweep as sweep_module
 from repro.core.characterization import CharacterizationFlow
 from repro.core.store import SweepResultStore
 from repro.core.triad import OperatingTriad
 from repro.explore.frontier import FrontierPoint
 from repro.explore.space import DesignSpace, OperatorCandidate, TriadSpec
-from repro.simulation.patterns import PatternConfig
+from repro.simulation.patterns import PatternConfig, generate_patterns
 from repro.technology.library import DEFAULT_LIBRARY, StandardCellLibrary
+from repro.variation.montecarlo import MonteCarloConfig, run_montecarlo_sweep
+
+
+def robust_tag(variation: MonteCarloConfig, quantile: float) -> str:
+    """Scoring-identity tag of a robust (quantile-BER) evaluation.
+
+    Covers everything that changes what a robust BER *means*: the quantile
+    and the Monte Carlo corner, mismatch model, sample count and variation
+    seed.  Recorded on every frontier point so nominal and differently
+    configured robust measurements never compete on resume.
+    """
+    model = variation.model
+    return (
+        f"q{quantile:g}/{variation.corner.value}"
+        f"/n{variation.n_samples}s{variation.seed}"
+        f"/vt{model.sigma_vt:g}k{model.sigma_current_factor:g}"
+    )
 
 
 @dataclasses.dataclass(frozen=True)
 class DesignPoint:
-    """One (candidate, triad) evaluation outcome."""
+    """One (candidate, triad) evaluation outcome.
+
+    ``robust`` carries the scoring-identity tag (:func:`robust_tag`) when
+    the BER is a quantile over Monte Carlo variation samples; ``None`` marks
+    a nominal-BER point.
+    """
 
     candidate: OperatorCandidate
     triad: OperatingTriad
@@ -42,6 +67,7 @@ class DesignPoint:
     n_vectors: int
     seed: int = 2017
     pattern_kind: str = "uniform"
+    robust: str | None = None
 
     def to_frontier_point(self) -> FrontierPoint:
         """The point's representation on the Pareto frontier."""
@@ -56,6 +82,7 @@ class DesignPoint:
             n_vectors=self.n_vectors,
             seed=self.seed,
             pattern_kind=self.pattern_kind,
+            robust=self.robust,
         )
 
 
@@ -118,6 +145,16 @@ class CandidateEvaluator:
         width draws its own operand stream from it, deterministically).
     sta_margin:
         Clock-path pessimism factor (see :class:`CharacterizationFlow`).
+    variation:
+        Optional :class:`~repro.variation.montecarlo.MonteCarloConfig`.
+        When set, every design point is scored by its **quantile BER** over
+        the sampled variation instances instead of the nominal BER (and by
+        the mean Monte Carlo energy), so the search optimises a Pareto
+        frontier that is robust under process variation.  Monte Carlo
+        entries shard and cache through the same store as nominal sweeps.
+    robust_quantile:
+        The BER quantile used for robust scoring (default 0.95 -- "19 of 20
+        manufactured dies are at least this good").
     """
 
     def __init__(
@@ -129,9 +166,13 @@ class CandidateEvaluator:
         pattern_kind: str = "uniform",
         seed: int = 2017,
         sta_margin: float = 1.5,
+        variation: MonteCarloConfig | None = None,
+        robust_quantile: float = 0.95,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if not 0.0 <= robust_quantile <= 1.0:
+            raise ValueError("robust_quantile must lie within [0, 1]")
         self._triads = space.triads if isinstance(space, DesignSpace) else space
         self._library = library
         self._jobs = jobs
@@ -139,6 +180,8 @@ class CandidateEvaluator:
         self._pattern_kind = pattern_kind
         self._seed = seed
         self._sta_margin = sta_margin
+        self._variation = variation
+        self._robust_quantile = robust_quantile
         self._flows: collections.OrderedDict[
             OperatorCandidate, CharacterizationFlow
         ] = collections.OrderedDict()
@@ -177,28 +220,40 @@ class CandidateEvaluator:
             raise ValueError("n_vectors must be positive")
         flow = self._flow_for(candidate)
         grid = self._triads.grid_for(flow)
+        config = PatternConfig(
+            n_vectors=n_vectors,
+            width=candidate.width,
+            seed=self._seed,
+            kind=self._pattern_kind,
+        )
         characterization = flow.run(
             triads=grid,
-            pattern=PatternConfig(
-                n_vectors=n_vectors,
-                width=candidate.width,
-                seed=self._seed,
-                kind=self._pattern_kind,
-            ),
+            pattern=config,
             keep_measurements=False,
             jobs=self._jobs,
             store=self._store,
+        )
+        robust = self._robust_scores(flow, grid, config)
+        tag = (
+            robust_tag(self._variation, self._robust_quantile)
+            if self._variation is not None
+            else None
         )
         points = tuple(
             DesignPoint(
                 candidate=candidate,
                 triad=entry.triad,
-                ber=entry.ber,
+                ber=robust[entry.triad][0] if robust else entry.ber,
                 mse=entry.mse,
-                energy_per_operation=entry.energy_per_operation,
+                energy_per_operation=(
+                    robust[entry.triad][1]
+                    if robust
+                    else entry.energy_per_operation
+                ),
                 n_vectors=n_vectors,
                 seed=self._seed,
                 pattern_kind=self._pattern_kind,
+                robust=tag,
             )
             for entry in characterization.results
         )
@@ -213,6 +268,37 @@ class CandidateEvaluator:
             points=points,
             reference_energy=characterization.reference_energy,
         )
+
+    def _robust_scores(
+        self, flow: CharacterizationFlow, grid, config: PatternConfig
+    ) -> dict[OperatingTriad, tuple[float, float]]:
+        """Quantile BER and mean Monte Carlo energy per triad (or empty).
+
+        Empty when no variation config is set (nominal scoring).  The Monte
+        Carlo run shares the evaluator's store and worker pool, so repeated
+        scoring of a candidate at the same fidelity replays from cache.
+        """
+        if self._variation is None:
+            return {}
+        in1, in2 = generate_patterns(config)
+        results = run_montecarlo_sweep(
+            flow.adder,
+            grid,
+            in1,
+            in2,
+            sweep_module.pattern_stimulus(config),
+            config=self._variation,
+            library=self._library,
+            jobs=self._jobs,
+            store=self._store,
+        )
+        return {
+            result.triad: (
+                result.ber_quantile(self._robust_quantile),
+                float(np.asarray(result.energy_samples).mean()),
+            )
+            for result in results
+        }
 
     def evaluate_many(
         self, candidates: Sequence[OperatorCandidate], n_vectors: int

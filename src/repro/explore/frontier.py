@@ -50,6 +50,14 @@ class FrontierPoint:
         search can tell what a persisted point was measured on; points from
         different stimuli compete on equal terms, so callers should keep one
         frontier per stimulus (the CLI drops non-matching points on resume).
+    robust:
+        Scoring identity of a variation-robust evaluation (quantile + Monte
+        Carlo configuration tag, see
+        :func:`repro.explore.evaluator.robust_tag`), or ``None`` for a
+        nominal-BER point.  Part of the measurement identity for the same
+        reason as the stimulus fields: a nominal BER is systematically lower
+        than a quantile BER over sampled dies, so letting the two compete
+        would evict the robust measurements.
     """
 
     ber: float
@@ -62,6 +70,7 @@ class FrontierPoint:
     n_vectors: int
     seed: int = 2017
     pattern_kind: str = "uniform"
+    robust: str | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.ber <= 1.0:
@@ -104,6 +113,7 @@ class FrontierPoint:
             "n_vectors": self.n_vectors,
             "seed": self.seed,
             "pattern_kind": self.pattern_kind,
+            "robust": self.robust,
         }
 
     @classmethod
@@ -125,6 +135,10 @@ class FrontierPoint:
             n_vectors=int(data["n_vectors"]),
             seed=int(data["seed"]),
             pattern_kind=str(data["pattern_kind"]),
+            # Absent in pre-variation documents: those points are nominal.
+            robust=(
+                None if data.get("robust") is None else str(data["robust"])
+            ),
         )
 
 

@@ -437,6 +437,55 @@ class CompiledNetlistPlan:
             )
         return arrival
 
+    def batched_arrival_pass(
+        self, changed: np.ndarray, gate_delay_matrix: np.ndarray
+    ) -> np.ndarray:
+        """Arrival times for a *batch* of per-gate delay assignments.
+
+        The Monte Carlo variation subsystem evaluates many sampled delay
+        instances of one netlist against one toggle mask; this pass lowers
+        the instance axis through the same group-at-a-time recurrence as
+        :meth:`arrival_pass` so a whole batch costs one schedule walk, not a
+        Python loop over instances.
+
+        Parameters
+        ----------
+        changed:
+            Boolean toggle mask per net, shape ``(net_count, n_vectors)`` --
+            variation-independent (delays never change logic values).
+        gate_delay_matrix:
+            Per-instance per-gate delays in seconds, shape
+            ``(n_instances, gate_count)``.
+
+        Returns
+        -------
+        Arrival times of shape ``(net_count, n_instances, n_vectors)``.  For
+        a single all-nominal instance the result is bit-identical with
+        :meth:`arrival_pass` (same operations in the same order).
+        """
+        delays = np.asarray(gate_delay_matrix, dtype=float)
+        if delays.ndim != 2 or delays.shape[1] != self._gate_count:
+            raise ValueError(
+                "gate_delay_matrix must have shape (n_instances, "
+                f"{self._gate_count}); got {delays.shape}"
+            )
+        n_instances = delays.shape[0]
+        arrival = np.zeros(
+            (changed.shape[0], n_instances, changed.shape[1]), dtype=float
+        )
+        for group in self._groups:
+            gathered = arrival[group.input_nets]
+            mask = changed[group.input_nets][:, :, None, :]
+            contribution = np.where(mask, gathered, 0.0)
+            input_arrival = contribution.max(axis=0)
+            group_delays = delays[:, group.topo_indices].T[:, :, None]
+            arrival[group.output_nets] = np.where(
+                changed[group.output_nets][:, None, :],
+                input_arrival + group_delays,
+                0.0,
+            )
+        return arrival
+
     def static_arrival_pass(self, gate_delays: np.ndarray) -> np.ndarray:
         """Topological (worst-case) arrival time of every net, in seconds."""
         arrival = np.zeros(self._net_count, dtype=float)
@@ -542,6 +591,26 @@ def annotation_arrays(
     output_nets = np.array(netlist.output_nets, dtype=np.intp)
     critical = float(arrival[output_nets].max()) if output_nets.size else 0.0
     return delays, energies, leakage, critical
+
+
+def gate_leakage_powers(
+    netlist: Netlist,
+    vdd: float,
+    vbb: float,
+    library: StandardCellLibrary = DEFAULT_LIBRARY,
+) -> np.ndarray:
+    """Static power in watts of each gate, indexed like ``topological_gates``.
+
+    :func:`annotation_arrays` only needs the netlist *total*; the variation
+    subsystem scales each gate's leakage by its sampled mismatch before
+    summing, so it needs the per-gate array.  Summing this array gate by gate
+    in topological order reproduces the annotation total exactly.
+    """
+    plan = compile_plan(netlist)
+    powers = np.empty(plan.gate_count, dtype=float)
+    for gate_type, indices in plan.type_indices.items():
+        powers[indices] = library.cell_leakage_power(gate_type.value, vdd, vbb)
+    return powers
 
 
 # ---------------------------------------------------------------------------

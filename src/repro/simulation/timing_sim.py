@@ -42,7 +42,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 from collections import OrderedDict
-from typing import Mapping
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -197,6 +197,63 @@ class VosSimulationResult:
     def mean_energy_per_operation(self) -> float:
         """Average energy per operation in joules."""
         return float(self.total_energy.mean())
+
+
+@dataclasses.dataclass(frozen=True)
+class VariationSimulationResult:
+    """Result of one VOS simulation over a *batch* of variation instances.
+
+    The instance axis is the leading axis of every per-instance array: one
+    simulation pass evaluates ``n_instances`` sampled netlists against the
+    shared stimulus (logic values and toggle masks are variation-independent,
+    so settled bits carry no instance axis).
+
+    Attributes
+    ----------
+    latched_bits:
+        Boolean array ``(n_instances, n_vectors, n_outputs)`` -- the values
+        each sampled instance latches at the end of each cycle (LSB first).
+    settled_bits:
+        Error-free settled output values, ``(n_vectors, n_outputs)``.
+    arrival_times:
+        Arrival time in seconds of each output bit per instance,
+        ``(n_instances, n_vectors, n_outputs)``.
+    dynamic_energy:
+        Per-vector dynamic energy in joules, shape ``(n_vectors,)`` --
+        toggle counts and switched capacitance do not vary across instances.
+    static_energy_per_operation:
+        Leakage energy per cycle of each instance in joules, shape
+        ``(n_instances,)`` (instance leakage power times ``tclk``).
+    tclk:
+        Clock period used for latching, in seconds.
+    """
+
+    latched_bits: np.ndarray
+    settled_bits: np.ndarray
+    arrival_times: np.ndarray
+    dynamic_energy: np.ndarray
+    static_energy_per_operation: np.ndarray
+    tclk: float
+
+    @property
+    def n_instances(self) -> int:
+        """Number of simulated variation instances."""
+        return self.latched_bits.shape[0]
+
+    @property
+    def n_vectors(self) -> int:
+        """Number of simulated vectors."""
+        return self.latched_bits.shape[1]
+
+    @property
+    def error_bits(self) -> np.ndarray:
+        """Per-instance bit errors against the settled values."""
+        return self.latched_bits != self.settled_bits[None, :, :]
+
+    @property
+    def energy_per_operation(self) -> np.ndarray:
+        """Mean total energy per operation of each instance, joules."""
+        return float(self.dynamic_energy.mean()) + self.static_energy_per_operation
 
 
 class VosTimingSimulator:
@@ -376,6 +433,127 @@ class VosTimingSimulator:
             static_energy=static_energy,
             tclk=tclk,
         )
+
+    def run_variation_sweep(
+        self,
+        inputs: Mapping[str, np.ndarray],
+        tclks: Sequence[float],
+        vdd: float,
+        vbb: float = 0.0,
+        delay_multipliers: np.ndarray | None = None,
+        leakage_multipliers: np.ndarray | None = None,
+        previous_inputs: Mapping[str, np.ndarray] | None = None,
+    ) -> list[VariationSimulationResult]:
+        """Simulate a batch of variation instances under several clocks.
+
+        The expensive work -- the batched arrival pass over all instances --
+        depends only on ``(vdd, vbb)`` and the sampled multipliers, so one
+        call evaluates every clock period of an operating-point group against
+        the same arrival matrix (mirroring the sweep-level reuse of
+        :meth:`run`).  Logic values are variation-independent, so the cached
+        stimulus record (settled/stale bits, toggle masks) is shared with
+        nominal simulations of the same pattern set.
+
+        Parameters
+        ----------
+        inputs, previous_inputs:
+            As in :meth:`run`.
+        tclks:
+            Clock periods in seconds; one result is returned per entry.
+        vdd, vbb:
+            Operating voltages shared by the batch.
+        delay_multipliers:
+            Per-instance per-gate delay multipliers, shape
+            ``(n_instances, gate_count)``; ``None`` runs one nominal
+            instance.  All values must be positive.
+        leakage_multipliers:
+            Optional per-instance per-gate leakage-power multipliers of the
+            same shape; ``None`` leaves every instance at nominal leakage.
+        """
+        if not tclks:
+            raise ValueError("tclks must not be empty")
+        if any(tclk <= 0 for tclk in tclks):
+            raise ValueError("tclk must be positive")
+        annotation = self.annotation(vdd, vbb)
+        gate_count = annotation.gate_delays.shape[0]
+        if delay_multipliers is None:
+            delay_multipliers = np.ones((1, gate_count))
+        multipliers = np.asarray(delay_multipliers, dtype=float)
+        if multipliers.ndim != 2 or multipliers.shape[1] != gate_count:
+            raise ValueError(
+                "delay_multipliers must have shape (n_instances, "
+                f"{gate_count}); got {multipliers.shape}"
+            )
+        if np.any(multipliers <= 0):
+            raise ValueError("delay multipliers must be positive")
+        stimulus = self._stimulus(inputs, previous_inputs)
+
+        gate_delays = annotation.gate_delays[None, :] * multipliers
+        arrival = self._plan.batched_arrival_pass(stimulus.changed, gate_delays)
+        # (n_outputs, n_instances, n_vectors) -> (n_instances, n_vectors, n_outputs)
+        arrival_bits = np.ascontiguousarray(
+            arrival[self._output_net_array].transpose(1, 2, 0)
+        )
+        # Same reduction expression as the cached nominal timing record.
+        toggles = stimulus.changed[self._plan.gate_output_nets]
+        dynamic_energy = annotation.gate_switch_energies @ toggles.astype(
+            np.float64
+        )
+        n_instances = multipliers.shape[0]
+        if leakage_multipliers is None:
+            leakage_power = np.full(n_instances, annotation.leakage_power)
+        else:
+            leak_scale = np.asarray(leakage_multipliers, dtype=float)
+            if leak_scale.shape != multipliers.shape:
+                raise ValueError(
+                    "leakage_multipliers must match delay_multipliers shape "
+                    f"{multipliers.shape}; got {leak_scale.shape}"
+                )
+            per_gate = engine.gate_leakage_powers(
+                self._netlist, vdd, vbb, self._library
+            )
+            leakage_power = leak_scale @ per_gate
+
+        results = []
+        for tclk in tclks:
+            on_time = arrival_bits <= tclk
+            latched = np.where(
+                on_time,
+                stimulus.settled_bits[None, :, :],
+                stimulus.stale_bits[None, :, :],
+            )
+            results.append(
+                VariationSimulationResult(
+                    latched_bits=latched,
+                    settled_bits=stimulus.settled_bits,
+                    arrival_times=arrival_bits,
+                    dynamic_energy=dynamic_energy,
+                    static_energy_per_operation=leakage_power * tclk,
+                    tclk=float(tclk),
+                )
+            )
+        return results
+
+    def run_variation(
+        self,
+        inputs: Mapping[str, np.ndarray],
+        tclk: float,
+        vdd: float,
+        vbb: float = 0.0,
+        delay_multipliers: np.ndarray | None = None,
+        leakage_multipliers: np.ndarray | None = None,
+        previous_inputs: Mapping[str, np.ndarray] | None = None,
+    ) -> VariationSimulationResult:
+        """Single-clock convenience wrapper of :meth:`run_variation_sweep`."""
+        return self.run_variation_sweep(
+            inputs,
+            [tclk],
+            vdd,
+            vbb,
+            delay_multipliers=delay_multipliers,
+            leakage_multipliers=leakage_multipliers,
+            previous_inputs=previous_inputs,
+        )[0]
 
     # -- cached sweep state ----------------------------------------------------
 

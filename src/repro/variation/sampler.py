@@ -1,0 +1,126 @@
+"""Seeded per-gate variation sampling for Monte Carlo characterization.
+
+A *variation instance* is one manufactured die: a per-gate draw of
+``(current-factor multiplier, Vt offset)`` from the
+:class:`~repro.technology.corners.GateVariationModel`.  The sampler's
+determinism contract is the foundation of the whole subsystem:
+
+* instance ``i`` is derived from the seed sequence ``(seed, i)`` alone, so a
+  sample is byte-identical whether it is drawn serially, inside a worker
+  process, or as part of any chunk of any size -- which is what lets sample
+  ranges shard across the :class:`~concurrent.futures.ProcessPoolExecutor`
+  orchestrator and persist in the content-addressed result store without the
+  run topology leaking into the numbers;
+* the raw draws live in *device parameter* space and are independent of the
+  operating point -- the same die is then evaluated at every triad of a
+  sweep by lowering the draws to per-gate delay / leakage multipliers at
+  each ``(vdd, vbb)`` through the device equations
+  (:func:`~repro.technology.corners.variation_delay_multipliers`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.technology.corners import (
+    GateVariationModel,
+    variation_delay_multipliers,
+    variation_leakage_multipliers,
+)
+from repro.technology.fdsoi28 import TechnologyParameters
+
+
+@dataclasses.dataclass(frozen=True)
+class VariationBatch:
+    """Raw per-gate parameter draws of a contiguous sample-index range.
+
+    Attributes
+    ----------
+    start / stop:
+        The half-open absolute sample-index range ``[start, stop)``.
+    current_multipliers:
+        Per-instance per-gate current-factor multipliers,
+        shape ``(stop - start, n_gates)``.
+    vt_offsets:
+        Per-instance per-gate threshold-voltage offsets in volts, same shape.
+    """
+
+    start: int
+    stop: int
+    current_multipliers: np.ndarray
+    vt_offsets: np.ndarray
+
+    @property
+    def n_instances(self) -> int:
+        """Number of instances in the batch."""
+        return self.stop - self.start
+
+    def delay_multipliers(
+        self, vdd: float, vbb: float, tech: TechnologyParameters
+    ) -> np.ndarray:
+        """Per-gate delay multipliers of the batch at an operating point."""
+        return variation_delay_multipliers(
+            self.current_multipliers, self.vt_offsets, vdd, vbb, tech
+        )
+
+    def leakage_multipliers(self, tech: TechnologyParameters) -> np.ndarray:
+        """Per-gate leakage-power multipliers of the batch."""
+        return variation_leakage_multipliers(
+            self.current_multipliers, self.vt_offsets, tech
+        )
+
+
+class VariationSampler:
+    """Deterministic per-gate variation sampler for one netlist size.
+
+    Parameters
+    ----------
+    model:
+        The mismatch model the draws follow.
+    seed:
+        Base seed; combined with each absolute sample index into an
+        independent :class:`numpy.random.SeedSequence`, so instance ``i`` is
+        reproducible in isolation.
+    """
+
+    def __init__(self, model: GateVariationModel, seed: int) -> None:
+        self._model = model
+        self._seed = int(seed)
+
+    @property
+    def model(self) -> GateVariationModel:
+        """The mismatch model draws follow."""
+        return self._model
+
+    @property
+    def seed(self) -> int:
+        """Base seed of the sampler."""
+        return self._seed
+
+    def sample_instance(
+        self, n_gates: int, sample_index: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Draw the ``(current multipliers, vt offsets)`` of one instance."""
+        if sample_index < 0:
+            raise ValueError("sample_index must be non-negative")
+        rng = np.random.default_rng([self._seed, sample_index])
+        return self._model.sample_gate_parameters(n_gates, rng)
+
+    def sample_range(self, n_gates: int, start: int, stop: int) -> VariationBatch:
+        """Draw a contiguous half-open range of instances as one batch."""
+        if start < 0:
+            raise ValueError("start must be non-negative")
+        if stop <= start:
+            raise ValueError("stop must exceed start")
+        current = np.empty((stop - start, n_gates), dtype=float)
+        offsets = np.empty((stop - start, n_gates), dtype=float)
+        for row, index in enumerate(range(start, stop)):
+            current[row], offsets[row] = self.sample_instance(n_gates, index)
+        return VariationBatch(
+            start=start,
+            stop=stop,
+            current_multipliers=current,
+            vt_offsets=offsets,
+        )

@@ -1,0 +1,145 @@
+"""Distribution statistics over Monte Carlo variation samples.
+
+The Monte Carlo runner produces one BER / energy value per sampled netlist
+instance; this module condenses those per-sample arrays into the statistics a
+yield analysis reports: moments, quantiles, and the parametric yield at a BER
+margin (the fraction of manufactured instances that would meet the margin at
+the operating triad).  Everything is a pure, deterministic function of the
+sample arrays, so statistics are identical whether samples were simulated
+serially, sharded across workers, or replayed from the result store.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.triad import OperatingTriad
+
+#: Quantiles reported by :meth:`DistributionSummary.from_samples`.
+SUMMARY_QUANTILES: tuple[float, ...] = (0.05, 0.50, 0.95, 0.99)
+
+
+@dataclasses.dataclass(frozen=True)
+class DistributionSummary:
+    """Moments and quantiles of one scalar sample distribution.
+
+    Attributes
+    ----------
+    mean / std / minimum / maximum:
+        The usual moments and extrema over the samples.
+    p05 / p50 / p95 / p99:
+        Linear-interpolation quantiles (:data:`SUMMARY_QUANTILES`).
+    n_samples:
+        Number of samples the summary was computed from.
+    """
+
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    p05: float
+    p50: float
+    p95: float
+    p99: float
+    n_samples: int
+
+    @classmethod
+    def from_samples(cls, samples: np.ndarray) -> "DistributionSummary":
+        """Summarise a non-empty 1-D sample array."""
+        values = np.asarray(samples, dtype=float).ravel()
+        if values.size == 0:
+            raise ValueError("cannot summarise an empty sample array")
+        quantiles = np.quantile(values, SUMMARY_QUANTILES)
+        return cls(
+            mean=float(values.mean()),
+            std=float(values.std()),
+            minimum=float(values.min()),
+            maximum=float(values.max()),
+            p05=float(quantiles[0]),
+            p50=float(quantiles[1]),
+            p95=float(quantiles[2]),
+            p99=float(quantiles[3]),
+            n_samples=int(values.size),
+        )
+
+
+def yield_at_margin(ber_samples: np.ndarray, max_ber: float) -> float:
+    """Fraction of sampled instances whose BER does not exceed the margin."""
+    if max_ber < 0:
+        raise ValueError("max_ber must be non-negative")
+    values = np.asarray(ber_samples, dtype=float).ravel()
+    if values.size == 0:
+        raise ValueError("cannot compute yield over an empty sample array")
+    return float((values <= max_ber).mean())
+
+
+@dataclasses.dataclass(frozen=True)
+class TriadVariationResult:
+    """Monte Carlo characterization of one circuit at one operating triad.
+
+    Attributes
+    ----------
+    triad:
+        The operating triad.
+    n_vectors:
+        Stimulus size each sample was simulated with.
+    ber_samples:
+        BER (fraction) of each sampled instance, shape ``(n_samples,)``,
+        ordered by absolute sample index.
+    faulty_fraction_samples:
+        Per-sample fraction of cycles whose whole output word was wrong.
+    energy_samples:
+        Per-sample mean total energy per operation, joules.
+    static_energy_samples:
+        Per-sample leakage energy per operation, joules.
+    dynamic_energy_per_operation:
+        Mean dynamic energy per operation, joules (variation-independent:
+        toggle counts and switched capacitance do not change with mismatch).
+    """
+
+    triad: OperatingTriad
+    n_vectors: int
+    ber_samples: np.ndarray
+    faulty_fraction_samples: np.ndarray
+    energy_samples: np.ndarray
+    static_energy_samples: np.ndarray
+    dynamic_energy_per_operation: float
+
+    def __post_init__(self) -> None:
+        samples = self.n_samples
+        for attr in (
+            "faulty_fraction_samples",
+            "energy_samples",
+            "static_energy_samples",
+        ):
+            if np.asarray(getattr(self, attr)).shape != (samples,):
+                raise ValueError(f"{attr} must have shape ({samples},)")
+        if samples == 0:
+            raise ValueError("a variation result needs at least one sample")
+
+    @property
+    def n_samples(self) -> int:
+        """Number of Monte Carlo samples."""
+        return int(np.asarray(self.ber_samples).size)
+
+    @property
+    def ber(self) -> DistributionSummary:
+        """Distribution summary of the per-instance BER."""
+        return DistributionSummary.from_samples(self.ber_samples)
+
+    @property
+    def energy(self) -> DistributionSummary:
+        """Distribution summary of the per-instance energy per operation."""
+        return DistributionSummary.from_samples(self.energy_samples)
+
+    def ber_quantile(self, quantile: float) -> float:
+        """BER at a given quantile of the sampled instances (0..1)."""
+        if not 0.0 <= quantile <= 1.0:
+            raise ValueError("quantile must lie within [0, 1]")
+        return float(np.quantile(np.asarray(self.ber_samples, dtype=float), quantile))
+
+    def yield_at(self, max_ber: float) -> float:
+        """Parametric yield: instances meeting the BER margin (0..1)."""
+        return yield_at_margin(self.ber_samples, max_ber)

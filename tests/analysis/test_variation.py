@@ -1,0 +1,72 @@
+"""Variation distribution tables and yield-vs-Vdd series."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.variation import (
+    render_variation_table,
+    render_yield_series,
+    yield_vs_vdd_series,
+)
+from repro.core.triad import OperatingTriad
+from repro.variation.stats import TriadVariationResult
+
+
+def _result(vdd, ber_samples, tclk=4e-10):
+    ber = np.asarray(ber_samples, dtype=float)
+    return TriadVariationResult(
+        triad=OperatingTriad(tclk=tclk, vdd=vdd, vbb=0.0),
+        n_vectors=200,
+        ber_samples=ber,
+        faulty_fraction_samples=np.minimum(ber * 3, 1.0),
+        energy_samples=np.full(ber.size, vdd * 1e-14),
+        static_energy_samples=np.full(ber.size, 1e-15),
+        dynamic_energy_per_operation=vdd * 1e-14 - 1e-15,
+    )
+
+
+@pytest.fixture()
+def results():
+    return [
+        _result(0.8, [0.0, 0.0, 0.0, 0.0]),
+        _result(0.6, [0.0, 0.01, 0.02, 0.05]),
+        _result(0.5, [0.08, 0.10, 0.12, 0.20]),
+    ]
+
+
+class TestVariationTable:
+    def test_one_row_per_triad_with_quantiles(self, results):
+        text = render_variation_table(results, max_ber=0.02)
+        lines = text.splitlines()
+        assert len(lines) == 2 + len(results)
+        assert "p95 %" in lines[1] and "yield@2%" in lines[1]
+        assert "100.0%" in lines[2]  # 0.8 V: every sample error free
+        assert "75.0%" in lines[3]  # 0.6 V: 3 of 4 within margin
+        assert "0.0%" in lines[4]  # 0.5 V: none within margin
+
+
+class TestYieldSeries:
+    def test_series_ordered_by_descending_vdd(self, results):
+        series = yield_vs_vdd_series(list(reversed(results)), max_ber=0.02)
+        assert [point.vdd for point in series] == [0.8, 0.6, 0.5]
+        assert [point.yield_fraction for point in series] == [1.0, 0.75, 0.0]
+
+    def test_series_carries_p95_ber(self, results):
+        series = yield_vs_vdd_series(results, max_ber=0.02)
+        assert series[0].ber_p95 == pytest.approx(0.0)
+        assert series[2].ber_p95 == pytest.approx(
+            results[2].ber_quantile(0.95)
+        )
+
+    def test_multiple_clocks_per_supply_keep_their_points(self, results):
+        extra = _result(0.6, [0.2, 0.3, 0.4, 0.5], tclk=2e-10)
+        series = yield_vs_vdd_series(results + [extra], max_ber=0.02)
+        at_06 = [point for point in series if point.vdd == 0.6]
+        assert [point.tclk for point in at_06] == [4e-10, 2e-10]
+
+    def test_render_includes_margin_and_rows(self, results):
+        series = yield_vs_vdd_series(results, max_ber=0.02)
+        text = render_yield_series(series, max_ber=0.02)
+        lines = text.splitlines()
+        assert "BER <= 2%" in lines[0]
+        assert len(lines) == 2 + len(series)

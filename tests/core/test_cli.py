@@ -314,8 +314,6 @@ class TestExploreCommand:
                     "--vdd",
                     "0.6",
                     "--no-cache",
-                    "--cache-dir",
-                    str(tmp_path),
                 ]
             )
 
@@ -385,8 +383,6 @@ class TestExploreReviewRegressions:
                     "--clock-scales",
                     "-1",
                     "--no-cache",
-                    "--cache-dir",
-                    str(tmp_path),
                 ]
             )
 
@@ -402,8 +398,6 @@ class TestExploreReviewRegressions:
                     "--vbb",
                     "5",
                     "--no-cache",
-                    "--cache-dir",
-                    str(tmp_path),
                 ]
             )
 
@@ -428,8 +422,6 @@ class TestExploreReviewRegressions:
                     "--vectors",
                     "300",
                     "--no-cache",
-                    "--cache-dir",
-                    str(tmp_path),
                 ]
             )
             == 0
@@ -449,8 +441,6 @@ class TestExploreReviewRegressions:
                     "--vectors",
                     "300",
                     "--no-cache",
-                    "--cache-dir",
-                    str(tmp_path),
                     "--frontier",
                     str(frontier),
                 ]
@@ -532,7 +522,256 @@ class TestExploreStimulusIdentity:
                     "--windows",
                     "8",
                     "--no-cache",
-                    "--cache-dir",
-                    str(tmp_path),
                 ]
             )
+
+
+class TestMonteCarloCommand:
+    def _montecarlo(self, *extra):
+        return [
+            "montecarlo",
+            "--architecture",
+            "rca",
+            "--width",
+            "8",
+            "--vectors",
+            "300",
+            "--samples",
+            "8",
+            "--vdd",
+            "0.8",
+            "0.5",
+            *extra,
+        ]
+
+    def test_reports_distribution_and_yield(self, capsys):
+        assert main(self._montecarlo("--no-cache")) == 0
+        out = capsys.readouterr().out
+        assert "BER distribution per triad" in out
+        assert "Yield vs Vdd" in out
+        assert "corner TT" in out
+
+    def test_serial_vs_jobs_output_and_store_are_identical(self, tmp_path, capsys):
+        serial_cache = tmp_path / "serial"
+        sharded_cache = tmp_path / "sharded"
+        assert main(self._montecarlo("--cache-dir", str(serial_cache))) == 0
+        serial_out = capsys.readouterr().out
+        assert (
+            main(
+                self._montecarlo("--cache-dir", str(sharded_cache), "--jobs", "3")
+            )
+            == 0
+        )
+        sharded_out = capsys.readouterr().out
+        assert sharded_out == serial_out
+        serial_files = sorted(
+            path.relative_to(serial_cache) for path in serial_cache.glob("*/*.json")
+        )
+        sharded_files = sorted(
+            path.relative_to(sharded_cache) for path in sharded_cache.glob("*/*.json")
+        )
+        assert serial_files == sharded_files and serial_files
+        for relative in serial_files:
+            assert (serial_cache / relative).read_bytes() == (
+                sharded_cache / relative
+            ).read_bytes()
+
+    def test_warm_rerun_is_identical(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        assert main(self._montecarlo("--cache-dir", str(cache))) == 0
+        cold = capsys.readouterr().out
+        assert main(self._montecarlo("--cache-dir", str(cache))) == 0
+        assert capsys.readouterr().out == cold
+
+    def test_corner_changes_the_numbers(self, capsys):
+        assert main(self._montecarlo("--no-cache")) == 0
+        typical = capsys.readouterr().out
+        assert main(self._montecarlo("--no-cache", "--corner", "SS")) == 0
+        slow = capsys.readouterr().out
+        assert slow != typical
+        assert "corner SS" in slow
+
+    def test_negative_samples_is_a_clean_error(self):
+        with pytest.raises(SystemExit, match="samples must be positive"):
+            main(
+                [
+                    "montecarlo",
+                    "--architecture",
+                    "rca",
+                    "--width",
+                    "8",
+                    "--samples",
+                    "-4",
+                    "--no-cache",
+                ]
+            )
+
+    def test_unknown_corner_exits_with_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["montecarlo", "--corner", "XT"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_conflicting_cache_flags_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="conflicts"):
+            main(
+                self._montecarlo(
+                    "--no-cache", "--cache-dir", str(tmp_path / "cache")
+                )
+            )
+
+    def test_conflicting_cache_flags_rejected_on_every_sweep_command(
+        self, tmp_path
+    ):
+        # The check lives in the shared store resolution, so characterize,
+        # explore, fig5 ... behave exactly like montecarlo.
+        for command in (
+            ["characterize", "--architecture", "rca", "--width", "8"],
+            ["explore", "--widths", "8"],
+            ["fig5", "--architecture", "rca", "--width", "8"],
+        ):
+            with pytest.raises(SystemExit, match="conflicts"):
+                main(
+                    command
+                    + ["--vectors", "200", "--no-cache", "--cache-dir", str(tmp_path)]
+                )
+
+    def test_negative_vectors_is_a_clean_error(self):
+        with pytest.raises(SystemExit, match="n_vectors must be positive"):
+            main(
+                [
+                    "montecarlo",
+                    "--architecture",
+                    "rca",
+                    "--width",
+                    "8",
+                    "--vectors",
+                    "-10",
+                    "--no-cache",
+                ]
+            )
+
+    def test_invalid_margin_is_a_clean_error(self):
+        with pytest.raises(SystemExit, match="margin"):
+            main(self._montecarlo("--no-cache", "--margin", "1.5"))
+
+    def test_invalid_sigma_is_a_clean_error(self):
+        with pytest.raises(SystemExit, match="sigma_vt"):
+            main(self._montecarlo("--no-cache", "--sigma-vt", "-0.01"))
+
+    def test_invalid_vdd_is_a_clean_error(self):
+        with pytest.raises(SystemExit, match="vdd must be positive"):
+            main(self._montecarlo("--no-cache", "--vdd", "-0.5"))
+
+
+class TestRobustExploreOptions:
+    def _explore(self, *extra):
+        return [
+            "explore",
+            "--architectures",
+            "rca",
+            "--widths",
+            "8",
+            "--vectors",
+            "300",
+            "--no-cache",
+            *extra,
+        ]
+
+    def test_robust_quantile_runs_and_changes_scores(self, capsys):
+        assert main(self._explore()) == 0
+        nominal = capsys.readouterr().out
+        assert (
+            main(
+                self._explore(
+                    "--robust-quantile", "0.9", "--robust-samples", "6"
+                )
+            )
+            == 0
+        )
+        robust = capsys.readouterr().out
+        assert "Pareto frontier" in robust
+        assert robust != nominal
+
+    def test_resume_never_mixes_nominal_and_robust_points(self, tmp_path, capsys):
+        frontier = tmp_path / "frontier.json"
+        base = self._explore("--frontier", str(frontier))
+        robust = base + ["--robust-quantile", "0.9", "--robust-samples", "6"]
+        assert main(base) == 0
+        capsys.readouterr()
+        # Nominal BER is systematically lower than p90-over-dies BER: were
+        # the nominal points kept, they would dominate and evict the robust
+        # measurements.  The resume filter must drop them instead.
+        assert main(robust) == 0
+        out = capsys.readouterr().out
+        assert "dropped" in out
+        saved = json.loads(frontier.read_text())
+        assert saved["points"], "robust run must persist its own points"
+        assert all(point["robust"] is not None for point in saved["points"])
+        # And the reverse direction drops the robust points again.
+        assert main(base) == 0
+        assert "dropped" in capsys.readouterr().out
+        saved = json.loads(frontier.read_text())
+        assert all(point["robust"] is None for point in saved["points"])
+
+    def test_robust_samples_without_quantile_rejected(self):
+        with pytest.raises(SystemExit, match="requires --robust-quantile"):
+            main(self._explore("--robust-samples", "8"))
+
+    def test_robust_quantile_out_of_range_rejected(self):
+        with pytest.raises(SystemExit, match="robust-quantile"):
+            main(self._explore("--robust-quantile", "1.0"))
+
+    def test_negative_robust_samples_rejected(self):
+        with pytest.raises(SystemExit, match="n_samples must be positive"):
+            main(
+                self._explore(
+                    "--robust-quantile", "0.9", "--robust-samples", "-2"
+                )
+            )
+
+
+class TestStorePruneConflicts:
+    def test_all_conflicts_with_max_entries(self, tmp_path):
+        with pytest.raises(SystemExit, match="conflicts"):
+            main(
+                [
+                    "store",
+                    "prune",
+                    "--cache-dir",
+                    str(tmp_path),
+                    "--all",
+                    "--max-entries",
+                    "3",
+                ]
+            )
+
+    def test_all_conflicts_with_max_bytes(self, tmp_path):
+        with pytest.raises(SystemExit, match="conflicts"):
+            main(
+                [
+                    "store",
+                    "prune",
+                    "--cache-dir",
+                    str(tmp_path),
+                    "--all",
+                    "--max-bytes",
+                    "100",
+                ]
+            )
+
+    def test_prune_on_missing_store_reports_zero(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "store",
+                    "prune",
+                    "--cache-dir",
+                    str(tmp_path / "absent"),
+                    "--max-entries",
+                    "5",
+                ]
+            )
+            == 0
+        )
+        assert "pruned 0 entries" in capsys.readouterr().out

@@ -9,7 +9,9 @@ import pytest
 from repro.circuits.adders import build_adder
 from repro.core.store import (
     SweepResultStore,
+    decode_float64_array,
     decode_int64_array,
+    encode_float64_array,
     encode_int64_array,
     library_fingerprint,
     netlist_fingerprint,
@@ -56,6 +58,20 @@ class TestFingerprints:
     def test_int64_array_round_trip(self):
         values = np.array([0, 1, -5, 2**62, -(2**62)], dtype=np.int64)
         assert np.array_equal(decode_int64_array(encode_int64_array(values)), values)
+
+    def test_float64_array_round_trip_is_bit_exact(self):
+        values = np.array(
+            [0.0, -0.0, 1e-300, np.pi, np.nextafter(1.0, 2.0), 7.25e12]
+        )
+        decoded = decode_float64_array(encode_float64_array(values))
+        assert decoded.dtype == np.float64
+        assert np.array_equal(
+            decoded.view(np.uint64), values.view(np.uint64)
+        )
+
+    def test_float64_encoding_is_deterministic(self):
+        values = np.random.default_rng(0).random(32)
+        assert encode_float64_array(values) == encode_float64_array(values.copy())
 
 
 class TestEntryKeys:
@@ -224,3 +240,29 @@ class TestDiskStatsAndPrune:
             store.prune(max_entries=-1)
         with pytest.raises(ValueError):
             store.prune(max_bytes=-1)
+
+    def test_prune_empty_store_is_a_no_op(self, tmp_path):
+        store = SweepResultStore(tmp_path / "never-written")
+        assert store.prune(max_entries=5) == 0
+        assert store.prune(max_bytes=1) == 0
+        assert store.prune(max_entries=0, max_bytes=0) == 0
+        assert not (tmp_path / "never-written").exists()
+
+    def test_prune_max_bytes_smaller_than_one_entry_clears_everything(
+        self, tmp_path
+    ):
+        store = SweepResultStore(tmp_path)
+        self._fill(store, 3, payload_size=50)
+        smallest = min(
+            path.stat().st_size for path in tmp_path.glob("*/*.json")
+        )
+        removed = store.prune(max_bytes=smallest - 1)
+        assert removed == 3
+        assert store.disk_stats().entries == 0
+        assert store.disk_stats().total_bytes == 0
+
+    def test_prune_max_bytes_zero_clears_everything(self, tmp_path):
+        store = SweepResultStore(tmp_path)
+        self._fill(store, 4)
+        assert store.prune(max_bytes=0) == 4
+        assert store.disk_stats().entries == 0

@@ -96,3 +96,57 @@ class TestCandidateEvaluator:
         bers_one = [p.ber for p in one.evaluate(candidate, 400).points]
         bers_two = [p.ber for p in two.evaluate(candidate, 400).points]
         assert bers_one != bers_two
+
+
+class TestRobustScoring:
+    def test_robust_quantile_replaces_nominal_ber(self, small_space):
+        from repro.variation import MonteCarloConfig
+
+        candidate = OperatorCandidate("rca", 8)
+        nominal = CandidateEvaluator(small_space, seed=2017).evaluate(candidate, 400)
+        robust = CandidateEvaluator(
+            small_space,
+            seed=2017,
+            variation=MonteCarloConfig(n_samples=8, seed=2017),
+            robust_quantile=0.95,
+        ).evaluate(candidate, 400)
+        by_triad_nominal = {p.triad: p for p in nominal.points}
+        faulty = [p for p in robust.points if p.ber > 0]
+        assert faulty, "expected faulty triads on the over-scaled grid"
+        # The 95th-percentile BER over variation can only be >= the per-die
+        # spread's lower tail; on faulty triads it differs from nominal.
+        assert any(
+            p.ber != by_triad_nominal[p.triad].ber for p in faulty
+        )
+        # Error-free triads stay error-free across sampled variation at the
+        # relaxed nominal point.
+        relaxed = max(robust.points, key=lambda p: (p.triad.vdd, p.triad.tclk))
+        assert relaxed.ber == by_triad_nominal[relaxed.triad].ber == 0.0
+
+    def test_robust_scoring_is_deterministic_and_cached(self, tmp_path, small_space):
+        from repro.variation import MonteCarloConfig
+
+        store = SweepResultStore(tmp_path / "store")
+        candidate = OperatorCandidate("rca", 8)
+
+        def build():
+            return CandidateEvaluator(
+                small_space,
+                seed=2017,
+                store=store,
+                variation=MonteCarloConfig(n_samples=6, seed=3),
+                robust_quantile=0.9,
+            )
+
+        first = build().evaluate(candidate, 300)
+        stored = store.stats.stores
+        second = build().evaluate(candidate, 300)
+        assert store.stats.stores == stored  # fully answered from the store
+        assert [p.ber for p in first.points] == [p.ber for p in second.points]
+        assert [p.energy_per_operation for p in first.points] == [
+            p.energy_per_operation for p in second.points
+        ]
+
+    def test_invalid_robust_quantile_rejected(self, small_space):
+        with pytest.raises(ValueError):
+            CandidateEvaluator(small_space, robust_quantile=1.5)

@@ -1,0 +1,120 @@
+"""Determinism and physics of the per-gate variation sampler."""
+
+import numpy as np
+import pytest
+
+from repro.technology.corners import (
+    GateVariationModel,
+    variation_delay_multipliers,
+    variation_leakage_multipliers,
+)
+from repro.technology.fdsoi28 import FDSOI28_LVT
+from repro.variation.sampler import VariationSampler
+
+
+class TestDeterminism:
+    def test_same_seed_same_instance(self):
+        sampler_a = VariationSampler(GateVariationModel(), seed=7)
+        sampler_b = VariationSampler(GateVariationModel(), seed=7)
+        for index in (0, 1, 17):
+            current_a, vt_a = sampler_a.sample_instance(50, index)
+            current_b, vt_b = sampler_b.sample_instance(50, index)
+            assert np.array_equal(current_a, current_b)
+            assert np.array_equal(vt_a, vt_b)
+
+    def test_different_seed_different_instance(self):
+        current_a, _ = VariationSampler(GateVariationModel(), 1).sample_instance(50, 0)
+        current_b, _ = VariationSampler(GateVariationModel(), 2).sample_instance(50, 0)
+        assert not np.array_equal(current_a, current_b)
+
+    def test_instances_independent_of_chunking(self):
+        """Instance i is identical whatever range it is drawn as part of."""
+        sampler = VariationSampler(GateVariationModel(), seed=3)
+        whole = sampler.sample_range(40, 0, 10)
+        for start, stop in ((0, 3), (3, 7), (7, 10)):
+            part = sampler.sample_range(40, start, stop)
+            assert np.array_equal(
+                part.current_multipliers, whole.current_multipliers[start:stop]
+            )
+            assert np.array_equal(part.vt_offsets, whole.vt_offsets[start:stop])
+
+    def test_distinct_sample_indices_are_distinct_dies(self):
+        sampler = VariationSampler(GateVariationModel(), seed=3)
+        batch = sampler.sample_range(60, 0, 4)
+        for i in range(3):
+            assert not np.array_equal(
+                batch.vt_offsets[i], batch.vt_offsets[i + 1]
+            )
+
+    def test_invalid_ranges_rejected(self):
+        sampler = VariationSampler(GateVariationModel(), seed=0)
+        with pytest.raises(ValueError):
+            sampler.sample_range(10, -1, 4)
+        with pytest.raises(ValueError):
+            sampler.sample_range(10, 4, 4)
+        with pytest.raises(ValueError):
+            sampler.sample_instance(10, -1)
+
+
+class TestPhysics:
+    def test_zero_sigma_gives_nominal_multipliers(self):
+        sampler = VariationSampler(
+            GateVariationModel(sigma_current_factor=0.0, sigma_vt=0.0), seed=0
+        )
+        batch = sampler.sample_range(30, 0, 2)
+        assert np.allclose(batch.current_multipliers, 1.0)
+        assert np.allclose(batch.vt_offsets, 0.0)
+        delays = batch.delay_multipliers(1.0, 0.0, FDSOI28_LVT)
+        assert np.allclose(delays, 1.0)
+        assert np.allclose(batch.leakage_multipliers(FDSOI28_LVT), 1.0)
+
+    def test_vt_mismatch_amplified_at_low_supply(self):
+        """The same Vt offset must spread delays more near threshold."""
+        offsets = np.array([+0.03, -0.03])
+        ones = np.ones(2)
+        nominal_supply = variation_delay_multipliers(ones, offsets, 1.0, 0.0)
+        scaled_supply = variation_delay_multipliers(ones, offsets, 0.5, 0.0)
+        spread_nominal = nominal_supply.max() - nominal_supply.min()
+        spread_scaled = scaled_supply.max() - scaled_supply.min()
+        assert spread_scaled > 2 * spread_nominal
+
+    def test_higher_vt_means_slower_and_leakier_inverse(self):
+        ones = np.ones(1)
+        slow = variation_delay_multipliers(ones, np.array([+0.05]), 0.6, 0.0)
+        fast = variation_delay_multipliers(ones, np.array([-0.05]), 0.6, 0.0)
+        assert slow[0] > 1.0 > fast[0]
+        leaky = variation_leakage_multipliers(ones, np.array([-0.05]))
+        tight = variation_leakage_multipliers(ones, np.array([+0.05]))
+        assert leaky[0] > 1.0 > tight[0]
+
+    def test_stronger_current_factor_is_faster(self):
+        zeros = np.zeros(1)
+        strong = variation_delay_multipliers(np.array([1.2]), zeros, 0.8, 0.0)
+        weak = variation_delay_multipliers(np.array([0.8]), zeros, 0.8, 0.0)
+        assert strong[0] < 1.0 < weak[0]
+
+    def test_nonpositive_current_multipliers_rejected(self):
+        with pytest.raises(ValueError):
+            variation_delay_multipliers(np.array([0.0]), np.zeros(1), 1.0)
+        with pytest.raises(ValueError):
+            variation_leakage_multipliers(np.array([-1.0]), np.zeros(1))
+
+
+class TestModelValidation:
+    def test_negative_sigmas_rejected(self):
+        with pytest.raises(ValueError):
+            GateVariationModel(sigma_current_factor=-0.01)
+        with pytest.raises(ValueError):
+            GateVariationModel(sigma_vt=-0.001)
+
+    def test_negative_gate_count_rejected(self):
+        with pytest.raises(ValueError):
+            GateVariationModel().sample_gate_parameters(
+                -1, np.random.default_rng(0)
+            )
+
+    def test_key_components_round_trip_json(self):
+        import json
+
+        components = GateVariationModel(0.1, 0.02).key_components()
+        assert json.loads(json.dumps(components)) == components

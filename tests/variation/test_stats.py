@@ -1,0 +1,92 @@
+"""Distribution summaries, quantile BER and yield statistics."""
+
+import numpy as np
+import pytest
+
+from repro.core.triad import OperatingTriad
+from repro.variation.stats import (
+    DistributionSummary,
+    TriadVariationResult,
+    yield_at_margin,
+)
+
+
+def _result(ber_samples):
+    ber = np.asarray(ber_samples, dtype=float)
+    n = ber.size
+    return TriadVariationResult(
+        triad=OperatingTriad(tclk=1e-9, vdd=0.6, vbb=0.0),
+        n_vectors=100,
+        ber_samples=ber,
+        faulty_fraction_samples=np.minimum(ber * 2, 1.0),
+        energy_samples=np.full(n, 2e-14),
+        static_energy_samples=np.full(n, 1e-15),
+        dynamic_energy_per_operation=1.9e-14,
+    )
+
+
+class TestDistributionSummary:
+    def test_constant_samples(self):
+        summary = DistributionSummary.from_samples(np.full(10, 0.25))
+        assert summary.mean == pytest.approx(0.25)
+        assert summary.std == pytest.approx(0.0)
+        assert summary.p05 == summary.p99 == pytest.approx(0.25)
+        assert summary.n_samples == 10
+
+    def test_quantiles_ordered(self):
+        rng = np.random.default_rng(0)
+        summary = DistributionSummary.from_samples(rng.random(500))
+        assert (
+            summary.minimum
+            <= summary.p05
+            <= summary.p50
+            <= summary.p95
+            <= summary.p99
+            <= summary.maximum
+        )
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError):
+            DistributionSummary.from_samples(np.array([]))
+
+
+class TestYield:
+    def test_yield_counts_fraction_within_margin(self):
+        assert yield_at_margin(np.array([0.0, 0.01, 0.05, 0.2]), 0.01) == 0.5
+
+    def test_margin_is_inclusive(self):
+        assert yield_at_margin(np.array([0.02]), 0.02) == 1.0
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            yield_at_margin(np.array([0.1]), -0.01)
+        with pytest.raises(ValueError):
+            yield_at_margin(np.array([]), 0.1)
+
+
+class TestTriadVariationResult:
+    def test_summary_properties(self):
+        result = _result([0.0, 0.01, 0.02, 0.03])
+        assert result.n_samples == 4
+        assert result.ber.mean == pytest.approx(0.015)
+        assert result.energy.mean == pytest.approx(2e-14)
+        assert result.yield_at(0.015) == pytest.approx(0.5)
+        assert result.ber_quantile(1.0) == pytest.approx(0.03)
+        assert result.ber_quantile(0.0) == pytest.approx(0.0)
+
+    def test_quantile_bounds_enforced(self):
+        result = _result([0.1, 0.2])
+        with pytest.raises(ValueError):
+            result.ber_quantile(1.5)
+
+    def test_mismatched_sample_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            TriadVariationResult(
+                triad=OperatingTriad(tclk=1e-9, vdd=0.6, vbb=0.0),
+                n_vectors=10,
+                ber_samples=np.zeros(4),
+                faulty_fraction_samples=np.zeros(3),
+                energy_samples=np.zeros(4),
+                static_energy_samples=np.zeros(4),
+                dynamic_energy_per_operation=1e-14,
+            )
