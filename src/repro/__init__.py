@@ -23,15 +23,20 @@ The package is organised in layers:
 * :mod:`repro.apps`       -- error-resilient applications mapped onto the
   approximate operator model,
 * :mod:`repro.analysis`   -- generators for every table and figure of the
-  paper's evaluation.
+  paper's evaluation,
+* :mod:`repro.api`        -- the typed Session/Job facade: declarative job
+  objects over a shared execution session with batch-level sweep dedup (the
+  layer the CLI is a thin adapter over).
 
 Quickstart::
 
-    from repro import CharacterizationFlow, PatternConfig
+    from repro import CharacterizeJob, PatternOptions, Session
 
-    flow = CharacterizationFlow.for_benchmark("rca", 8)
-    characterization = flow.run(pattern=PatternConfig(n_vectors=2000, width=8))
-    for entry in characterization.sorted_by_energy():
+    session = Session(store=None)  # store="default" persists sweep results
+    result = session.run(
+        CharacterizeJob(operator="rca8", pattern=PatternOptions(vectors=2000))
+    )
+    for entry in result.characterization.sorted_by_energy():
         print(entry.label(), entry.ber_percent, entry.energy_per_operation_pj)
 """
 
@@ -65,6 +70,25 @@ from repro.explore import (
 )
 from repro.simulation import PatternConfig, generate_patterns
 from repro.synthesis import synthesize
+from repro.api import (
+    BatchReport,
+    BatchResult,
+    CalibrateJob,
+    CharacterizeJob,
+    ExploreJob,
+    FaultSweepJob,
+    Fig5Job,
+    MonteCarloJob,
+    OperatorSpec,
+    PatternOptions,
+    Session,
+    SpeculateJob,
+    StoreOptions,
+    SweepOptions,
+    SynthesizeJob,
+    Table4Job,
+    parse_circuit_spec,
+)
 from repro.variation import (
     MonteCarloConfig,
     TriadVariationResult,
@@ -108,5 +132,22 @@ __all__ = [
     "TriadVariationResult",
     "VariationSampler",
     "run_montecarlo_sweep",
+    "BatchReport",
+    "BatchResult",
+    "CalibrateJob",
+    "CharacterizeJob",
+    "ExploreJob",
+    "FaultSweepJob",
+    "Fig5Job",
+    "MonteCarloJob",
+    "OperatorSpec",
+    "PatternOptions",
+    "Session",
+    "SpeculateJob",
+    "StoreOptions",
+    "SweepOptions",
+    "SynthesizeJob",
+    "Table4Job",
+    "parse_circuit_spec",
     "__version__",
 ]

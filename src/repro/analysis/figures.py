@@ -20,7 +20,7 @@ from repro.core.metrics import normalized_hamming_distance, signal_to_noise_rati
 from repro.core.modified_adder import ApproximateAdderModel
 from repro.core.store import SweepResultStore
 from repro.core.triad import OperatingTriad
-from repro.simulation.patterns import PatternConfig, generate_patterns
+from repro.simulation.patterns import PatternConfig
 from repro.technology.library import DEFAULT_LIBRARY, StandardCellLibrary
 
 
@@ -58,28 +58,34 @@ def fig5_ber_per_bit(
     sta_margin: float = 1.5,
     jobs: int = 1,
     store: SweepResultStore | None = None,
+    flow: CharacterizationFlow | None = None,
 ) -> list[Fig5Series]:
     """Reproduce Fig. 5: BER distribution over output bits under Vdd scaling.
 
     The clock is held at the benchmark's nominal (matched Table III) period
     with no body bias while the supply is scaled, exactly as in the paper.
     The supply points run as one sweep, so they shard over ``jobs`` worker
-    processes and persist to the optional result ``store``.
+    processes and persist to the optional result ``store`` -- keyed by the
+    pattern configuration, so the nominal-clock points share warm store
+    entries with ``characterize`` sweeps of the same adder and stimulus.
+    ``flow`` reuses a pre-built characterization flow (e.g. the session's
+    circuit cache) instead of rebuilding the adder.
     """
-    flow = CharacterizationFlow.for_benchmark(
-        architecture, width, library=library, sta_margin=sta_margin
-    )
+    if flow is None:
+        flow = CharacterizationFlow.for_benchmark(
+            architecture, width, library=library, sta_margin=sta_margin
+        )
+    width = flow.adder.width
     # The matched equivalent of the paper's 0.28 ns nominal clock.
     nominal_tclk = flow.nominal_clock_period()
     config = PatternConfig(n_vectors=n_vectors, width=width, seed=seed, kind="uniform")
-    in1, in2 = generate_patterns(config)
     triads = [
         OperatingTriad(tclk=nominal_tclk, vdd=vdd, vbb=0.0)
         for vdd in supply_voltages
     ]
     characterization = flow.run(
         triads=triads,
-        operands=(in1, in2),
+        pattern=config,
         keep_measurements=False,
         jobs=jobs,
         store=store,
@@ -95,6 +101,22 @@ def fig5_ber_per_bit(
         )
         for vdd in supply_voltages
     ]
+
+
+def render_fig5(series: Sequence[Fig5Series], width: int) -> str:
+    """Render a Fig. 5 profile as a text table (one row per supply voltage).
+
+    ``width`` is the *operand* width; one column is emitted per output bit
+    (``width + 1`` columns, LSB first), BER values in percent.
+    """
+    output_width = width + 1
+    lines = ["Vdd " + "".join(f"  bit{i:>2}" for i in range(output_width))]
+    for entry in series:
+        lines.append(
+            f"{entry.vdd:0.1f} "
+            + "".join(f"{value * 100:7.1f}" for value in entry.ber_per_bit)
+        )
+    return "\n".join(lines)
 
 
 # -- Fig. 7: accuracy of the statistical model ---------------------------------

@@ -1,0 +1,19 @@
+"""Operator-spec vocabulary of the job API.
+
+The canonical grammar -- :class:`OperatorSpec`, :func:`parse_circuit_spec`,
+:func:`parse_windows` -- is implemented in
+:mod:`repro.circuits.operators`, in the circuits layer right beside the
+generators it lowers to, so that both this package and lower layers (the
+design-space module validates its candidates with the same spec) depend
+strictly downward.  This module is the API-facing name for it.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.operators import (
+    OperatorSpec,
+    parse_circuit_spec,
+    parse_windows,
+)
+
+__all__ = ["OperatorSpec", "parse_circuit_spec", "parse_windows"]

@@ -14,6 +14,9 @@ synthesis tool.  This package re-creates that substrate in Python:
   carry-select and carry-skip extensions.
 * :mod:`repro.circuits.multipliers` -- array multiplier built from the same
   cells (used by the application examples).
+* :mod:`repro.circuits.operators` -- the canonical operator-spec grammar
+  (``rca8`` ... ``spa16w4``) shared by the design-space module, the typed
+  job API and the CLI.
 * :mod:`repro.circuits.signals`  -- integer <-> bit-vector conversions.
 * :mod:`repro.circuits.validation` -- structural sanity checks.
 """
@@ -41,6 +44,11 @@ from repro.circuits.adders import (
     build_adder,
 )
 from repro.circuits.multipliers import array_multiplier, MultiplierCircuit
+from repro.circuits.operators import (
+    OperatorSpec,
+    parse_circuit_spec,
+    parse_windows,
+)
 from repro.circuits.validation import validate_netlist, NetlistValidationError
 
 __all__ = [
@@ -67,6 +75,9 @@ __all__ = [
     "build_adder",
     "array_multiplier",
     "MultiplierCircuit",
+    "OperatorSpec",
+    "parse_circuit_spec",
+    "parse_windows",
     "validate_netlist",
     "NetlistValidationError",
 ]

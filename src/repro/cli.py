@@ -1,6 +1,9 @@
 """Command-line interface for the reproduction library.
 
-The CLI exposes the most common workflows without writing Python:
+The CLI is a thin adapter over the typed Session/Job API
+(:mod:`repro.api`): every command parses its arguments into a declarative
+job object, runs it through one :class:`~repro.api.session.Session`, and
+prints the typed result's rendering.  The commands:
 
 * ``repro synthesize``      -- Table II style synthesis report,
 * ``repro characterize``    -- characterize an adder over its triad grid and
@@ -19,17 +22,25 @@ The CLI exposes the most common workflows without writing Python:
   ``--robust-quantile``),
 * ``repro montecarlo``      -- Monte Carlo variation characterization: BER
   distributions and parametric yield vs supply voltage at a process corner,
+* ``repro faults``          -- structural single-stuck-at fault campaign
+  (coverage and highest-impact faults),
+* ``repro batch``           -- run a JSON job-spec file through one session:
+  sweep work units shared between jobs are deduplicated and simulated once,
 * ``repro store``           -- inspect (``stats``) and bound (``prune``) the
   on-disk sweep result store.
 
 Sweep-running commands (``characterize``, ``fig5``, ``table4``,
-``calibrate``, ``explore``, ``montecarlo``) execute on the sharded orchestrator of
-:mod:`repro.core.sweep`: ``--jobs N`` fans the triad grid out over N worker
-processes, and completed triads are persisted in a content-addressed result
-store (``--cache-dir``, default ``$REPRO_CACHE_DIR`` or
-``~/.cache/repro/sweeps``; disable with ``--no-cache``), so repeated
-invocations skip the timing simulation.  Results are bit-identical whatever
-the job count or cache state.
+``calibrate``, ``explore``, ``montecarlo``, ``faults``, ``batch``) execute
+on the sharded orchestrator of :mod:`repro.core.sweep`: ``--jobs N`` fans
+the triad grid out over N worker processes, and completed triads are
+persisted in a content-addressed result store (``--cache-dir``, default
+``$REPRO_CACHE_DIR`` or ``~/.cache/repro/sweeps``; disable with
+``--no-cache``), so repeated invocations skip the timing simulation.
+Results are bit-identical whatever the job count or cache state.
+
+``characterize``, ``table4``, ``fig5``, ``montecarlo`` and ``faults``
+accept ``--json`` to emit the typed result object as JSON instead of the
+text tables, so downstream tooling never scrapes the tables.
 
 Run ``python -m repro.cli --help`` (or ``repro --help`` once installed) for
 the full option list.
@@ -38,62 +49,34 @@ the full option list.
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
-from typing import Sequence
+from typing import Any, Callable, Sequence
 
-from repro.analysis.figures import (
-    fig5_ber_per_bit,
-    fig8_ber_energy_series,
-    frontier_series,
-    render_fig8,
-    render_frontier,
+from repro.api.jobs import (
+    CalibrateJob,
+    CharacterizeJob,
+    ExploreJob,
+    FaultSweepJob,
+    Fig5Job,
+    Job,
+    MonteCarloJob,
+    SpeculateJob,
+    StorePruneJob,
+    StoreStatsJob,
+    SynthesizeJob,
+    Table4Job,
+    job_type_name,
+    jobs_from_document,
 )
-from repro.analysis.variation import (
-    render_variation_table,
-    render_yield_series,
-    yield_vs_vdd_series,
-)
-from repro.analysis.tables import (
-    ranked_configurations,
-    render_ranked_configurations,
-    render_table4,
-    table2_synthesis,
-)
-from repro.circuits.adders import ADDER_GENERATORS, build_adder, parse_adder_name
-from repro.core.calibration import calibrate_probability_table
-from repro.core.characterization import CharacterizationFlow
-from repro.core.dataset import (
-    load_characterization,
-    save_characterization,
-    save_probability_table,
-)
-from repro.core.energy import summarize_by_ber_range
-from repro.core.speculation import DynamicSpeculationController
-from repro.core.store import SweepResultStore
-from repro.core.triad import OperatingTriad
-from repro.explore import (
-    CandidateEvaluator,
-    DesignSpace,
-    ParetoFrontier,
-    TriadSpec,
-    run_search,
-)
-from repro.explore.evaluator import robust_tag
+from repro.api.options import PatternOptions, StoreOptions, SweepOptions
+from repro.api.session import Session, SessionError
+from repro.circuits.adders import ADDER_GENERATORS
 from repro.explore.search import SEARCH_STRATEGIES
-from repro.simulation.patterns import (
-    PATTERN_GENERATORS,
-    PatternConfig,
-    generate_patterns,
-)
-from repro.core.sweep import pattern_stimulus
+from repro.simulation.patterns import PATTERN_GENERATORS
 from repro.core.triad import PAPER_SUPPLY_VOLTAGES
 from repro.technology.corners import GateVariationModel, ProcessCorner
-from repro.variation import (
-    MonteCarloConfig,
-    run_montecarlo_sweep,
-    supply_scaling_grid,
-)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -116,6 +99,7 @@ def build_parser() -> argparse.ArgumentParser:
     characterize.add_argument(
         "--output", help="write the characterization dataset to this JSON file"
     )
+    _add_json_argument(characterize)
 
     table4 = subparsers.add_parser(
         "table4",
@@ -130,6 +114,7 @@ def build_parser() -> argparse.ArgumentParser:
     table4.add_argument("--vectors", type=int, default=4000, help="stimulus vectors")
     table4.add_argument("--seed", type=int, default=2017, help="stimulus seed")
     _add_sweep_arguments(table4)
+    _add_json_argument(table4)
 
     fig5 = subparsers.add_parser("fig5", help="per-bit BER profile under supply scaling")
     _add_adder_arguments(fig5)
@@ -142,6 +127,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fig5.add_argument("--vectors", type=int, default=4000, help="stimulus vectors")
     _add_sweep_arguments(fig5)
+    _add_json_argument(fig5)
 
     calibrate = subparsers.add_parser(
         "calibrate", help="run Algorithm 1 at one triad and save the probability table"
@@ -310,6 +296,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="supply voltages of the yield sweep (matched nominal clock, "
         "no body bias)",
     )
+    _add_json_argument(montecarlo)
+
+    faults = subparsers.add_parser(
+        "faults",
+        help="structural single-stuck-at fault campaign (coverage report)",
+    )
+    _add_adder_arguments(faults)
+    _add_pattern_arguments(faults)
+    _add_sweep_arguments(faults)
+    _add_json_argument(faults)
+
+    batch = subparsers.add_parser(
+        "batch",
+        help="run a JSON job-spec file through one session with cross-job "
+        "sweep deduplication",
+    )
+    batch.add_argument(
+        "jobs_file",
+        help="JSON file: a list of job documents or {'jobs': [...]} "
+        "(each document carries a 'type' tag, e.g. 'characterize')",
+    )
+    _add_sweep_arguments(batch)
 
     store = subparsers.add_parser(
         "store", help="inspect and bound the on-disk sweep result store"
@@ -385,394 +393,228 @@ def _add_store_dir_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _resolve_store(args: argparse.Namespace) -> SweepResultStore | None:
-    if getattr(args, "no_cache", False):
-        if getattr(args, "cache_dir", None):
-            raise SystemExit(
-                "--no-cache conflicts with --cache-dir (disable the store "
-                "or point it somewhere, not both)"
-            )
-        return None
-    if args.cache_dir:
-        return SweepResultStore(args.cache_dir)
-    return SweepResultStore.default()
+def _add_json_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the typed result object as JSON instead of text tables",
+    )
 
 
-def _parse_adder_name(name: str) -> tuple[str, int]:
+# ---------------------------------------------------------------------------
+# The thin adapter: args -> job -> Session.run -> render
+# ---------------------------------------------------------------------------
+
+
+def _checked(build: Callable[[], Any]) -> Any:
+    """Run a job/session constructor, turning ValueError into a clean exit."""
     try:
-        return parse_adder_name(name)
+        return build()
     except ValueError as error:
+        raise SystemExit(str(error)) from None
+
+
+def _session(args: argparse.Namespace) -> Session:
+    """Build the invocation's session from the shared store options.
+
+    ``--jobs`` becomes the session default, which is what jobs without their
+    own :class:`SweepOptions` (e.g. entries of a ``repro batch`` file)
+    inherit.
+    """
+    options = _checked(
+        lambda: StoreOptions(
+            cache_dir=getattr(args, "cache_dir", None),
+            no_cache=getattr(args, "no_cache", False),
+        )
+    )
+    return _checked(
+        lambda: Session.from_options(options, jobs=getattr(args, "jobs", 1))
+    )
+
+
+def _sweep_options(args: argparse.Namespace) -> SweepOptions:
+    return _checked(lambda: SweepOptions(jobs=getattr(args, "jobs", 1)))
+
+
+def _pattern_options(args: argparse.Namespace) -> PatternOptions:
+    return PatternOptions(kind=args.pattern, vectors=args.vectors, seed=args.seed)
+
+
+def _emit(args: argparse.Namespace, result: Any) -> int:
+    """Print a typed result: rendered text, or JSON under ``--json``."""
+    if getattr(args, "json", False):
+        print(json.dumps(result.to_json(), indent=2))
+    else:
+        print(result.render())
+    return 0
+
+
+def _run(session: Session, job: Job) -> Any:
+    """Run a job, exiting cleanly only on user-facing session errors.
+
+    Library defects surfacing as other exceptions keep their traceback.
+    """
+    try:
+        return session.run(job)
+    except SessionError as error:
         raise SystemExit(str(error)) from None
 
 
 def _command_synthesize(args: argparse.Namespace) -> int:
-    benchmarks = [_parse_adder_name(name) for name in args.adder]
-    _reports, text = table2_synthesis(benchmarks=benchmarks)
-    print(text)
-    return 0
+    job = _checked(lambda: SynthesizeJob(operators=tuple(args.adder)))
+    session = Session(store=None)
+    return _emit(args, _run(session, job))
 
 
 def _command_characterize(args: argparse.Namespace) -> int:
-    flow = CharacterizationFlow.for_benchmark(args.architecture, args.width)
-    config = PatternConfig(
-        n_vectors=args.vectors, width=args.width, seed=args.seed, kind=args.pattern
+    job = _checked(
+        lambda: CharacterizeJob(
+            operator=f"{args.architecture}{args.width}",
+            pattern=_pattern_options(args),
+            sweep=_sweep_options(args),
+            output=args.output,
+        )
     )
-    characterization = flow.run(
-        pattern=config,
-        keep_measurements=False,
-        jobs=args.jobs,
-        store=_resolve_store(args),
-    )
-    print(render_fig8(fig8_ber_energy_series(characterization)))
-    if args.output:
-        save_characterization(characterization, args.output)
-        print(f"\nsaved characterization to {args.output}")
-    return 0
+    return _emit(args, _run(_session(args), job))
 
 
 def _command_table4(args: argparse.Namespace) -> int:
-    store = _resolve_store(args)
-    characterizations = {}
-    for entry in args.dataset:
-        path = pathlib.Path(entry)
-        if path.is_file():
-            characterization = load_characterization(entry)
-        elif "." in entry or "/" in entry:
-            # Clearly meant as a file path (adder names are bare alnum
-            # tokens): report the missing file instead of misparsing it.
-            raise SystemExit(f"dataset file not found: {entry}")
-        else:
-            # Not a file: characterize the named adder on the fly through
-            # the cached sweep orchestrator.
-            architecture, width = _parse_adder_name(entry)
-            flow = CharacterizationFlow.for_benchmark(architecture, width)
-            config = PatternConfig(
-                n_vectors=args.vectors, width=width, seed=args.seed, kind="uniform"
-            )
-            characterization = flow.run(
-                pattern=config,
-                keep_measurements=False,
-                jobs=args.jobs,
-                store=store,
-            )
-        characterizations[characterization.adder_name] = characterization
-    summaries = {
-        name: summarize_by_ber_range(characterization)
-        for name, characterization in characterizations.items()
-    }
-    print(render_table4(summaries))
-    return 0
+    job = _checked(
+        lambda: Table4Job(
+            datasets=tuple(args.dataset),
+            vectors=args.vectors,
+            seed=args.seed,
+            sweep=_sweep_options(args),
+        )
+    )
+    return _emit(args, _run(_session(args), job))
 
 
 def _command_fig5(args: argparse.Namespace) -> int:
-    series = fig5_ber_per_bit(
-        architecture=args.architecture,
-        width=args.width,
-        supply_voltages=tuple(args.vdd),
-        n_vectors=args.vectors,
-        jobs=args.jobs,
-        store=_resolve_store(args),
-    )
-    width = args.width + 1
-    header = "Vdd " + "".join(f"  bit{i:>2}" for i in range(width))
-    print(header)
-    for entry in series:
-        print(
-            f"{entry.vdd:0.1f} "
-            + "".join(f"{value * 100:7.1f}" for value in entry.ber_per_bit)
+    job = _checked(
+        lambda: Fig5Job(
+            operator=f"{args.architecture}{args.width}",
+            supply_voltages=tuple(args.vdd),
+            vectors=args.vectors,
+            sweep=_sweep_options(args),
         )
-    return 0
+    )
+    return _emit(args, _run(_session(args), job))
 
 
 def _command_calibrate(args: argparse.Namespace) -> int:
-    adder = build_adder(args.architecture, args.width)
-    flow = CharacterizationFlow(adder)
-    try:
-        triad = OperatingTriad(tclk=args.tclk_ns * 1e-9, vdd=args.vdd, vbb=args.vbb)
-    except ValueError as error:
-        raise SystemExit(str(error)) from None
-    config = PatternConfig(
-        n_vectors=args.vectors, width=args.width, seed=args.seed, kind=args.pattern
+    job = _checked(
+        lambda: CalibrateJob(
+            operator=f"{args.architecture}{args.width}",
+            tclk_ns=args.tclk_ns,
+            vdd=args.vdd,
+            vbb=args.vbb,
+            metric=args.metric,
+            pattern=_pattern_options(args),
+            sweep=_sweep_options(args),
+            output=args.output,
+        )
     )
-    characterization = flow.run(
-        triads=[triad],
-        pattern=config,
-        jobs=args.jobs,
-        store=_resolve_store(args),
-    )
-    entry = characterization.results[0]
-    measurement = characterization.measurement_for(triad)
-    result = calibrate_probability_table(
-        measurement.in1,
-        measurement.in2,
-        measurement.latched_words,
-        args.width,
-        metric=args.metric,
-    )
-    save_probability_table(result.table, args.output)
-    print(
-        f"triad {entry.label()}: hardware BER {entry.ber_percent:.2f}%, "
-        f"mean best distance {result.mean_best_distance:.3f}"
-    )
-    print(f"saved probability table to {args.output}")
-    return 0
+    return _emit(args, _run(_session(args), job))
 
 
 def _command_speculate(args: argparse.Namespace) -> int:
-    characterization = load_characterization(args.dataset)
-    controller = DynamicSpeculationController(characterization, error_margin=args.margin)
-    accurate = controller.accurate_mode()
-    approximate = controller.approximate_mode()
-    print(f"error margin: {args.margin * 100:.1f}% BER")
-    print(
-        f"accurate mode   : {accurate.label():<24} BER {accurate.ber_percent:6.2f}% "
-        f"saving {characterization.energy_efficiency_of(accurate) * 100:6.1f}%"
-    )
-    print(
-        f"approximate mode: {approximate.label():<24} BER {approximate.ber_percent:6.2f}% "
-        f"saving {characterization.energy_efficiency_of(approximate) * 100:6.1f}%"
-    )
-    return 0
-
-
-def _parse_windows(tokens: Sequence[str]) -> tuple[int | None, ...]:
-    windows: list[int | None] = []
-    for token in tokens:
-        if token.lower() in ("none", "off"):
-            windows.append(None)
-            continue
-        try:
-            windows.append(int(token))
-        except ValueError:
-            raise SystemExit(
-                f"invalid speculation window {token!r} (expected 'none' or an integer)"
-            ) from None
-    return tuple(windows)
+    job = _checked(lambda: SpeculateJob(dataset=args.dataset, margin=args.margin))
+    session = Session(store=None)
+    return _emit(args, _run(session, job))
 
 
 def _command_explore(args: argparse.Namespace) -> int:
-    try:
-        if args.clock_scales is not None:
-            triads = TriadSpec(
-                clock_scales=tuple(args.clock_scales),
-                supply_voltages=(
-                    tuple(args.vdd) if args.vdd else TriadSpec().supply_voltages
-                ),
-                body_bias_voltages=(
-                    tuple(args.vbb) if args.vbb else TriadSpec().body_bias_voltages
-                ),
-            )
-        elif args.vdd or args.vbb:
-            raise SystemExit("--vdd/--vbb require --clock-scales (a dense triad grid)")
-        else:
-            triads = TriadSpec()
-        space = DesignSpace.from_axes(
-            architectures=args.architectures,
-            widths=args.widths,
-            speculation_windows=_parse_windows(args.windows),
-            triads=triads,
-        )
-    except ValueError as error:
-        raise SystemExit(str(error)) from None
-    for width, window in space.skipped_windows():
-        print(
-            f"note: window {window} does not fit width {width} "
-            f"(needs window < width); spa{width}w{window} is not in the space"
-        )
-    if not space.candidates():
-        raise SystemExit(
-            "the declared axes produce no candidates "
-            "(every window was skipped and no 'none' entry is present)"
-        )
-
-    if args.robust_samples is not None and args.robust_quantile is None:
-        raise SystemExit("--robust-samples requires --robust-quantile")
-    variation = None
-    if args.robust_quantile is not None:
-        if not 0.0 < args.robust_quantile < 1.0:
-            raise SystemExit("--robust-quantile must lie strictly within (0, 1)")
-        try:
-            variation = MonteCarloConfig(
-                n_samples=(
-                    32 if args.robust_samples is None else args.robust_samples
-                ),
-                seed=args.seed,
-            )
-        except ValueError as error:
-            raise SystemExit(str(error)) from None
-
-    expected_robust = (
-        None
-        if variation is None
-        else robust_tag(variation, args.robust_quantile)
-    )
-    resume = _load_resume_frontier(
-        args.frontier, args.vectors, args.seed, expected_robust
-    )
-    try:
-        evaluator = CandidateEvaluator(
-            space,
-            jobs=args.jobs,
-            store=_resolve_store(args),
-            seed=args.seed,
-            variation=variation,
-            robust_quantile=(
-                args.robust_quantile if args.robust_quantile is not None else 0.95
+    job = _checked(
+        lambda: ExploreJob(
+            architectures=tuple(args.architectures),
+            widths=tuple(args.widths),
+            windows=tuple(args.windows),
+            clock_scales=(
+                tuple(args.clock_scales) if args.clock_scales is not None else None
             ),
-        )
-        result = run_search(
-            space,
-            args.strategy,
-            evaluator,
-            seed=args.seed,
+            supply_voltages=tuple(args.vdd) if args.vdd else None,
+            body_bias_voltages=tuple(args.vbb) if args.vbb else None,
+            strategy=args.strategy,
             budget=args.budget,
-            full_vectors=args.vectors,
+            seed=args.seed,
+            vectors=args.vectors,
             screen_vectors=args.screen_vectors,
-            resume=resume,
+            max_ber=args.max_ber,
+            top=args.top,
+            frontier=args.frontier,
+            robust_quantile=args.robust_quantile,
+            robust_samples=args.robust_samples,
+            sweep=_sweep_options(args),
         )
-    except ValueError as error:
-        raise SystemExit(str(error)) from None
-
-    print(
-        f"strategy {result.strategy}: {result.total_candidates} candidates, "
-        f"{result.screening_evaluations} screened at {result.screen_vectors} vectors, "
-        f"{result.full_evaluations} evaluated at {result.full_vectors} vectors"
     )
-    if result.evaluated_candidates:
-        print("paper-fidelity evaluations: " + ", ".join(result.evaluated_candidates))
-    print()
-    print(render_frontier(frontier_series(result.frontier)))
-    print()
-    ranked = ranked_configurations(
-        result.frontier, max_ber=args.max_ber, top_n=args.top
-    )
-    print(render_ranked_configurations(ranked))
-    if args.frontier:
-        result.frontier.save(args.frontier)
-        print(f"\nsaved frontier to {args.frontier}")
-    return 0
-
-
-def _load_resume_frontier(
-    path: str | None,
-    full_vectors: int,
-    seed: int,
-    robust: str | None,
-) -> ParetoFrontier | None:
-    """Load a ``--frontier`` file for resume, keeping one measurement per run.
-
-    Points measured on a different stimulus (size, seed or pattern kind) or
-    under a different scoring identity (nominal vs robust quantile-BER, or a
-    different Monte Carlo configuration) are dropped with a note: a nominal
-    BER is systematically lower than a quantile BER over sampled dies, so
-    letting the two compete -- like letting a noisy low-vector point compete
-    -- could evict this run's measurements from the frontier.
-    """
-    if not path:
-        return None
-    try:
-        loaded = ParetoFrontier.load_or_empty(path)
-    except Exception as error:  # corrupt/truncated JSON, wrong schema ...
-        raise SystemExit(
-            f"cannot resume from frontier file {path}: {error}"
-        ) from None
-    matching = [
-        point
-        for point in loaded
-        if point.n_vectors == full_vectors
-        and point.seed == seed
-        and point.pattern_kind == "uniform"
-        and point.robust == robust
-    ]
-    dropped = len(loaded) - len(matching)
-    if dropped:
-        print(
-            f"note: dropped {dropped} frontier point(s) measured on a "
-            f"different stimulus or scoring than --vectors {full_vectors} "
-            f"--seed {seed} "
-            + (f"--robust-quantile (tag {robust})" if robust else "(nominal)")
-        )
-    return ParetoFrontier(matching)
+    return _emit(args, _run(_session(args), job))
 
 
 def _command_montecarlo(args: argparse.Namespace) -> int:
-    if args.samples <= 0:
-        raise SystemExit("--samples must be positive")
-    if not 0.0 <= args.margin <= 1.0:
-        raise SystemExit("--margin must lie within [0, 1] (a BER fraction)")
+    job = _checked(
+        lambda: MonteCarloJob(
+            operator=f"{args.architecture}{args.width}",
+            pattern=_pattern_options(args),
+            corner=args.corner,
+            samples=args.samples,
+            sigma_vt=args.sigma_vt,
+            sigma_current=args.sigma_current,
+            margin=args.margin,
+            supply_voltages=tuple(args.vdd),
+            sweep=_sweep_options(args),
+        )
+    )
+    return _emit(args, _run(_session(args), job))
+
+
+def _command_faults(args: argparse.Namespace) -> int:
+    job = _checked(
+        lambda: FaultSweepJob(
+            operator=f"{args.architecture}{args.width}",
+            pattern=_pattern_options(args),
+            sweep=_sweep_options(args),
+        )
+    )
+    return _emit(args, _run(_session(args), job))
+
+
+def _command_batch(args: argparse.Namespace) -> int:
+    path = pathlib.Path(args.jobs_file)
     try:
-        config = MonteCarloConfig(
-            corner=ProcessCorner(args.corner),
-            model=GateVariationModel(
-                sigma_current_factor=args.sigma_current, sigma_vt=args.sigma_vt
-            ),
-            n_samples=args.samples,
-            seed=args.seed,
-        )
-        pattern = PatternConfig(
-            n_vectors=args.vectors,
-            width=args.width,
-            seed=args.seed,
-            kind=args.pattern,
-        )
-        flow = CharacterizationFlow.for_benchmark(args.architecture, args.width)
-        grid = supply_scaling_grid(flow, tuple(args.vdd))
-    except ValueError as error:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as error:
+        raise SystemExit(f"cannot read jobs file {args.jobs_file}: {error}") from None
+    except json.JSONDecodeError as error:
+        raise SystemExit(
+            f"jobs file {args.jobs_file} is not valid JSON: {error}"
+        ) from None
+    jobs = _checked(lambda: jobs_from_document(document))
+    session = _session(args)
+    try:
+        batch = session.run_batch(jobs)
+    except SessionError as error:
         raise SystemExit(str(error)) from None
-    in1, in2 = generate_patterns(pattern)
-    results = run_montecarlo_sweep(
-        flow.adder,
-        grid,
-        in1,
-        in2,
-        pattern_stimulus(pattern),
-        config=config,
-        jobs=args.jobs,
-        store=_resolve_store(args),
-    )
-    model = config.model
-    print(
-        f"{flow.adder.name} @ corner {config.corner.value}: "
-        f"{config.n_samples} samples, seed {config.seed}, "
-        f"sigma_vt {model.sigma_vt * 1e3:g} mV, "
-        f"sigma_k {model.sigma_current_factor * 100:g}%, "
-        f"{args.vectors} vectors"
-    )
-    print()
-    print(render_variation_table(results, args.margin))
-    print()
-    print(render_yield_series(yield_vs_vdd_series(results, args.margin), args.margin))
+    for index, (job, result) in enumerate(zip(jobs, batch.results), start=1):
+        print(f"== job {index}: {job_type_name(job)} ==")
+        print(result.render())
+        print()
+    print(batch.report.render())
     return 0
 
 
 def _command_store(args: argparse.Namespace) -> int:
-    store = _resolve_store(args)
-    assert store is not None  # the store subcommands have no --no-cache flag
     if args.store_command == "stats":
-        stats = store.disk_stats()
-        print(f"store root : {store.root}")
-        print(f"entries    : {stats.entries}")
-        print(f"total bytes: {stats.total_bytes}")
-        if stats.entries:
-            span = (stats.newest_mtime or 0.0) - (stats.oldest_mtime or 0.0)
-            print(f"age span   : {span:.0f} s between oldest and newest entry")
-        return 0
-    # store_command == "prune" (the subparser enforces the choice)
-    if args.all and (args.max_entries is not None or args.max_bytes is not None):
-        raise SystemExit(
-            "--all conflicts with --max-entries/--max-bytes (it already "
-            "deletes everything)"
+        job: Job = StoreStatsJob()
+    else:  # store_command == "prune" (the subparser enforces the choice)
+        job = _checked(
+            lambda: StorePruneJob(
+                max_entries=args.max_entries,
+                max_bytes=args.max_bytes,
+                prune_all=args.all,
+            )
         )
-    max_entries = 0 if args.all else args.max_entries
-    if max_entries is None and args.max_bytes is None:
-        raise SystemExit("prune needs --max-entries, --max-bytes or --all")
-    removed = store.prune(max_entries=max_entries, max_bytes=args.max_bytes)
-    stats = store.disk_stats()
-    print(
-        f"pruned {removed} entries; {stats.entries} entries "
-        f"({stats.total_bytes} bytes) remain in {store.root}"
-    )
-    return 0
+    return _emit(args, _run(_session(args), job))
 
 
 _COMMANDS = {
@@ -784,6 +626,8 @@ _COMMANDS = {
     "speculate": _command_speculate,
     "explore": _command_explore,
     "montecarlo": _command_montecarlo,
+    "faults": _command_faults,
+    "batch": _command_batch,
     "store": _command_store,
 }
 

@@ -28,6 +28,7 @@ Design points:
 from __future__ import annotations
 
 import base64
+import collections
 import dataclasses
 import hashlib
 import json
@@ -346,3 +347,77 @@ class SweepResultStore:
             remaining -= 1
             remaining_bytes -= stat.st_size
         return removed
+
+
+#: Default entry bound of a :class:`MemoryOverlayStore`.  Sized for whole
+#: batches (tens of adders x 43-triad grids) while keeping a long-lived
+#: session's memory bounded; least-recently-used entries evict first.
+OVERLAY_MAX_ENTRIES = 4096
+
+
+class MemoryOverlayStore:
+    """In-memory read-through / write-through overlay over an optional store.
+
+    A :class:`~repro.api.session.Session` shares one overlay across every
+    job it runs: the first lookup of an entry reads the backing store (when
+    present) and memoises the payload; every later lookup -- from the same
+    job or from any other job of the same session/batch -- is served from
+    memory.  Writes go to both layers, so persistence semantics are exactly
+    those of the backing store.  With ``backing=None`` the overlay acts as a
+    session-lifetime cache, which is what makes ``run_batch`` dedup work
+    even for uncached sessions.
+
+    The memory layer is an LRU bounded by ``max_entries`` so a long-lived
+    session cannot grow without limit; an evicted entry is only a
+    performance miss (it re-reads the backing store, or in the uncached
+    case re-simulates), never a correctness issue.
+
+    The overlay duck-types the ``get``/``put`` subset of
+    :class:`SweepResultStore` that every sweep orchestrator uses.
+    """
+
+    def __init__(
+        self,
+        backing: SweepResultStore | None = None,
+        max_entries: int = OVERLAY_MAX_ENTRIES,
+    ) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self._backing = backing
+        self._max_entries = max_entries
+        self._memory: "collections.OrderedDict[str, dict[str, Any]]" = (
+            collections.OrderedDict()
+        )
+
+    @property
+    def backing(self) -> SweepResultStore | None:
+        """The persistent store underneath (or ``None``)."""
+        return self._backing
+
+    def _remember(self, key: str, payload: dict[str, Any]) -> None:
+        self._memory[key] = payload
+        self._memory.move_to_end(key)
+        while len(self._memory) > self._max_entries:
+            self._memory.popitem(last=False)
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """Fetch an entry, memoising backing-store hits."""
+        cached = self._memory.get(key)
+        if cached is not None:
+            self._memory.move_to_end(key)
+            return cached
+        if self._backing is None:
+            return None
+        payload = self._backing.get(key)
+        if payload is not None:
+            self._remember(key, payload)
+        return payload
+
+    def put(self, key: str, payload: Mapping[str, Any]) -> None:
+        """Store an entry in memory and (when present) the backing store."""
+        self._remember(key, dict(payload))
+        if self._backing is not None:
+            self._backing.put(key, payload)
+
+    def __len__(self) -> int:
+        return len(self._memory)

@@ -78,6 +78,36 @@ PAYLOAD_VERSION = 1
 
 
 # ---------------------------------------------------------------------------
+# Simulation-count instrumentation
+# ---------------------------------------------------------------------------
+
+#: Work units actually simulated by this process's orchestrators (triads for
+#: characterization sweeps, fault sites for fault campaigns, (sample range x
+#: triad) entries for Monte Carlo runs).  Cache hits do not count.  The
+#: counter is recorded parent-side (before shards are dispatched), so it is
+#: accurate whether the units execute in-process or in worker processes.
+_SIMULATED_UNITS = 0
+
+
+def simulated_unit_count() -> int:
+    """Total work units simulated so far (monotonic; cache hits excluded).
+
+    Snapshot before and after an operation to measure how much real
+    simulation it performed -- the batch planner's dedup accounting and the
+    zero-duplicate-simulation tests are built on this.
+    """
+    return _SIMULATED_UNITS
+
+
+def record_simulated_units(count: int) -> None:
+    """Record ``count`` work units as actually simulated."""
+    global _SIMULATED_UNITS
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    _SIMULATED_UNITS += int(count)
+
+
+# ---------------------------------------------------------------------------
 # Circuit specs (what a worker process needs to rebuild the circuit)
 # ---------------------------------------------------------------------------
 
@@ -270,9 +300,14 @@ def payload_to_measurement(
     )
 
 
-def _payload_usable(
+def payload_usable(
     payload: Mapping[str, Any] | None, n_vectors: int, keep_latched: bool
 ) -> bool:
+    """Whether a (possibly cached) characterization payload satisfies a request.
+
+    Shared by the sweep orchestrator and the batch planner of
+    :mod:`repro.api.session`, so both judge warmness identically.
+    """
     if payload is None:
         return False
     if payload.get("payload_version") != PAYLOAD_VERSION:
@@ -282,6 +317,10 @@ def _payload_usable(
     if keep_latched and "latched_words" not in payload:
         return False
     return True
+
+
+#: Backwards-compatible alias of :func:`payload_usable`.
+_payload_usable = payload_usable
 
 
 # ---------------------------------------------------------------------------
@@ -408,6 +447,41 @@ def verified_spec(circuit: Any, fingerprint: str) -> CircuitSpec | None:
 _verified_spec = verified_spec
 
 
+def characterization_key_components(
+    circuit: Any,
+    library: StandardCellLibrary,
+    stimulus: Mapping[str, Any],
+) -> dict[str, Any]:
+    """Triad-independent key components of a characterization sweep.
+
+    The single definition of what identifies a sweep's results in the store;
+    combine with a triad via :func:`characterization_entry_key`.  Used by the
+    orchestrator below and by the cross-job dedup planner of
+    :mod:`repro.api.session` (which must predict the orchestrator's keys
+    without running it).
+    """
+    return {
+        "scenario": "characterization",
+        "engine_version": ENGINE_VERSION,
+        "circuit": netlist_fingerprint(circuit.netlist),
+        "circuit_name": circuit.name,
+        "library": library_fingerprint(library),
+        "stimulus": dict(stimulus),
+    }
+
+
+def characterization_entry_key(
+    base_components: Mapping[str, Any], triad: OperatingTriad
+) -> str:
+    """Store key of one triad's summary within a characterization sweep."""
+    return SweepResultStore.entry_key(
+        {
+            **base_components,
+            "triad": {"tclk": triad.tclk, "vdd": triad.vdd, "vbb": triad.vbb},
+        }
+    )
+
+
 def run_characterization_sweep(
     circuit: Any,
     grid: TriadGrid,
@@ -456,34 +530,23 @@ def run_characterization_sweep(
         raise ValueError("jobs must be >= 1")
     in1_arr = np.asarray(in1, dtype=np.int64)
     in2_arr = np.asarray(in2, dtype=np.int64)
-    fingerprint = netlist_fingerprint(circuit.netlist)
-    base_components: dict[str, Any] = {
-        "scenario": "characterization",
-        "engine_version": ENGINE_VERSION,
-        "circuit": fingerprint,
-        "circuit_name": circuit.name,
-        "library": library_fingerprint(library),
-        "stimulus": dict(stimulus),
-    }
+    base_components = characterization_key_components(circuit, library, stimulus)
+    fingerprint = base_components["circuit"]
     n_vectors = int(in1_arr.size)
 
     keys: dict[OperatingTriad, str] = {}
     payloads: dict[OperatingTriad, dict[str, Any]] = {}
     for triad in grid:
-        key = SweepResultStore.entry_key(
-            {
-                **base_components,
-                "triad": {"tclk": triad.tclk, "vdd": triad.vdd, "vbb": triad.vbb},
-            }
-        )
+        key = characterization_entry_key(base_components, triad)
         keys[triad] = key
         if store is not None:
             cached = store.get(key)
-            if _payload_usable(cached, n_vectors, keep_latched):
+            if payload_usable(cached, n_vectors, keep_latched):
                 payloads[triad] = cached  # type: ignore[assignment]
 
     missing = [triad for triad in grid if triad not in payloads]
     if missing:
+        record_simulated_units(len(missing))
         spec = _verified_spec(circuit, fingerprint) if jobs > 1 else None
         shards = shard_triads(missing, jobs if spec is not None else 1)
         if spec is not None and len(shards) > 1:
@@ -576,6 +639,7 @@ def run_fault_sweep(
             missing_indices.append(index)
 
     if missing_indices:
+        record_simulated_units(len(missing_indices))
         spec = _verified_spec(circuit, fingerprint) if jobs > 1 else None
         n_shards = min(jobs, len(missing_indices)) if spec is not None else 1
         chunks = [

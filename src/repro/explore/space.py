@@ -25,6 +25,7 @@ from repro.circuits.adders import (
     build_adder,
     speculative_adder,
 )
+from repro.circuits.operators import OperatorSpec
 from repro.core.characterization import CharacterizationFlow
 from repro.core.triad import (
     PAPER_BODY_BIAS_VOLTAGES,
@@ -53,33 +54,27 @@ class OperatorCandidate:
     window: int | None = None
 
     def __post_init__(self) -> None:
-        if self.width <= 0:
-            raise ValueError("width must be positive")
-        if self.window is None:
-            if self.architecture not in ADDER_GENERATORS:
-                raise ValueError(
-                    f"unknown adder architecture {self.architecture!r}; "
-                    f"available: {', '.join(sorted(ADDER_GENERATORS))}"
-                )
-        else:
-            if self.architecture != SPECULATIVE_ARCHITECTURE:
-                raise ValueError(
-                    "speculative candidates use architecture "
-                    f"{SPECULATIVE_ARCHITECTURE!r}, got {self.architecture!r}"
-                )
-            if not 0 < self.window < self.width:
-                raise ValueError("window must lie within (0, width)")
+        # Validation (including the spa<width>w<window> structural rules)
+        # lives in one place: repro.circuits.operators.OperatorSpec.  The
+        # validated spec is cached so the frequently read name/build
+        # accessors do not re-validate.
+        object.__setattr__(
+            self,
+            "_spec_cache",
+            OperatorSpec(self.architecture, self.width, self.window),
+        )
+
+    def _spec(self) -> OperatorSpec:
+        return self._spec_cache
 
     @property
     def name(self) -> str:
         """The candidate circuit's name (``"rca8"``, ``"spa16w4"`` ...)."""
-        if self.window is None:
-            return f"{self.architecture}{self.width}"
-        return f"{self.architecture}{self.width}w{self.window}"
+        return self._spec().name
 
     def build(self) -> AdderCircuit:
         """Lower the candidate to its gate-level circuit."""
-        return build_operator(self.architecture, self.width, self.window)
+        return self._spec().build()
 
 
 def build_operator(

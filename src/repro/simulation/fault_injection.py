@@ -113,6 +113,20 @@ def enumerate_stuck_at_faults(netlist: Netlist) -> tuple[StuckAtFault, ...]:
     )
 
 
+def fault_coverage(results: "Iterable[FaultSimulationResult]") -> float:
+    """Fault coverage of a result list: detected faults over all faults.
+
+    The one definition shared by :meth:`StuckAtFaultSimulator.coverage` and
+    the campaign summaries of :mod:`repro.analysis.faults` (and therefore by
+    the ``repro faults`` workflow, whose sharded results come back through
+    :func:`repro.core.sweep.run_fault_sweep`).
+    """
+    result_list = list(results)
+    if not result_list:
+        return 0.0
+    return sum(result.detected for result in result_list) / len(result_list)
+
+
 @dataclasses.dataclass(frozen=True)
 class FaultSimulationResult:
     """Outcome of simulating one stuck-at fault over a pattern set.
@@ -241,10 +255,7 @@ class StuckAtFaultSimulator:
         faults: Iterable[StuckAtFault] | None = None,
     ) -> float:
         """Fault coverage of a pattern set: detected faults over all faults."""
-        results = self.run(inputs, faults)
-        if not results:
-            return 0.0
-        return sum(result.detected for result in results) / len(results)
+        return fault_coverage(self.run(inputs, faults))
 
     def _bind_inputs(self, inputs: Mapping[str, np.ndarray]) -> dict[int, np.ndarray]:
         ports = self._netlist.primary_inputs

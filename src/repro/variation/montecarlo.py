@@ -45,7 +45,7 @@ from repro.core.store import (
     library_fingerprint,
     netlist_fingerprint,
 )
-from repro.core.sweep import CircuitSpec, verified_spec
+from repro.core.sweep import CircuitSpec, record_simulated_units, verified_spec
 from repro.core.triad import OperatingTriad, TriadGrid
 from repro.simulation.engine import ENGINE_VERSION
 from repro.simulation.timing_sim import VosTimingSimulator
@@ -359,6 +359,7 @@ def run_montecarlo_sweep(
         )
     ]
     if missing:
+        record_simulated_units(len(missing) * len(triads))
         spec = verified_spec(circuit, fingerprint) if jobs > 1 else None
         if spec is not None and jobs > 1 and len(missing) > 1:
             tasks = [

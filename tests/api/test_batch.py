@@ -1,0 +1,147 @@
+"""Batch planner tests: cross-job dedup with zero duplicate simulations."""
+
+import pytest
+
+from repro.api.jobs import (
+    CalibrateJob,
+    CharacterizeJob,
+    Fig5Job,
+    MonteCarloJob,
+    SynthesizeJob,
+    Table4Job,
+)
+from repro.api.options import PatternOptions
+from repro.api.session import Session
+from repro.core.sweep import simulated_unit_count
+
+SMALL = PatternOptions(vectors=240)
+
+
+def overlapping_jobs():
+    """Three workloads over the same adder, stimulus and (sub)grids."""
+    return [
+        CharacterizeJob(operator="rca8", pattern=SMALL),
+        Fig5Job(operator="rca8", supply_voltages=(0.8, 0.5), vectors=240),
+        Table4Job(datasets=("rca8",), vectors=240),
+    ]
+
+
+class TestBatchDedup:
+    def test_cold_batch_simulates_each_unique_unit_exactly_once(self):
+        session = Session(store=None)
+        grid_size = len(session.flow_for("rca8").default_triad_grid())
+        before = simulated_unit_count()
+        batch = session.run_batch(overlapping_jobs())
+        simulated = simulated_unit_count() - before
+
+        # characterize and table4 sweep the full matched grid with the same
+        # stimulus; fig5's two supply points are a subset of that grid.  One
+        # executor pass covers all three jobs.
+        assert simulated == grid_size
+        report = batch.report
+        assert report.simulated_units == grid_size
+        assert report.planned_units == 2 * grid_size + 2
+        assert report.deduped_units == report.planned_units - grid_size
+        assert report.cache_hits == 0
+        assert len(batch.results) == 3
+
+    def test_batch_results_match_individual_runs(self):
+        batch = Session(store=None).run_batch(overlapping_jobs())
+        solo_session = Session(store=None)
+        for job, result in zip(overlapping_jobs(), batch.results):
+            assert result.render() == solo_session.run(job).render()
+
+    def test_warm_store_batch_simulates_nothing(self, tmp_path):
+        store_dir = tmp_path / "cache"
+        Session(store=store_dir).run_batch(overlapping_jobs())
+
+        warm = Session(store=store_dir)
+        before = simulated_unit_count()
+        batch = warm.run_batch(overlapping_jobs())
+        assert simulated_unit_count() == before
+        report = batch.report
+        assert report.simulated_units == 0
+        grid_size = len(warm.flow_for("rca8").default_triad_grid())
+        assert report.cache_hits == grid_size
+        assert report.deduped_units == report.planned_units - grid_size
+
+    def test_calibrate_unit_inside_a_characterize_grid_is_shared(self, tmp_path):
+        session = Session(store=None)
+        grid = session.flow_for("rca8").default_triad_grid()
+        triad = grid[len(grid) // 2]
+        jobs = [
+            CharacterizeJob(operator="rca8", pattern=SMALL),
+            CalibrateJob(
+                operator="rca8",
+                tclk_ns=triad.tclk * 1e9,
+                vdd=triad.vdd,
+                vbb=triad.vbb,
+                pattern=SMALL,
+            ),
+        ]
+        before = simulated_unit_count()
+        batch = session.run_batch(jobs)
+        # The calibrate triad is one of the characterize grid's units: the
+        # merged pass keeps latched words for it, so nothing runs twice.
+        assert simulated_unit_count() - before == len(grid)
+        assert batch.report.deduped_units == 1
+        assert "hardware BER" in batch.results[1].render()
+
+    def test_calibrate_does_not_resimulate_a_warm_nonlatched_grid(self, tmp_path):
+        # A store warmed by plain characterization holds no latched words.
+        # A later batch adding one calibrate triad must re-simulate exactly
+        # that triad (with latched words), not the whole grid.
+        store_dir = tmp_path / "cache"
+        warm_session = Session(store=store_dir)
+        warm_session.run(CharacterizeJob(operator="rca8", pattern=SMALL))
+        grid = warm_session.flow_for("rca8").default_triad_grid()
+        triad = grid[len(grid) // 2]
+
+        session = Session(store=store_dir)
+        before = simulated_unit_count()
+        batch = session.run_batch(
+            [
+                CharacterizeJob(operator="rca8", pattern=SMALL),
+                CalibrateJob(
+                    operator="rca8",
+                    tclk_ns=triad.tclk * 1e9,
+                    vdd=triad.vdd,
+                    vbb=triad.vbb,
+                    pattern=SMALL,
+                ),
+            ]
+        )
+        assert simulated_unit_count() - before == 1
+        assert batch.report.cache_hits == len(grid) - 1
+        assert "hardware BER" in batch.results[1].render()
+
+    def test_montecarlo_jobs_dedup_through_the_session_overlay(self):
+        session = Session(store=None)
+        job = MonteCarloJob(
+            operator="rca8", pattern=SMALL, samples=6, supply_voltages=(0.8, 0.5)
+        )
+        before = simulated_unit_count()
+        batch = session.run_batch([job, job])
+        simulated = simulated_unit_count() - before
+        # one range x two triads, simulated once; the repeat replays memory
+        assert simulated == 2
+        assert batch.results[0].render() == batch.results[1].render()
+
+    def test_non_sweep_jobs_plan_zero_units(self):
+        session = Session(store=None)
+        batch = session.run_batch([SynthesizeJob(operators=("rca8",))])
+        assert batch.report.planned_units == 0
+        assert batch.report.simulated_units == 0
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError, match="at least one job"):
+            Session(store=None).run_batch([])
+
+    def test_batch_is_byte_identical_to_solo_runs_with_warm_store(self, tmp_path):
+        # cold solo runs against one store, then a warm batch against it:
+        # every rendering must be byte-identical.
+        store_dir = tmp_path / "cache"
+        solo = Session(store=store_dir)
+        solo_renders = [solo.run(job).render() for job in overlapping_jobs()]
+        batch = Session(store=store_dir).run_batch(overlapping_jobs())
+        assert [result.render() for result in batch.results] == solo_renders

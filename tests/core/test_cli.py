@@ -775,3 +775,246 @@ class TestStorePruneConflicts:
             == 0
         )
         assert "pruned 0 entries" in capsys.readouterr().out
+
+
+class TestJsonOutput:
+    def test_characterize_json(self, capsys):
+        assert (
+            main(
+                [
+                    "characterize",
+                    "--architecture",
+                    "rca",
+                    "--width",
+                    "8",
+                    "--vectors",
+                    "240",
+                    "--no-cache",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["adder_name"] == "rca8"
+        assert len(payload["results"]) == 43
+
+    def test_table4_json(self, capsys):
+        assert main(["table4", "rca8", "--vectors", "240", "--no-cache", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "rca8" in payload["summaries"]
+        assert payload["summaries"]["rca8"][0]["ber_range_label"] == "0%"
+
+    def test_fig5_json(self, capsys):
+        assert (
+            main(
+                [
+                    "fig5",
+                    "--architecture",
+                    "rca",
+                    "--width",
+                    "8",
+                    "--vdd",
+                    "0.6",
+                    "--vectors",
+                    "240",
+                    "--no-cache",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["operator"] == "rca8"
+        assert len(payload["series"][0]["ber_per_bit"]) == 9
+
+    def test_montecarlo_json(self, capsys):
+        assert (
+            main(
+                [
+                    "montecarlo",
+                    "--architecture",
+                    "rca",
+                    "--width",
+                    "8",
+                    "--vectors",
+                    "240",
+                    "--samples",
+                    "6",
+                    "--vdd",
+                    "0.8",
+                    "0.5",
+                    "--no-cache",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["samples"] == 6
+        assert len(payload["triads"]) == 2
+        assert 0.0 <= payload["triads"][0]["yield"] <= 1.0
+
+    def test_json_matches_text_numbers(self, capsys):
+        command = [
+            "characterize",
+            "--architecture",
+            "rca",
+            "--width",
+            "8",
+            "--vectors",
+            "240",
+            "--no-cache",
+        ]
+        assert main(command) == 0
+        text = capsys.readouterr().out
+        assert main(command + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        for entry in payload["results"]:
+            assert f"{entry['ber'] * 100:.2f}" in text
+
+
+class TestFaultsCommand:
+    def test_reports_coverage(self, capsys):
+        assert (
+            main(
+                [
+                    "faults",
+                    "--architecture",
+                    "rca",
+                    "--width",
+                    "8",
+                    "--vectors",
+                    "128",
+                    "--no-cache",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "stuck-at faults" in out
+        assert "coverage" in out
+
+    def test_json_output(self, capsys):
+        assert (
+            main(
+                [
+                    "faults",
+                    "--architecture",
+                    "rca",
+                    "--width",
+                    "8",
+                    "--vectors",
+                    "128",
+                    "--no-cache",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["n_faults"] == len(payload["faults"])
+        assert 0.0 < payload["coverage"] <= 1.0
+
+    def test_warm_rerun_is_identical(self, tmp_path, capsys):
+        command = [
+            "faults",
+            "--architecture",
+            "rca",
+            "--width",
+            "8",
+            "--vectors",
+            "128",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+        ]
+        assert main(command) == 0
+        cold = capsys.readouterr().out
+        assert main(command) == 0
+        assert capsys.readouterr().out == cold
+
+
+class TestBatchCommand:
+    def _write_jobs(self, tmp_path, jobs):
+        path = tmp_path / "jobs.json"
+        path.write_text(json.dumps({"jobs": jobs}))
+        return str(path)
+
+    def test_runs_jobs_and_reports_dedup(self, tmp_path, capsys):
+        jobs_file = self._write_jobs(
+            tmp_path,
+            [
+                {
+                    "type": "characterize",
+                    "operator": "rca8",
+                    "pattern": {"vectors": 240},
+                },
+                {
+                    "type": "fig5",
+                    "operator": "rca8",
+                    "supply_voltages": [0.8, 0.5],
+                    "vectors": 240,
+                },
+            ],
+        )
+        assert main(["batch", jobs_file, "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "== job 1: characterize ==" in out
+        assert "== job 2: fig5 ==" in out
+        assert "BER vs Energy/Operation" in out
+        assert "deduped" in out and "simulated" in out
+
+    def test_missing_file_is_a_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read jobs file"):
+            main(["batch", str(tmp_path / "absent.json"), "--no-cache"])
+
+    def test_invalid_json_is_a_clean_error(self, tmp_path):
+        path = tmp_path / "jobs.json"
+        path.write_text("{ truncated")
+        with pytest.raises(SystemExit, match="not valid JSON"):
+            main(["batch", str(path), "--no-cache"])
+
+    def test_unknown_job_type_is_a_clean_error(self, tmp_path):
+        jobs_file = self._write_jobs(tmp_path, [{"type": "frobnicate"}])
+        with pytest.raises(SystemExit, match="unknown job type"):
+            main(["batch", jobs_file, "--no-cache"])
+
+    def test_empty_document_is_a_clean_error(self, tmp_path):
+        jobs_file = self._write_jobs(tmp_path, [])
+        with pytest.raises(SystemExit, match="no jobs"):
+            main(["batch", jobs_file, "--no-cache"])
+
+    def test_warm_batch_is_byte_identical(self, tmp_path, capsys):
+        jobs_file = self._write_jobs(
+            tmp_path,
+            [
+                {
+                    "type": "characterize",
+                    "operator": "rca8",
+                    "pattern": {"vectors": 240},
+                },
+                {"type": "table4", "datasets": ["rca8"], "vectors": 240},
+            ],
+        )
+        command = ["batch", jobs_file, "--cache-dir", str(tmp_path / "cache")]
+        assert main(command) == 0
+        cold = capsys.readouterr().out
+        assert main(command) == 0
+        warm = capsys.readouterr().out
+        # identical job output; only the work accounting line differs
+        assert warm.splitlines()[:-1] == cold.splitlines()[:-1]
+        assert "0 simulated" in warm.splitlines()[-1]
+
+
+class TestCleanErrorSurface:
+    def test_table4_unknown_operator_name_exits_cleanly(self):
+        with pytest.raises(SystemExit, match="cannot parse adder name"):
+            main(["table4", "nosuch8", "--no-cache"])
+
+    def test_batch_table4_unknown_operator_name_exits_cleanly(self, tmp_path):
+        path = tmp_path / "jobs.json"
+        path.write_text(
+            json.dumps({"jobs": [{"type": "table4", "datasets": ["nosuch8"]}]})
+        )
+        with pytest.raises(SystemExit, match="cannot parse adder name"):
+            main(["batch", str(path), "--no-cache"])

@@ -25,6 +25,8 @@ class TestPublicApi:
             "repro.simulation",
             "repro.core",
             "repro.explore",
+            "repro.variation",
+            "repro.api",
             "repro.baselines",
             "repro.apps",
             "repro.analysis",
@@ -45,3 +47,23 @@ class TestPublicApi:
         entry = characterization.sorted_by_energy()[0]
         assert isinstance(entry, repro.TriadCharacterization)
         assert isinstance(characterization.energy_efficiency_of(entry), float)
+
+    def test_api_quickstart_snippet_types(self):
+        """The README Python-API quickstart names and call shapes."""
+        session = repro.Session(store=None)
+        result = session.run(
+            repro.CharacterizeJob(
+                operator="rca4", pattern=repro.PatternOptions(vectors=64)
+            )
+        )
+        assert isinstance(result.characterization, repro.AdderCharacterization)
+        batch = session.run_batch(
+            [
+                repro.CharacterizeJob(
+                    operator="rca4", pattern=repro.PatternOptions(vectors=64)
+                ),
+                repro.Fig5Job(operator="rca4", supply_voltages=(0.6,), vectors=64),
+            ]
+        )
+        assert isinstance(batch.report, repro.BatchReport)
+        assert batch.report.simulated_units == 0  # session already warm
