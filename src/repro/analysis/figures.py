@@ -18,6 +18,7 @@ from repro.core.calibration import calibrate_probability_table
 from repro.core.characterization import AdderCharacterization, CharacterizationFlow
 from repro.core.metrics import normalized_hamming_distance, signal_to_noise_ratio_db
 from repro.core.modified_adder import ApproximateAdderModel
+from repro.core.resilience import ExecutionPolicy, ExecutionReport
 from repro.core.store import SweepResultStore
 from repro.core.triad import OperatingTriad
 from repro.simulation.patterns import PatternConfig
@@ -59,6 +60,8 @@ def fig5_ber_per_bit(
     jobs: int = 1,
     store: SweepResultStore | None = None,
     flow: CharacterizationFlow | None = None,
+    policy: ExecutionPolicy | None = None,
+    report: ExecutionReport | None = None,
 ) -> list[Fig5Series]:
     """Reproduce Fig. 5: BER distribution over output bits under Vdd scaling.
 
@@ -89,6 +92,8 @@ def fig5_ber_per_bit(
         keep_measurements=False,
         jobs=jobs,
         store=store,
+        policy=policy,
+        report=report,
     )
     return [
         Fig5Series(

@@ -49,6 +49,7 @@ _EXPORTS = {
     "SpeculateJob": "repro.api.jobs",
     "StorePruneJob": "repro.api.jobs",
     "StoreStatsJob": "repro.api.jobs",
+    "StoreVerifyJob": "repro.api.jobs",
     "SynthesizeJob": "repro.api.jobs",
     "Table4Job": "repro.api.jobs",
     "job_from_json": "repro.api.jobs",
@@ -65,6 +66,7 @@ _EXPORTS = {
     "SpeculateResult": "repro.api.results",
     "StorePruneResult": "repro.api.results",
     "StoreStatsResult": "repro.api.results",
+    "StoreVerifyResult": "repro.api.results",
     "SynthesizeResult": "repro.api.results",
     "Table4Result": "repro.api.results",
     # session

@@ -327,6 +327,12 @@ class StoreStatsJob:
 
 
 @dataclasses.dataclass(frozen=True)
+class StoreVerifyJob:
+    """Fsck pass over the session's result store: validate every entry and
+    quarantine the corrupt ones (moved aside, never silently deleted)."""
+
+
+@dataclasses.dataclass(frozen=True)
 class StorePruneJob:
     """Delete oldest store entries until the store fits the limits."""
 
@@ -358,6 +364,7 @@ Job = Union[
     MonteCarloJob,
     FaultSweepJob,
     StoreStatsJob,
+    StoreVerifyJob,
     StorePruneJob,
 ]
 
@@ -373,6 +380,7 @@ JOB_TYPES: dict[str, type] = {
     "montecarlo": MonteCarloJob,
     "faults": FaultSweepJob,
     "store-stats": StoreStatsJob,
+    "store-verify": StoreVerifyJob,
     "store-prune": StorePruneJob,
 }
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Any, Mapping
 
+from repro.core.resilience import FAILURE_ACTIONS, ExecutionPolicy
 from repro.core.store import SweepResultStore
 from repro.simulation.patterns import PATTERN_GENERATORS, PatternConfig
 
@@ -71,20 +72,75 @@ class PatternOptions:
 
 @dataclasses.dataclass(frozen=True)
 class SweepOptions:
-    """Executor policy of a sweep-running job (the ``--jobs`` vocabulary).
+    """Executor policy of a sweep-running job (the ``--jobs`` /
+    ``--shard-timeout`` / ``--max-retries`` / ``--on-worker-failure``
+    vocabulary).
 
     Attributes
     ----------
     jobs:
         Worker processes for the sweep; ``1`` executes in-process.  Results
-        are bit-identical for every value.
+        are bit-identical for every value -- and for every fault-recovery
+        path the resilience fields below can trigger.
+    shard_timeout:
+        Per-shard wall-clock budget in seconds; a shard running past it is
+        failed and retried per the policy.  ``None`` disables the timeout.
+    max_retries:
+        Failed attempts a shard may retry before falling back to trusted
+        in-process execution.  ``None`` keeps the engine default.
+    on_worker_failure:
+        Failure action (one of :data:`repro.core.resilience.FAILURE_ACTIONS`:
+        ``retry``, ``split-and-retry``, ``serial-fallback``, ``fail``).
+        ``None`` keeps the engine default (``retry``).
     """
 
     jobs: int = 1
+    shard_timeout: float | None = None
+    max_retries: int | None = None
+    on_worker_failure: str | None = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if self.shard_timeout is not None and self.shard_timeout <= 0:
+            raise ValueError("shard_timeout must be positive (or None)")
+        if self.max_retries is not None and self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative (or None)")
+        if (
+            self.on_worker_failure is not None
+            and self.on_worker_failure not in FAILURE_ACTIONS
+        ):
+            raise ValueError(
+                f"unknown failure action {self.on_worker_failure!r}; "
+                f"available: {', '.join(FAILURE_ACTIONS)}"
+            )
+
+    def policy(self) -> ExecutionPolicy | None:
+        """Lower the resilience fields to an :class:`ExecutionPolicy`.
+
+        ``None`` when every field keeps its default -- callers then inherit
+        the session or engine default policy instead of overriding it.
+        """
+        if (
+            self.shard_timeout is None
+            and self.max_retries is None
+            and self.on_worker_failure is None
+        ):
+            return None
+        defaults = ExecutionPolicy()
+        return ExecutionPolicy(
+            max_retries=(
+                defaults.max_retries
+                if self.max_retries is None
+                else self.max_retries
+            ),
+            shard_timeout_s=self.shard_timeout,
+            on_failure=(
+                defaults.on_failure
+                if self.on_worker_failure is None
+                else self.on_worker_failure
+            ),
+        )
 
     def to_json(self) -> dict[str, Any]:
         """JSON-serialisable representation."""

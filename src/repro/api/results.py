@@ -7,6 +7,14 @@ CLI is a thin adapter: parse args, build job, ``session.run``, print
 ``result.render()``), and ``to_json()`` serialises the structured data for
 downstream tooling (the CLI's ``--json`` mode), so nothing ever needs to
 scrape the tables.
+
+Results of sweep-running jobs additionally carry an optional
+:class:`~repro.core.resilience.ExecutionReport` in their ``execution``
+field -- the fault-recovery accounting of the run (retries, requeues,
+fallbacks, recovered shards, wall time lost).  It is deliberately *not*
+part of ``render()`` or ``to_json()``: rendered tables and JSON documents
+stay byte-identical whether or not faults were recovered (the CLI prints a
+faulted report to stderr instead).
 """
 
 from __future__ import annotations
@@ -39,7 +47,8 @@ from repro.core.carry_model import CarryProbabilityTable
 from repro.core.characterization import AdderCharacterization, TriadCharacterization
 from repro.core.dataset import characterization_to_dict
 from repro.core.energy import EfficiencySummary
-from repro.core.store import StoreDiskStats
+from repro.core.resilience import ExecutionReport
+from repro.core.store import StoreDiskStats, StoreVerifyReport
 from repro.core.triad import OperatingTriad
 from repro.explore.search import SearchResult
 from repro.simulation.fault_injection import FaultSimulationResult
@@ -74,6 +83,7 @@ class CharacterizeResult:
 
     characterization: AdderCharacterization
     output: str | None = None
+    execution: ExecutionReport | None = None
 
     def render(self) -> str:
         """The Fig. 8 series table (plus the save note when persisted)."""
@@ -97,6 +107,7 @@ class Table4Result:
 
     characterizations: dict[str, AdderCharacterization]
     summaries: dict[str, list[EfficiencySummary]]
+    execution: ExecutionReport | None = None
 
     def render(self) -> str:
         """The Table IV text table."""
@@ -119,6 +130,7 @@ class Fig5Result:
     operator: str
     width: int
     series: tuple[Fig5Series, ...]
+    execution: ExecutionReport | None = None
 
     def render(self) -> str:
         """The per-bit BER text table (one row per supply voltage)."""
@@ -147,6 +159,7 @@ class CalibrateResult:
     table: CarryProbabilityTable
     mean_best_distance: float
     output: str | None = None
+    execution: ExecutionReport | None = None
 
     def render(self) -> str:
         """The calibration summary line (plus the save note when persisted)."""
@@ -221,6 +234,7 @@ class ExploreResult:
     ranked: tuple[RankedConfiguration, ...]
     notes: tuple[str, ...] = ()
     frontier_path: str | None = None
+    execution: ExecutionReport | None = None
 
     def render(self) -> str:
         """Notes, run summary, frontier table and ranked-configuration table."""
@@ -271,6 +285,7 @@ class MonteCarloResult:
     n_vectors: int
     margin: float
     results: tuple[TriadVariationResult, ...]
+    execution: ExecutionReport | None = None
 
     def render(self) -> str:
         """Run header, distribution table, and yield-vs-Vdd series."""
@@ -323,6 +338,7 @@ class FaultSweepResult:
     n_vectors: int
     results: tuple[FaultSimulationResult, ...]
     summary: FaultCoverageSummary
+    execution: ExecutionReport | None = None
 
     def render(self) -> str:
         """The campaign coverage report."""
@@ -355,6 +371,7 @@ class StoreStatsResult:
 
     root: str
     stats: StoreDiskStats
+    io_errors: int = 0
 
     def render(self) -> str:
         """The ``repro store stats`` report."""
@@ -366,11 +383,43 @@ class StoreStatsResult:
         if self.stats.entries:
             span = (self.stats.newest_mtime or 0.0) - (self.stats.oldest_mtime or 0.0)
             lines.append(f"age span   : {span:.0f} s between oldest and newest entry")
+        if self.stats.quarantined:
+            lines.append(f"quarantined: {self.stats.quarantined} corrupt entries")
+        if self.io_errors:
+            lines.append(f"io errors  : {self.io_errors}")
         return "\n".join(lines)
 
     def to_json(self) -> dict[str, Any]:
         """Structured store statistics."""
-        return {"root": self.root, **dataclasses.asdict(self.stats)}
+        return {
+            "root": self.root,
+            **dataclasses.asdict(self.stats),
+            "io_errors": self.io_errors,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class StoreVerifyResult:
+    """Outcome of an fsck pass over the result store."""
+
+    root: str
+    report: StoreVerifyReport
+
+    def render(self) -> str:
+        """The ``repro store verify`` report."""
+        lines = [
+            f"store root : {self.root}",
+            f"scanned    : {self.report.scanned}",
+            f"valid      : {self.report.valid}",
+            f"quarantined: {self.report.quarantined}",
+        ]
+        if self.report.io_errors:
+            lines.append(f"io errors  : {self.report.io_errors}")
+        return "\n".join(lines)
+
+    def to_json(self) -> dict[str, Any]:
+        """Structured verification outcome."""
+        return {"root": self.root, **dataclasses.asdict(self.report)}
 
 
 @dataclasses.dataclass(frozen=True)

@@ -45,6 +45,7 @@ from repro.api.jobs import (
     SpeculateJob,
     StorePruneJob,
     StoreStatsJob,
+    StoreVerifyJob,
     SynthesizeJob,
     Table4Job,
 )
@@ -59,6 +60,7 @@ from repro.api.results import (
     SpeculateResult,
     StorePruneResult,
     StoreStatsResult,
+    StoreVerifyResult,
     SynthesizeResult,
     Table4Result,
 )
@@ -72,6 +74,11 @@ from repro.core.dataset import (
     save_probability_table,
 )
 from repro.core.energy import summarize_by_ber_range
+from repro.core.resilience import (
+    ExecutionPolicy,
+    ExecutionReport,
+    ShardExecutionError,
+)
 from repro.core.speculation import DynamicSpeculationController
 from repro.core.store import MemoryOverlayStore, SweepResultStore
 from repro.core.triad import OperatingTriad, TriadGrid
@@ -139,14 +146,23 @@ class BatchReport:
     deduped_units: int
     cache_hits: int
     simulated_units: int
+    execution: ExecutionReport | None = None
 
     def render(self) -> str:
-        """One-line summary (printed by ``repro batch``)."""
-        return (
+        """One-line summary (printed by ``repro batch``).
+
+        A second line reports the merged fault-recovery accounting of the
+        whole batch -- only when any sweep actually recovered from faults,
+        so fault-free output stays byte-stable.
+        """
+        line = (
             f"batch: {self.jobs} jobs, {self.planned_units} planned sweep "
             f"units, {self.deduped_units} deduped, {self.cache_hits} warm "
             f"from store, {self.simulated_units} simulated"
         )
+        if self.execution is not None and self.execution.faulted:
+            return line + "\n" + self.execution.render()
+        return line
 
 
 @dataclasses.dataclass(frozen=True)
@@ -166,6 +182,7 @@ class _SweepRequest:
     triads: tuple[OperatingTriad, ...]
     keep_latched: bool
     jobs: int
+    policy: ExecutionPolicy | None = None
 
 
 class _MergedSweep:
@@ -182,6 +199,7 @@ class _MergedSweep:
         self.pattern = pattern
         self.triads: dict[str, tuple[OperatingTriad, bool]] = {}  # key -> (triad, keep)
         self.jobs = 1
+        self.policy: ExecutionPolicy | None = None
 
 
 class Session:
@@ -208,6 +226,11 @@ class Session:
     sta_margin:
         Clock-path pessimism factor of every characterization flow (see
         :class:`~repro.core.characterization.CharacterizationFlow`).
+    policy:
+        Default fault-tolerance :class:`~repro.core.resilience.ExecutionPolicy`
+        for sweep-running jobs that do not override it through their
+        :class:`~repro.api.options.SweepOptions`; ``None`` keeps the engine
+        default (retry twice, no shard timeout).
     """
 
     def __init__(
@@ -217,12 +240,14 @@ class Session:
         store: SweepResultStore | str | pathlib.Path | None = DEFAULT_STORE,
         jobs: int = 1,
         sta_margin: float = 1.5,
+        policy: ExecutionPolicy | None = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self._library = library
         self._default_jobs = jobs
         self._sta_margin = sta_margin
+        self._policy = policy
         if store == DEFAULT_STORE:
             backing: SweepResultStore | None = SweepResultStore.default()
         elif store is None or isinstance(store, SweepResultStore):
@@ -242,6 +267,7 @@ class Session:
         jobs: int = 1,
         library: StandardCellLibrary = DEFAULT_LIBRARY,
         sta_margin: float = 1.5,
+        policy: ExecutionPolicy | None = None,
     ) -> "Session":
         """Build a session from the shared :class:`StoreOptions` vocabulary."""
         options = store or StoreOptions()
@@ -250,6 +276,7 @@ class Session:
             store=options.resolve(),
             jobs=jobs,
             sta_margin=sta_margin,
+            policy=policy,
         )
 
     # -- substrate -------------------------------------------------------------
@@ -289,6 +316,13 @@ class Session:
         sweep = getattr(job, "sweep", None)
         return sweep.jobs if sweep is not None else self._default_jobs
 
+    def _policy_for(self, job: Any) -> ExecutionPolicy | None:
+        """The job's execution policy: its SweepOptions override, else the
+        session default (``None`` lets the engine default apply)."""
+        sweep = getattr(job, "sweep", None)
+        override = sweep.policy() if sweep is not None else None
+        return override if override is not None else self._policy
+
     def _require_store(self) -> SweepResultStore:
         store = self._view.backing
         if store is None:
@@ -300,12 +334,21 @@ class Session:
     # -- single-job execution --------------------------------------------------
 
     def run(self, job: Job) -> Any:
-        """Run one job and return its typed result."""
+        """Run one job and return its typed result.
+
+        A sweep that exhausts its fault-recovery options
+        (:class:`~repro.core.resilience.ShardExecutionError`) surfaces as a
+        :class:`SessionError`: the caller chose the policy (e.g.
+        ``on_worker_failure="fail"``), so the failure is theirs to handle.
+        """
         try:
             handler = _HANDLERS[type(job)]
         except KeyError:
             raise TypeError(f"unknown job type {type(job).__name__!r}") from None
-        return handler(self, job)
+        try:
+            return handler(self, job)
+        except ShardExecutionError as error:
+            raise SessionError(f"sweep execution failed: {error}") from None
 
     def _run_synthesize(self, job: SynthesizeJob) -> SynthesizeResult:
         # Synthesis only needs the netlists: build them directly instead of
@@ -320,16 +363,19 @@ class Session:
     def _run_characterize(self, job: CharacterizeJob) -> CharacterizeResult:
         spec = job.spec
         flow = self.flow_for(spec)
+        report = ExecutionReport()
         characterization = flow.run(
             pattern=job.pattern.config(spec.width),
             keep_measurements=job.keep_measurements,
             jobs=self._jobs_for(job),
             store=self._view,
+            policy=self._policy_for(job),
+            report=report,
         )
         if job.output:
             save_characterization(characterization, job.output)
         return CharacterizeResult(
-            characterization=characterization, output=job.output
+            characterization=characterization, output=job.output, execution=report
         )
 
     @staticmethod
@@ -358,6 +404,7 @@ class Session:
 
     def _run_table4(self, job: Table4Job) -> Table4Result:
         characterizations = {}
+        report = ExecutionReport()
         for entry in job.datasets:
             kind = self._classify_dataset(entry)
             if kind == "file":
@@ -380,6 +427,8 @@ class Session:
                     keep_measurements=False,
                     jobs=self._jobs_for(job),
                     store=self._view,
+                    policy=self._policy_for(job),
+                    report=report,
                 )
             characterizations[characterization.adder_name] = characterization
         summaries = {
@@ -387,11 +436,14 @@ class Session:
             for name, characterization in characterizations.items()
         }
         return Table4Result(
-            characterizations=characterizations, summaries=summaries
+            characterizations=characterizations,
+            summaries=summaries,
+            execution=report,
         )
 
     def _run_fig5(self, job: Fig5Job) -> Fig5Result:
         spec = job.spec
+        report = ExecutionReport()
         series = fig5_ber_per_bit(
             supply_voltages=tuple(job.supply_voltages),
             n_vectors=job.vectors,
@@ -400,20 +452,28 @@ class Session:
             jobs=self._jobs_for(job),
             store=self._view,
             flow=self.flow_for(spec),
+            policy=self._policy_for(job),
+            report=report,
         )
         return Fig5Result(
-            operator=spec.name, width=spec.width, series=tuple(series)
+            operator=spec.name,
+            width=spec.width,
+            series=tuple(series),
+            execution=report,
         )
 
     def _run_calibrate(self, job: CalibrateJob) -> CalibrateResult:
         spec = job.spec
         flow = self.flow_for(spec)
         triad = job.triad()
+        report = ExecutionReport()
         characterization = flow.run(
             triads=[triad],
             pattern=job.pattern.config(spec.width),
             jobs=self._jobs_for(job),
             store=self._view,
+            policy=self._policy_for(job),
+            report=report,
         )
         entry = characterization.results[0]
         measurement = characterization.measurement_for(triad)
@@ -431,6 +491,7 @@ class Session:
             table=calibration.table,
             mean_best_distance=calibration.mean_best_distance,
             output=job.output,
+            execution=report,
         )
 
     def _run_speculate(self, job: SpeculateJob) -> SpeculateResult:
@@ -463,6 +524,7 @@ class Session:
         )
         if drop_note:
             notes.append(drop_note)
+        report = ExecutionReport()
         evaluator = CandidateEvaluator(
             space,
             library=self._library,
@@ -474,6 +536,8 @@ class Session:
             robust_quantile=(
                 job.robust_quantile if job.robust_quantile is not None else 0.95
             ),
+            policy=self._policy_for(job),
+            report=report,
         )
         result = run_search(
             space,
@@ -495,6 +559,7 @@ class Session:
             ranked=tuple(ranked),
             notes=tuple(notes),
             frontier_path=job.frontier,
+            execution=report,
         )
 
     @staticmethod
@@ -548,6 +613,7 @@ class Session:
         pattern = job.pattern.config(spec.width)
         grid = supply_scaling_grid(flow, tuple(job.supply_voltages))
         in1, in2 = generate_patterns(pattern)
+        report = ExecutionReport()
         results = run_montecarlo_sweep(
             flow.adder,
             grid,
@@ -558,6 +624,8 @@ class Session:
             library=self._library,
             jobs=self._jobs_for(job),
             store=self._view,
+            policy=self._policy_for(job),
+            report=report,
         )
         return MonteCarloResult(
             operator=flow.adder.name,
@@ -565,6 +633,7 @@ class Session:
             n_vectors=pattern.n_vectors,
             margin=job.margin,
             results=tuple(results),
+            execution=report,
         )
 
     def _run_faults(self, job: FaultSweepJob) -> FaultSweepResult:
@@ -572,6 +641,7 @@ class Session:
         circuit = self.flow_for(spec).adder
         pattern = job.pattern.config(spec.width)
         in1, in2 = generate_patterns(pattern)
+        report = ExecutionReport()
         results = sweep_module.run_fault_sweep(
             circuit,
             in1,
@@ -579,17 +649,28 @@ class Session:
             sweep_module.pattern_stimulus(pattern),
             jobs=self._jobs_for(job),
             store=self._view,
+            policy=self._policy_for(job),
+            report=report,
         )
         return FaultSweepResult(
             operator=circuit.name,
             n_vectors=pattern.n_vectors,
             results=tuple(results),
             summary=summarize_fault_results(results),
+            execution=report,
         )
 
     def _run_store_stats(self, job: StoreStatsJob) -> StoreStatsResult:
         store = self._require_store()
-        return StoreStatsResult(root=str(store.root), stats=store.disk_stats())
+        return StoreStatsResult(
+            root=str(store.root),
+            stats=store.disk_stats(),
+            io_errors=store.stats.io_errors,
+        )
+
+    def _run_store_verify(self, job: StoreVerifyJob) -> StoreVerifyResult:
+        store = self._require_store()
+        return StoreVerifyResult(root=str(store.root), report=store.verify())
 
     def _run_store_prune(self, job: StorePruneJob) -> StorePruneResult:
         store = self._require_store()
@@ -615,14 +696,20 @@ class Session:
         if not job_list:
             raise ValueError("run_batch needs at least one job")
         start = sweep_module.simulated_unit_count()
-        planned, deduped, cache_hits = self._execute_plan(job_list)
+        execution = ExecutionReport()
+        planned, deduped, cache_hits = self._execute_plan(job_list, execution)
         results = tuple(self.run(job) for job in job_list)
+        for result in results:
+            sub_report = getattr(result, "execution", None)
+            if sub_report is not None:
+                execution.merge(sub_report)
         report = BatchReport(
             jobs=len(job_list),
             planned_units=planned,
             deduped_units=deduped,
             cache_hits=cache_hits,
             simulated_units=sweep_module.simulated_unit_count() - start,
+            execution=execution,
         )
         return BatchResult(results=results, report=report)
 
@@ -635,6 +722,7 @@ class Session:
         through the shared session overlay at execution time instead.
         """
         worker_count = self._jobs_for(job)
+        job_policy = self._policy_for(job)
         if isinstance(job, CharacterizeJob):
             spec = job.spec
             flow = self.flow_for(spec)
@@ -645,6 +733,7 @@ class Session:
                     triads=tuple(flow.default_triad_grid()),
                     keep_latched=job.keep_measurements,
                     jobs=worker_count,
+                    policy=job_policy,
                 )
             ]
         if isinstance(job, Fig5Job):
@@ -666,6 +755,7 @@ class Session:
                     ),
                     keep_latched=False,
                     jobs=worker_count,
+                    policy=job_policy,
                 )
             ]
         if isinstance(job, Table4Job):
@@ -690,6 +780,7 @@ class Session:
                         triads=tuple(flow.default_triad_grid()),
                         keep_latched=False,
                         jobs=worker_count,
+                        policy=job_policy,
                     )
                 )
             return requests
@@ -702,14 +793,21 @@ class Session:
                     triads=(job.triad(),),
                     keep_latched=True,
                     jobs=worker_count,
+                    policy=job_policy,
                 )
             ]
         return []
 
-    def _execute_plan(self, jobs: Sequence[Job]) -> tuple[int, int, int]:
+    def _execute_plan(
+        self, jobs: Sequence[Job], report: ExecutionReport | None = None
+    ) -> tuple[int, int, int]:
         """Dedup the jobs' sweep units and pre-run the cold union.
 
-        Returns ``(planned_units, deduped_units, cache_hits)``.
+        Each merged group runs under the policy of the first contributing
+        request (requests already fold in the session default), and the
+        optional ``report`` accumulates fault-recovery accounting across
+        every pre-run group.  Returns ``(planned_units, deduped_units,
+        cache_hits)``.
         """
         base_cache: dict[tuple[OperatorSpec, PatternConfig], Mapping[str, Any]] = {}
         merged: dict[str, _MergedSweep] = {}
@@ -733,6 +831,8 @@ class Session:
                     group = _MergedSweep(request.spec, request.pattern)
                     merged[group_key] = group
                 group.jobs = max(group.jobs, request.jobs)
+                if group.policy is None:
+                    group.policy = request.policy
                 for triad in request.triads:
                     planned += 1
                     key = sweep_module.characterization_entry_key(base, triad)
@@ -772,6 +872,8 @@ class Session:
                     store=self._view,
                     keep_latched=keep_latched,
                     testbench=flow.testbench,
+                    policy=group.policy,
+                    report=report,
                 )
         return planned, deduped, cache_hits
 
@@ -787,5 +889,6 @@ _HANDLERS = {
     MonteCarloJob: Session._run_montecarlo,
     FaultSweepJob: Session._run_faults,
     StoreStatsJob: Session._run_store_stats,
+    StoreVerifyJob: Session._run_store_verify,
     StorePruneJob: Session._run_store_prune,
 }

@@ -26,8 +26,9 @@ prints the typed result's rendering.  The commands:
   (coverage and highest-impact faults),
 * ``repro batch``           -- run a JSON job-spec file through one session:
   sweep work units shared between jobs are deduplicated and simulated once,
-* ``repro store``           -- inspect (``stats``) and bound (``prune``) the
-  on-disk sweep result store.
+* ``repro store``           -- inspect (``stats``), verify (``verify``: fsck
+  pass quarantining corrupt entries) and bound (``prune``) the on-disk
+  sweep result store.
 
 Sweep-running commands (``characterize``, ``fig5``, ``table4``,
 ``calibrate``, ``explore``, ``montecarlo``, ``faults``, ``batch``) execute
@@ -37,6 +38,16 @@ persisted in a content-addressed result store (``--cache-dir``, default
 ``$REPRO_CACHE_DIR`` or ``~/.cache/repro/sweeps``; disable with
 ``--no-cache``), so repeated invocations skip the timing simulation.
 Results are bit-identical whatever the job count or cache state.
+
+Sharded sweeps run on the fault-tolerant executor of
+:mod:`repro.core.resilience`: ``--shard-timeout`` bounds each shard's
+wall-clock, ``--max-retries`` bounds re-submission of crashed / timed-out /
+corrupt shards, and ``--on-worker-failure`` picks the recovery action
+(``retry``, ``split-and-retry``, ``serial-fallback``, ``fail``).  When a
+sweep recovered from faults, a one-line execution report goes to stderr --
+stdout stays byte-identical to a fault-free run.  Ctrl-C exits cleanly with
+status 130; completed shards are already persisted, so the rerun resumes
+warm.
 
 ``characterize``, ``table4``, ``fig5``, ``montecarlo`` and ``faults``
 accept ``--json`` to emit the typed result object as JSON instead of the
@@ -65,6 +76,7 @@ from repro.api.jobs import (
     SpeculateJob,
     StorePruneJob,
     StoreStatsJob,
+    StoreVerifyJob,
     SynthesizeJob,
     Table4Job,
     job_type_name,
@@ -73,6 +85,7 @@ from repro.api.jobs import (
 from repro.api.options import PatternOptions, StoreOptions, SweepOptions
 from repro.api.session import Session, SessionError
 from repro.circuits.adders import ADDER_GENERATORS
+from repro.core.resilience import FAILURE_ACTIONS
 from repro.explore.search import SEARCH_STRATEGIES
 from repro.simulation.patterns import PATTERN_GENERATORS
 from repro.core.triad import PAPER_SUPPLY_VOLTAGES
@@ -327,6 +340,10 @@ def build_parser() -> argparse.ArgumentParser:
         "stats", help="entry count and on-disk footprint of the store"
     )
     _add_store_dir_argument(store_stats)
+    store_verify = store_commands.add_parser(
+        "verify", help="fsck pass: validate every entry, quarantine corrupt ones"
+    )
+    _add_store_dir_argument(store_verify)
     store_prune = store_commands.add_parser(
         "prune", help="delete oldest entries until the store fits the limits"
     )
@@ -376,6 +393,27 @@ def _add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=1,
         help="worker processes for the sweep (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        help="per-shard wall-clock budget in seconds; a shard running past "
+        "it is failed and retried per --on-worker-failure (default: none)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        help="failed attempts per shard before falling back to in-process "
+        "execution (default: 2)",
+    )
+    parser.add_argument(
+        "--on-worker-failure",
+        choices=FAILURE_ACTIONS,
+        default=None,
+        help="recovery action for crashed / timed-out / corrupt shards "
+        "(default: retry)",
     )
     _add_store_dir_argument(parser)
     parser.add_argument(
@@ -427,13 +465,23 @@ def _session(args: argparse.Namespace) -> Session:
             no_cache=getattr(args, "no_cache", False),
         )
     )
+    policy = _sweep_options(args).policy()
     return _checked(
-        lambda: Session.from_options(options, jobs=getattr(args, "jobs", 1))
+        lambda: Session.from_options(
+            options, jobs=getattr(args, "jobs", 1), policy=policy
+        )
     )
 
 
 def _sweep_options(args: argparse.Namespace) -> SweepOptions:
-    return _checked(lambda: SweepOptions(jobs=getattr(args, "jobs", 1)))
+    return _checked(
+        lambda: SweepOptions(
+            jobs=getattr(args, "jobs", 1),
+            shard_timeout=getattr(args, "shard_timeout", None),
+            max_retries=getattr(args, "max_retries", None),
+            on_worker_failure=getattr(args, "on_worker_failure", None),
+        )
+    )
 
 
 def _pattern_options(args: argparse.Namespace) -> PatternOptions:
@@ -441,7 +489,15 @@ def _pattern_options(args: argparse.Namespace) -> PatternOptions:
 
 
 def _emit(args: argparse.Namespace, result: Any) -> int:
-    """Print a typed result: rendered text, or JSON under ``--json``."""
+    """Print a typed result: rendered text, or JSON under ``--json``.
+
+    A fault-recovery execution report, when the run has one with actual
+    faults, goes to stderr -- stdout stays byte-identical to a fault-free
+    run in both output modes.
+    """
+    execution = getattr(result, "execution", None)
+    if execution is not None and execution.faulted:
+        print(execution.render(), file=sys.stderr)
     if getattr(args, "json", False):
         print(json.dumps(result.to_json(), indent=2))
     else:
@@ -606,6 +662,8 @@ def _command_batch(args: argparse.Namespace) -> int:
 def _command_store(args: argparse.Namespace) -> int:
     if args.store_command == "stats":
         job: Job = StoreStatsJob()
+    elif args.store_command == "verify":
+        job = StoreVerifyJob()
     else:  # store_command == "prune" (the subparser enforces the choice)
         job = _checked(
             lambda: StorePruneJob(
@@ -633,10 +691,24 @@ _COMMANDS = {
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Ctrl-C exits with the conventional status 130 (128 + SIGINT) and a
+    one-line note instead of a traceback; shards completed before the
+    interrupt are already persisted in the result store, so rerunning the
+    same command resumes warm.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except KeyboardInterrupt:
+        print(
+            "interrupted; completed sweep shards are persisted -- rerun to "
+            "resume warm",
+            file=sys.stderr,
+        )
+        return 130
 
 
 if __name__ == "__main__":

@@ -18,11 +18,13 @@ import numpy as np
 
 from repro.circuits.adders import AdderCircuit, build_adder
 from repro.core import sweep as sweep_module
+from repro.core.resilience import ExecutionPolicy, ExecutionReport
 from repro.core.store import SweepResultStore
 from repro.core.triad import OperatingTriad, TriadGrid, matched_triad_grid
 from repro.simulation.patterns import PatternConfig, generate_patterns
 from repro.simulation.testbench import AdderTestbench, TriadMeasurement
 from repro.technology.library import DEFAULT_LIBRARY, StandardCellLibrary
+from repro.testing.chaos import ChaosPlan
 
 
 @dataclasses.dataclass(frozen=True)
@@ -277,6 +279,9 @@ class CharacterizationFlow:
         use_reference: bool = False,
         jobs: int = 1,
         store: SweepResultStore | None = None,
+        policy: ExecutionPolicy | None = None,
+        chaos: ChaosPlan | None = None,
+        report: ExecutionReport | None = None,
     ) -> AdderCharacterization:
         """Characterize the adder over a triad grid.
 
@@ -310,6 +315,16 @@ class CharacterizationFlow:
         store:
             Optional :class:`~repro.core.store.SweepResultStore`; completed
             triads are fetched from / persisted to it.
+        policy:
+            Optional :class:`~repro.core.resilience.ExecutionPolicy`
+            governing retries / timeouts / failure action of the sharded
+            sweep.
+        chaos:
+            Optional :class:`~repro.testing.chaos.ChaosPlan` for
+            deterministic fault injection (tests and chaos CI only).
+        report:
+            Optional :class:`~repro.core.resilience.ExecutionReport` the
+            sweep's recovery accounting is accumulated into.
         """
         grid = self._resolve_grid(triads)
         if operands is not None:
@@ -352,6 +367,9 @@ class CharacterizationFlow:
                 store=store,
                 keep_latched=keep_measurements,
                 testbench=self._testbench,
+                policy=policy,
+                chaos=chaos,
+                report=report,
             )
 
         results = [entry_from_payload(payload) for payload in payloads]

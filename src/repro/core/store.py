@@ -21,8 +21,15 @@ Design points:
   prefix.  Writes are atomic (temp file + rename) so concurrent sweeps can
   share one store.
 * **Corruption tolerance.**  A truncated/garbled entry is detected on read,
-  deleted, and treated as a miss; any OS-level error degrades to a miss as
-  well, so a broken cache can never fail a sweep.
+  quarantined (moved aside under ``quarantine/``, never silently deleted --
+  the bytes stay available for diagnosis), and treated as a miss; any
+  OS-level error degrades to a miss as well, so a broken cache can never
+  fail a sweep.  Unlike a plain missing file, real I/O errors are counted
+  in :attr:`StoreStats.io_errors` so silent degradation is observable in
+  ``store stats``, and :meth:`SweepResultStore.verify` offers an explicit
+  fsck pass over every entry (``store verify``).  All directory walks are
+  ENOENT-tolerant: entries deleted by a concurrent session between listing
+  and stat/unlink are simply skipped.
 """
 
 from __future__ import annotations
@@ -146,12 +153,26 @@ def decode_float64_array(text: str) -> np.ndarray:
 
 @dataclasses.dataclass
 class StoreStats:
-    """Hit/miss counters of one store instance (not persisted)."""
+    """Hit/miss counters of one store instance (not persisted).
+
+    ``io_errors`` counts OS-level failures that silently degraded an
+    operation (an unwritable ``put``, an unreadable entry, a failed
+    quarantine move) -- *not* ordinary misses or files that vanished under
+    a concurrent session, which are normal operation.
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
     corrupt: int = 0
+    io_errors: int = 0
+
+
+#: Subdirectory corrupt entries are moved into (never globbed as entries).
+QUARANTINE_DIR = "quarantine"
+
+#: Filename suffix of quarantined entries.
+QUARANTINE_SUFFIX = ".quarantined"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -167,12 +188,38 @@ class StoreDiskStats:
     oldest_mtime / newest_mtime:
         Modification-time range of the entries (Unix seconds), or ``None``
         for an empty store.
+    quarantined:
+        Corrupt entries moved aside into the quarantine directory.
     """
 
     entries: int
     total_bytes: int
     oldest_mtime: float | None
     newest_mtime: float | None
+    quarantined: int = 0
+
+
+@dataclasses.dataclass(frozen=True)
+class StoreVerifyReport:
+    """Outcome of a :meth:`SweepResultStore.verify` fsck pass.
+
+    Attributes
+    ----------
+    scanned:
+        Entry files examined.
+    valid:
+        Entries that parsed and matched their key.
+    quarantined:
+        Corrupt entries moved into the quarantine directory by this pass.
+    io_errors:
+        Entries that could not be read (or moved) due to OS-level errors;
+        files that vanished concurrently are skipped and counted nowhere.
+    """
+
+    scanned: int
+    valid: int
+    quarantined: int
+    io_errors: int
 
 
 class SweepResultStore:
@@ -218,32 +265,62 @@ class SweepResultStore:
     def _entry_path(self, key: str) -> pathlib.Path:
         return self._root / key[:2] / f"{key}.json"
 
+    def _quarantine(self, path: pathlib.Path) -> bool:
+        """Move a corrupt entry aside (keeping its bytes for diagnosis).
+
+        The quarantine directory sits outside the ``*/*.json`` entry glob
+        and the files gain a non-``.json`` suffix, so quarantined entries
+        are invisible to lookups, stats and prune.  Returns whether the
+        entry is out of the way (moved, or already gone).
+        """
+        target = self._root / QUARANTINE_DIR / (path.name + QUARANTINE_SUFFIX)
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+            return True
+        except FileNotFoundError:
+            return True
+        except OSError:
+            pass
+        # Quarantine failed (e.g. read-only directory): deleting is still
+        # better than re-reading garbage forever.
+        try:
+            path.unlink()
+            return True
+        except FileNotFoundError:
+            return True
+        except OSError:
+            self.stats.io_errors += 1
+            return False
+
     def get(self, key: str) -> dict[str, Any] | None:
         """Fetch an entry payload, or ``None`` on miss.
 
-        A corrupted entry (unreadable JSON, wrong shape) is deleted and
-        reported as a miss; OS-level errors also degrade to a miss so a
-        broken cache never fails the sweep.
+        A corrupted entry (unreadable JSON, wrong shape) is quarantined and
+        reported as a miss; OS-level errors also degrade to a miss -- counted
+        in :attr:`StoreStats.io_errors` -- so a broken cache never fails the
+        sweep.
         """
         path = self._entry_path(key)
         try:
             text = path.read_text(encoding="utf-8")
-        except OSError:
-            # Missing entry and unreadable cache look the same: a miss.
+        except FileNotFoundError:
             self.stats.misses += 1
+            return None
+        except OSError:
+            # Unreadable cache degrades to a miss, but observably so.
+            self.stats.misses += 1
+            self.stats.io_errors += 1
             return None
         try:
             payload = json.loads(text)
             if not isinstance(payload, dict) or payload.get("key") != key:
                 raise ValueError("entry does not match its key")
         except (ValueError, TypeError):
-            # Corrupted entry: drop it and recompute.
+            # Corrupted entry: move it aside and recompute.
             self.stats.corrupt += 1
             self.stats.misses += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            self._quarantine(path)
             return None
         self.stats.hits += 1
         # The embedded key is integrity metadata, not part of the payload:
@@ -262,7 +339,9 @@ class SweepResultStore:
             temp.write_text(_canonical_json(document), encoding="utf-8")
             os.replace(temp, path)
         except OSError:
-            # Read-only or full filesystem: run uncached rather than fail.
+            # Read-only or full filesystem: run uncached rather than fail,
+            # but leave a trace in the counters.
+            self.stats.io_errors += 1
             return
         self.stats.stores += 1
 
@@ -280,8 +359,10 @@ class SweepResultStore:
             try:
                 path.unlink()
                 removed += 1
+            except FileNotFoundError:
+                continue
             except OSError:
-                pass
+                self.stats.io_errors += 1
         return removed
 
     def _entry_files(self) -> list[tuple[pathlib.Path, os.stat_result]]:
@@ -292,16 +373,32 @@ class SweepResultStore:
         for path in self._root.glob("*/*.json"):
             try:
                 entries.append((path, path.stat()))
+            except FileNotFoundError:
+                # Deleted by a concurrent session between listing and stat.
+                continue
             except OSError:
+                self.stats.io_errors += 1
                 continue
         return entries
+
+    def quarantined_count(self) -> int:
+        """Number of corrupt entries currently sitting in quarantine."""
+        quarantine = self._root / QUARANTINE_DIR
+        if not quarantine.is_dir():
+            return 0
+        return sum(1 for _ in quarantine.glob(f"*{QUARANTINE_SUFFIX}"))
 
     def disk_stats(self) -> StoreDiskStats:
         """Measure the store's on-disk footprint (``repro store stats``)."""
         files = self._entry_files()
+        quarantined = self.quarantined_count()
         if not files:
             return StoreDiskStats(
-                entries=0, total_bytes=0, oldest_mtime=None, newest_mtime=None
+                entries=0,
+                total_bytes=0,
+                oldest_mtime=None,
+                newest_mtime=None,
+                quarantined=quarantined,
             )
         mtimes = [stat.st_mtime for _, stat in files]
         return StoreDiskStats(
@@ -309,6 +406,55 @@ class SweepResultStore:
             total_bytes=sum(stat.st_size for _, stat in files),
             oldest_mtime=min(mtimes),
             newest_mtime=max(mtimes),
+            quarantined=quarantined,
+        )
+
+    def verify(self) -> StoreVerifyReport:
+        """Fsck pass: validate every entry, quarantining the corrupt ones.
+
+        A valid entry is a JSON document embedding the key its filename
+        claims.  Corrupt entries move into ``quarantine/`` exactly as a
+        read-path detection would move them; entries deleted concurrently
+        are skipped.  The store remains fully usable during and after the
+        pass (``repro store verify``).
+        """
+        scanned = 0
+        valid = 0
+        quarantined = 0
+        io_errors = 0
+        if not self._root.is_dir():
+            return StoreVerifyReport(
+                scanned=0, valid=0, quarantined=0, io_errors=0
+            )
+        for path in sorted(self._root.glob("*/*.json")):
+            try:
+                text = path.read_text(encoding="utf-8")
+            except FileNotFoundError:
+                continue
+            except OSError:
+                scanned += 1
+                io_errors += 1
+                self.stats.io_errors += 1
+                continue
+            scanned += 1
+            key = path.stem
+            try:
+                payload = json.loads(text)
+                if not isinstance(payload, dict) or payload.get("key") != key:
+                    raise ValueError("entry does not match its key")
+            except (ValueError, TypeError):
+                self.stats.corrupt += 1
+                if self._quarantine(path):
+                    quarantined += 1
+                else:
+                    io_errors += 1
+                continue
+            valid += 1
+        return StoreVerifyReport(
+            scanned=scanned,
+            valid=valid,
+            quarantined=quarantined,
+            io_errors=io_errors,
         )
 
     def prune(
@@ -341,7 +487,14 @@ class SweepResultStore:
                 break
             try:
                 path.unlink()
+            except FileNotFoundError:
+                # A concurrent session already deleted it: not our removal,
+                # but it no longer occupies the store either.
+                remaining -= 1
+                remaining_bytes -= stat.st_size
+                continue
             except OSError:
+                self.stats.io_errors += 1
                 continue
             removed += 1
             remaining -= 1

@@ -37,7 +37,6 @@ from __future__ import annotations
 
 import dataclasses
 import re
-from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Mapping, Sequence
 
 import numpy as np
@@ -52,6 +51,7 @@ from repro.circuits.adders import (
 from repro.circuits.multipliers import MultiplierCircuit, array_multiplier
 from repro.circuits.signals import int_to_bits
 from repro.core.metrics import mean_squared_error
+from repro.core.resilience import ExecutionPolicy, ExecutionReport, run_shards
 from repro.core.store import (
     SweepResultStore,
     decode_int64_array,
@@ -72,9 +72,15 @@ from repro.simulation.multiplier_testbench import MultiplierTestbench
 from repro.simulation.patterns import PatternConfig
 from repro.simulation.testbench import AdderTestbench, TriadMeasurement
 from repro.technology.library import DEFAULT_LIBRARY, StandardCellLibrary
+from repro.testing.chaos import ChaosPlan
 
 #: Version of the payload dict layout (part of the stored entries).
 PAYLOAD_VERSION = 1
+
+#: Fault sites simulated between store flushes on the in-process path of
+#: :func:`run_fault_sweep` -- small enough that an interrupted campaign
+#: loses little work, large enough that flushing stays off the profile.
+SERIAL_FAULT_FLUSH_BLOCK = 64
 
 
 # ---------------------------------------------------------------------------
@@ -424,6 +430,57 @@ def _payload_to_fault_result(payload: Mapping[str, Any]) -> FaultSimulationResul
 
 
 # ---------------------------------------------------------------------------
+# Resilience hooks (split / validate callbacks of the shard engine)
+# ---------------------------------------------------------------------------
+
+
+def _split_characterization_shard(
+    task: _CharacterizationShard,
+) -> tuple[_CharacterizationShard, _CharacterizationShard]:
+    """Halve a characterization shard for the ``split-and-retry`` action."""
+    half = len(task.triads) // 2
+    return (
+        dataclasses.replace(task, triads=task.triads[:half]),
+        dataclasses.replace(task, triads=task.triads[half:]),
+    )
+
+
+def _split_fault_shard(task: _FaultShard) -> tuple[_FaultShard, _FaultShard]:
+    """Halve a fault-campaign shard for the ``split-and-retry`` action."""
+    half = len(task.faults) // 2
+    return (
+        dataclasses.replace(task, faults=task.faults[:half]),
+        dataclasses.replace(task, faults=task.faults[half:]),
+    )
+
+
+def _valid_payload_list(result: Any, expected: int) -> bool:
+    """Parent-side shard-result check: one well-versioned payload per unit.
+
+    This is what catches a worker that completed but returned garbage (the
+    chaos harness's ``corrupt`` action, a partially pickled result ...): the
+    engine treats a failing result like any other shard failure.
+    """
+    if not isinstance(result, list) or len(result) != expected:
+        return False
+    return all(
+        isinstance(payload, Mapping)
+        and payload.get("payload_version") == PAYLOAD_VERSION
+        for payload in result
+    )
+
+
+def _validate_characterization_shard(
+    task: _CharacterizationShard, result: Any
+) -> bool:
+    return _valid_payload_list(result, len(task.triads))
+
+
+def _validate_fault_shard(task: _FaultShard, result: Any) -> bool:
+    return _valid_payload_list(result, len(task.faults))
+
+
+# ---------------------------------------------------------------------------
 # Orchestration
 # ---------------------------------------------------------------------------
 
@@ -494,8 +551,11 @@ def run_characterization_sweep(
     store: SweepResultStore | None = None,
     keep_latched: bool = True,
     testbench: Any = None,
+    policy: ExecutionPolicy | None = None,
+    chaos: ChaosPlan | None = None,
+    report: ExecutionReport | None = None,
 ) -> list[dict[str, Any]]:
-    """Characterize a circuit over a triad grid, sharded and cached.
+    """Characterize a circuit over a triad grid, sharded, cached, resilient.
 
     Parameters
     ----------
@@ -514,13 +574,24 @@ def run_characterization_sweep(
         Worker processes; ``1`` executes in-process.  Results are
         bit-identical for every value.
     store:
-        Optional result store; ``None`` disables persistence.
+        Optional result store; ``None`` disables persistence.  Completed
+        shards flush to it the moment they finish (and the in-process path
+        flushes per operating-point group), so a run killed mid-flight
+        resumes warm.
     keep_latched:
         Whether payloads must carry the latched output words (required to
         reconstruct raw measurements).  Cached entries without them are
         recomputed when requested.
     testbench:
         Optional pre-built testbench to reuse for in-process execution.
+    policy:
+        :class:`~repro.core.resilience.ExecutionPolicy` governing retries,
+        per-shard timeouts and the failure action of the sharded path.
+    chaos:
+        Optional deterministic fault-injection plan (tests / chaos CI only).
+    report:
+        Optional :class:`~repro.core.resilience.ExecutionReport` to
+        accumulate recovery accounting into.
 
     Returns
     -------
@@ -561,22 +632,50 @@ def run_characterization_sweep(
                 )
                 for shard in shards
             ]
-            with ProcessPoolExecutor(max_workers=len(tasks)) as pool:
-                shard_payloads = list(pool.map(_run_characterization_shard, tasks))
+            key_by_coords = {
+                (triad.tclk, triad.vdd, triad.vbb): keys[triad]
+                for triad in missing
+            }
+
+            def flush(task: _CharacterizationShard, result: list) -> None:
+                if store is None:
+                    return
+                for coords, payload in zip(task.triads, result):
+                    store.put(key_by_coords[coords], payload)
+
+            shard_payloads = run_shards(
+                tasks,
+                _run_characterization_shard,
+                policy=policy,
+                max_workers=len(tasks),
+                units=lambda task: len(task.triads),
+                split=_split_characterization_shard,
+                validate=_validate_characterization_shard,
+                on_result=flush,
+                chaos=chaos,
+                report=report,
+            )
+            for shard, shard_result in zip(shards, shard_payloads):
+                for triad, payload in zip(shard, shard_result):
+                    payloads[triad] = payload
         else:
             bench = testbench or _make_testbench(circuit, library)
-            shards = [missing]
-            shard_payloads = [
-                [
-                    measurement_to_payload(m, circuit.output_width, keep_latched)
-                    for m in bench.run_sweep(in1_arr, in2_arr, missing)
-                ]
-            ]
-        for shard, shard_result in zip(shards, shard_payloads):
-            for triad, payload in zip(shard, shard_result):
-                payloads[triad] = payload
-                if store is not None:
-                    store.put(keys[triad], payload)
+            # One in-process chunk per (vdd, vbb) group: the sweep-level
+            # reuse lives inside a group, so chunking changes no numbers,
+            # and the per-group store flush makes serial runs exactly as
+            # crash-consistent as sharded ones.
+            groups: dict[tuple[float, float], list[OperatingTriad]] = {}
+            for triad in missing:
+                groups.setdefault((triad.vdd, triad.vbb), []).append(triad)
+            for group in groups.values():
+                measurements = bench.run_sweep(in1_arr, in2_arr, group)
+                for triad, measurement in zip(group, measurements):
+                    payload = measurement_to_payload(
+                        measurement, circuit.output_width, keep_latched
+                    )
+                    payloads[triad] = payload
+                    if store is not None:
+                        store.put(keys[triad], payload)
 
     return [payloads[triad] for triad in grid]
 
@@ -590,6 +689,9 @@ def run_fault_sweep(
     faults: Sequence[StuckAtFault] | None = None,
     jobs: int = 1,
     store: SweepResultStore | None = None,
+    policy: ExecutionPolicy | None = None,
+    chaos: ChaosPlan | None = None,
+    report: ExecutionReport | None = None,
 ) -> list[FaultSimulationResult]:
     """Run a stuck-at fault campaign, sharded over fault sites and cached.
 
@@ -599,6 +701,11 @@ def run_fault_sweep(
     results are stored content-addressed, keyed on (circuit, stimulus,
     fault, engine version) -- the cell library does not enter the key because
     stuck-at simulation is purely functional.
+
+    ``policy`` / ``chaos`` / ``report`` configure and account the
+    fault-tolerant shard engine exactly as in
+    :func:`run_characterization_sweep`; completed shards (and, in-process,
+    fixed-size fault blocks) flush to the store immediately.
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
@@ -645,6 +752,10 @@ def run_fault_sweep(
         chunks = [
             missing_indices[start::n_shards] for start in range(n_shards)
         ]
+        key_by_fault = {
+            (fault_list[i].net, bool(fault_list[i].stuck_value)): keys[i]
+            for i in missing_indices
+        }
         if spec is not None and len(chunks) > 1:
             tasks = [
                 _FaultShard(
@@ -658,27 +769,53 @@ def run_fault_sweep(
                 )
                 for chunk in chunks
             ]
-            with ProcessPoolExecutor(max_workers=len(tasks)) as pool:
-                chunk_payloads = list(pool.map(_run_fault_shard, tasks))
+
+            def flush(task: _FaultShard, result: list) -> None:
+                if store is None:
+                    return
+                for site, payload in zip(task.faults, result):
+                    store.put(
+                        key_by_fault[site], {**payload, "n_vectors": n_vectors}
+                    )
+
+            chunk_payloads = run_shards(
+                tasks,
+                _run_fault_shard,
+                policy=policy,
+                max_workers=len(tasks),
+                units=lambda task: len(task.faults),
+                split=_split_fault_shard,
+                validate=_validate_fault_shard,
+                on_result=flush,
+                chaos=chaos,
+                report=report,
+            )
+            for chunk, chunk_result in zip(chunks, chunk_payloads):
+                for index, payload in zip(chunk, chunk_result):
+                    results[index] = _payload_to_fault_result(payload)
         else:
             simulator = StuckAtFaultSimulator(
                 circuit.netlist, output_ports=circuit.output_ports()
             )
             assignment = circuit.input_assignment(in1_arr, in2_arr)
-            chunks = [missing_indices]
-            chunk_payloads = [
-                [
-                    _fault_result_to_payload(result)
-                    for result in simulator.run(
-                        assignment, [fault_list[i] for i in missing_indices]
-                    )
+            # Fixed-size in-process blocks, flushed to the store as they
+            # complete, so an interrupted serial campaign also resumes warm.
+            for block_start in range(
+                0, len(missing_indices), SERIAL_FAULT_FLUSH_BLOCK
+            ):
+                block = missing_indices[
+                    block_start : block_start + SERIAL_FAULT_FLUSH_BLOCK
                 ]
-            ]
-        for chunk, chunk_result in zip(chunks, chunk_payloads):
-            for index, payload in zip(chunk, chunk_result):
-                payload = {**payload, "n_vectors": n_vectors}
-                results[index] = _payload_to_fault_result(payload)
-                if store is not None:
-                    store.put(keys[index], payload)
+                block_results = simulator.run(
+                    assignment, [fault_list[i] for i in block]
+                )
+                for index, result in zip(block, block_results):
+                    payload = {
+                        **_fault_result_to_payload(result),
+                        "n_vectors": n_vectors,
+                    }
+                    results[index] = _payload_to_fault_result(payload)
+                    if store is not None:
+                        store.put(keys[index], payload)
 
     return [results[index] for index in range(len(fault_list))]

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.core import sweep as sweep_module
 from repro.core.characterization import CharacterizationFlow
+from repro.core.resilience import ExecutionPolicy, ExecutionReport
 from repro.core.store import SweepResultStore
 from repro.core.triad import OperatingTriad
 from repro.explore.frontier import FrontierPoint
@@ -155,6 +156,9 @@ class CandidateEvaluator:
     robust_quantile:
         The BER quantile used for robust scoring (default 0.95 -- "19 of 20
         manufactured dies are at least this good").
+    policy / report:
+        Optional fault-tolerance policy and accounting report threaded
+        through every sharded sweep (see :mod:`repro.core.resilience`).
     """
 
     def __init__(
@@ -168,6 +172,8 @@ class CandidateEvaluator:
         sta_margin: float = 1.5,
         variation: MonteCarloConfig | None = None,
         robust_quantile: float = 0.95,
+        policy: ExecutionPolicy | None = None,
+        report: ExecutionReport | None = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -177,6 +183,8 @@ class CandidateEvaluator:
         self._library = library
         self._jobs = jobs
         self._store = store
+        self._policy = policy
+        self._report = report
         self._pattern_kind = pattern_kind
         self._seed = seed
         self._sta_margin = sta_margin
@@ -232,6 +240,8 @@ class CandidateEvaluator:
             keep_measurements=False,
             jobs=self._jobs,
             store=self._store,
+            policy=self._policy,
+            report=self._report,
         )
         robust = self._robust_scores(flow, grid, config)
         tag = (
@@ -291,6 +301,8 @@ class CandidateEvaluator:
             library=self._library,
             jobs=self._jobs,
             store=self._store,
+            policy=self._policy,
+            report=self._report,
         )
         return {
             result.triad: (

@@ -1,0 +1,14 @@
+"""Test-support harnesses shipped with the library.
+
+The modules here are imported by the test suite and by CI smoke jobs, not by
+the simulation flows themselves -- with one deliberate exception: the
+deterministic fault-injection hooks of :mod:`repro.testing.chaos` are
+consulted by the fault-tolerant shard engine
+(:mod:`repro.core.resilience`), so worker crashes, hangs and corrupted
+payloads can be injected into real sweeps without patching any orchestrator
+code.
+"""
+
+from repro.testing.chaos import ChaosPlan, ChaosRule
+
+__all__ = ["ChaosPlan", "ChaosRule"]

@@ -1,0 +1,183 @@
+"""Deterministic fault injection for the sharded sweep orchestrators.
+
+The paper's speculative circuits keep producing acceptable results while the
+underlying hardware misbehaves; this module gives the *orchestrator* the
+matching test harness.  A :class:`ChaosPlan` is a seedless, fully
+deterministic script of faults -- "the worker executing shard N's K-th
+attempt crashes / hangs past the timeout / returns a corrupted payload" --
+that the fault-tolerant shard engine (:mod:`repro.core.resilience`)
+carries into its worker processes.  Because rules are keyed on the
+``(shard index, attempt)`` pair rather than wall clock or process identity,
+a chaos run is exactly reproducible: the same plan against the same sweep
+produces the same failures, the same recoveries, and (the property the
+tests assert) results byte-identical to a fault-free serial run.
+
+Fault actions
+-------------
+
+``crash``
+    The worker process exits hard (``os._exit``), as an OOM kill or SIGKILL
+    would -- the parent observes ``BrokenProcessPool``.
+``hang``
+    The worker sleeps for ``hang_s`` seconds before completing, which
+    exercises the per-shard timeout and pool-rebuild path.
+``corrupt``
+    The worker completes but returns a deterministically mangled payload,
+    exercising parent-side result validation.
+
+Crash and hang fire **only inside worker processes**: the in-process serial
+fallback is the orchestrator's trusted path of last resort and is never
+sabotaged (a plan that crashed the parent would test nothing).  Corrupt
+rules are likewise suppressed in-process, so a serial fallback always
+produces a clean result.
+
+Plans reach the engine either programmatically (the ``chaos=`` argument of
+:func:`repro.core.resilience.run_shards` and the sweep orchestrators) or --
+for CLI-level smoke tests such as the ``chaos-smoke`` CI job -- through the
+:data:`CHAOS_ENV` environment variable, a JSON list of rule documents::
+
+    REPRO_CHAOS='[{"action": "crash", "shard": 0}]' repro characterize ...
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+from typing import Any, Mapping, Sequence
+
+#: Environment variable carrying a JSON chaos plan into CLI invocations.
+CHAOS_ENV = "REPRO_CHAOS"
+
+#: The supported fault actions.
+CHAOS_ACTIONS = ("crash", "hang", "corrupt")
+
+#: Marker key of a deterministically corrupted payload (what a ``corrupt``
+#: rule turns each result into).  Orchestrator validators reject any payload
+#: carrying it; tests can grep for it.
+CORRUPTION_MARKER = "chaos_corrupted"
+
+#: Exit code of a chaos-crashed worker (distinctive in core dumps/CI logs).
+CRASH_EXIT_CODE = 32
+
+
+@dataclasses.dataclass(frozen=True)
+class ChaosRule:
+    """One scripted fault: sabotage shard ``shard``'s ``attempt``-th try.
+
+    Attributes
+    ----------
+    action:
+        ``"crash"``, ``"hang"`` or ``"corrupt"``.
+    shard:
+        Index of the targeted shard in the engine's original task order
+        (subtasks produced by split-and-retry keep their parent's index).
+    attempt:
+        Which execution attempt of that shard to sabotage (0 = first try).
+    hang_s:
+        Sleep duration of a ``hang`` rule, seconds.  Keep it comfortably
+        above the policy's shard timeout and below forever, so an abandoned
+        worker the engine could not terminate still dies on its own.
+    """
+
+    action: str
+    shard: int
+    attempt: int = 0
+    hang_s: float = 600.0
+
+    def __post_init__(self) -> None:
+        if self.action not in CHAOS_ACTIONS:
+            raise ValueError(
+                f"unknown chaos action {self.action!r}; "
+                f"available: {', '.join(CHAOS_ACTIONS)}"
+            )
+        if self.shard < 0:
+            raise ValueError("shard must be non-negative")
+        if self.attempt < 0:
+            raise ValueError("attempt must be non-negative")
+        if self.hang_s <= 0:
+            raise ValueError("hang_s must be positive")
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON-serialisable representation (the :data:`CHAOS_ENV` format)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "ChaosRule":
+        """Inverse of :meth:`to_json` (unknown keys are rejected)."""
+        names = {field.name for field in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - names)
+        if unknown:
+            raise ValueError(f"unknown ChaosRule field(s): {', '.join(unknown)}")
+        return cls(**dict(data))
+
+
+@dataclasses.dataclass(frozen=True)
+class ChaosPlan:
+    """A deterministic script of faults over one sharded run."""
+
+    rules: tuple[ChaosRule, ...] = ()
+
+    def rule_for(self, shard: int, attempt: int) -> ChaosRule | None:
+        """The first rule targeting ``(shard, attempt)``, or ``None``."""
+        for rule in self.rules:
+            if rule.shard == shard and rule.attempt == attempt:
+                return rule
+        return None
+
+    def __bool__(self) -> bool:
+        return bool(self.rules)
+
+    def to_json(self) -> list[dict[str, Any]]:
+        """JSON-serialisable representation (the :data:`CHAOS_ENV` format)."""
+        return [rule.to_json() for rule in self.rules]
+
+    @classmethod
+    def from_json(cls, data: Sequence[Mapping[str, Any]]) -> "ChaosPlan":
+        """Build a plan from a JSON list of rule documents."""
+        if isinstance(data, (str, bytes)) or isinstance(data, Mapping):
+            raise ValueError("a chaos plan is a JSON list of rule documents")
+        return cls(rules=tuple(ChaosRule.from_json(entry) for entry in data))
+
+    @classmethod
+    def from_env(cls, environ: Mapping[str, str] | None = None) -> "ChaosPlan | None":
+        """The plan configured in :data:`CHAOS_ENV`, or ``None``.
+
+        Malformed JSON raises immediately -- a chaos run that silently
+        injected nothing would make every recovery test vacuous.
+        """
+        text = (environ if environ is not None else os.environ).get(CHAOS_ENV)
+        if not text:
+            return None
+        try:
+            return cls.from_json(json.loads(text))
+        except (json.JSONDecodeError, TypeError, ValueError) as error:
+            raise ValueError(f"invalid {CHAOS_ENV} plan: {error}") from None
+
+
+def trigger(rule: ChaosRule) -> None:
+    """Fire the pre-execution half of a rule (crash or hang) in a worker.
+
+    Called by the shard engine's worker wrapper before the real shard body;
+    ``corrupt`` rules do nothing here (they mangle the result afterwards,
+    see :func:`corrupt_result`).
+    """
+    if rule.action == "crash":
+        # Exit hard, bypassing finalizers -- exactly what an OOM kill looks
+        # like from the parent: the pool breaks, no exception travels back.
+        os._exit(CRASH_EXIT_CODE)
+    if rule.action == "hang":
+        time.sleep(rule.hang_s)
+
+
+def corrupt_result(result: Any) -> Any:
+    """Deterministically mangle a shard result (a ``corrupt`` rule's output).
+
+    Keeps the container shape (so naive length checks alone do not catch
+    it) while replacing every unit payload with a marked garbage dict that
+    any payload-version validation must reject.
+    """
+    if isinstance(result, list):
+        return [{CORRUPTION_MARKER: True, "payload_version": -1} for _ in result]
+    return {CORRUPTION_MARKER: True, "payload_version": -1}

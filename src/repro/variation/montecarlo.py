@@ -31,13 +31,13 @@ Scale comes from the PR-2 orchestration layer, reused wholesale:
 from __future__ import annotations
 
 import dataclasses
-from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Mapping, Sequence
 
 import numpy as np
 
 from repro.circuits.multipliers import MultiplierCircuit
 from repro.circuits.signals import int_to_bits
+from repro.core.resilience import ExecutionPolicy, ExecutionReport, run_shards
 from repro.core.store import (
     SweepResultStore,
     decode_float64_array,
@@ -55,6 +55,7 @@ from repro.technology.corners import (
     corner_library,
 )
 from repro.technology.library import DEFAULT_LIBRARY, StandardCellLibrary
+from repro.testing.chaos import ChaosPlan
 from repro.variation.sampler import VariationSampler
 from repro.variation.stats import TriadVariationResult
 
@@ -263,6 +264,17 @@ def _payload_usable(
     return samples.get("start") == start and samples.get("stop") == stop
 
 
+def _validate_montecarlo_shard(task: _MonteCarloShard, result: Any) -> bool:
+    """Parent-side shard-result check: one versioned payload per triad."""
+    if not isinstance(result, list) or len(result) != len(task.triads):
+        return False
+    return all(
+        isinstance(payload, Mapping)
+        and payload.get("payload_version") == MC_PAYLOAD_VERSION
+        for payload in result
+    )
+
+
 def run_montecarlo_sweep(
     circuit: Any,
     grid: TriadGrid | Sequence[OperatingTriad],
@@ -274,6 +286,9 @@ def run_montecarlo_sweep(
     library: StandardCellLibrary = DEFAULT_LIBRARY,
     jobs: int = 1,
     store: SweepResultStore | None = None,
+    policy: ExecutionPolicy | None = None,
+    chaos: ChaosPlan | None = None,
+    report: ExecutionReport | None = None,
 ) -> list[TriadVariationResult]:
     """Monte Carlo characterize a circuit over a triad grid, sharded + cached.
 
@@ -300,6 +315,13 @@ def run_montecarlo_sweep(
     store:
         Optional result store; completed ``(triad, range)`` entries are
         fetched from / persisted to it (warm reruns simulate nothing).
+        Every completed range flushes immediately -- sharded or in-process
+        -- so an interrupted run resumes warm.
+    policy / chaos / report:
+        Fault-tolerance knobs of the shard engine, as in
+        :func:`repro.core.sweep.run_characterization_sweep`.  Sample-range
+        shards are never split on retry (the range decomposition *is* the
+        store-key layout), but all other recovery actions apply.
 
     Returns
     -------
@@ -376,16 +398,42 @@ def run_montecarlo_sweep(
                 )
                 for range_index in missing
             ]
-            with ProcessPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
-                range_payloads = list(pool.map(_run_montecarlo_shard, tasks))
+            range_index_by_start = {
+                ranges[range_index][0]: range_index for range_index in missing
+            }
+
+            def flush(task: _MonteCarloShard, result: list) -> None:
+                if store is None:
+                    return
+                range_index = range_index_by_start[task.start]
+                for triad_index, payload in enumerate(result):
+                    store.put(keys[(range_index, triad_index)], payload)
+
+            range_payloads = run_shards(
+                tasks,
+                _run_montecarlo_shard,
+                policy=policy,
+                max_workers=min(jobs, len(tasks)),
+                units=lambda task: len(task.triads),
+                # No split: the sample-range decomposition is the store-key
+                # layout, so a halved shard would store nothing reusable.
+                split=None,
+                validate=_validate_montecarlo_shard,
+                on_result=flush,
+                chaos=chaos,
+                report=report,
+            )
+            for range_index, payload_list in zip(missing, range_payloads):
+                for triad_index, payload in enumerate(payload_list):
+                    payloads[(range_index, triad_index)] = payload
         else:
             simulator = VosTimingSimulator(
                 circuit.netlist,
                 output_ports=circuit.output_ports(),
                 library=shifted,
             )
-            range_payloads = [
-                _simulate_range(
+            for range_index in missing:
+                payload_list = _simulate_range(
                     circuit,
                     shifted,
                     triads,
@@ -397,13 +445,10 @@ def run_montecarlo_sweep(
                     ranges[range_index][1],
                     simulator=simulator,
                 )
-                for range_index in missing
-            ]
-        for range_index, payload_list in zip(missing, range_payloads):
-            for triad_index, payload in enumerate(payload_list):
-                payloads[(range_index, triad_index)] = payload
-                if store is not None:
-                    store.put(keys[(range_index, triad_index)], payload)
+                for triad_index, payload in enumerate(payload_list):
+                    payloads[(range_index, triad_index)] = payload
+                    if store is not None:
+                        store.put(keys[(range_index, triad_index)], payload)
 
     results: list[TriadVariationResult] = []
     for triad_index, triad in enumerate(triads):

@@ -15,6 +15,7 @@ from repro.api.jobs import (
     SpeculateJob,
     StorePruneJob,
     StoreStatsJob,
+    StoreVerifyJob,
     SynthesizeJob,
     Table4Job,
     job_from_json,
@@ -44,6 +45,7 @@ ALL_JOBS = [
     MonteCarloJob(operator="rca8", samples=8, corner="SS", supply_voltages=(0.8, 0.5)),
     FaultSweepJob(operator="rca8", pattern=PatternOptions(vectors=128)),
     StoreStatsJob(),
+    StoreVerifyJob(),
     StorePruneJob(max_entries=5),
 ]
 
@@ -183,3 +185,41 @@ class TestStoreOptions:
         assert StoreOptions.from_json(options.to_json()) == options
         with pytest.raises(ValueError, match="unknown StoreOptions field"):
             StoreOptions.from_json({"cachedir": "/tmp/x"})
+
+
+class TestSweepOptionsPolicy:
+    def test_all_defaults_inherit_instead_of_overriding(self):
+        assert SweepOptions(jobs=4).policy() is None
+
+    def test_any_resilience_field_builds_a_policy(self):
+        from repro.core.resilience import ExecutionPolicy
+
+        policy = SweepOptions(shard_timeout=7.5).policy()
+        assert isinstance(policy, ExecutionPolicy)
+        assert policy.shard_timeout_s == 7.5
+        # Unset fields take the engine defaults.
+        defaults = ExecutionPolicy()
+        assert policy.max_retries == defaults.max_retries
+        assert policy.on_failure == defaults.on_failure
+
+    def test_full_policy_round_trips_every_field(self):
+        policy = SweepOptions(
+            shard_timeout=30.0, max_retries=5, on_worker_failure="split-and-retry"
+        ).policy()
+        assert policy.shard_timeout_s == 30.0
+        assert policy.max_retries == 5
+        assert policy.on_failure == "split-and-retry"
+
+    def test_resilience_fields_validated(self):
+        with pytest.raises(ValueError, match="shard_timeout"):
+            SweepOptions(shard_timeout=0.0)
+        with pytest.raises(ValueError, match="max_retries"):
+            SweepOptions(max_retries=-1)
+        with pytest.raises(ValueError, match="unknown failure action"):
+            SweepOptions(on_worker_failure="panic")
+
+    def test_json_round_trip_keeps_resilience_fields(self):
+        options = SweepOptions(
+            jobs=2, shard_timeout=10.0, max_retries=1, on_worker_failure="retry"
+        )
+        assert SweepOptions.from_json(options.to_json()) == options

@@ -225,3 +225,69 @@ class TestSessionSubstrate:
         repeat = session.run(job)
         assert simulated_unit_count() == before  # served from the overlay
         assert repeat.characterization.adder_name == "rca8"
+
+
+class TestResilienceIntegration:
+    def test_sweep_results_carry_an_execution_report(self, session):
+        from repro.core.resilience import ExecutionReport
+
+        result = session.run(CharacterizeJob(operator="rca8", pattern=SMALL))
+        assert isinstance(result.execution, ExecutionReport)
+        assert not result.execution.faulted
+
+    def test_fail_policy_surfaces_a_session_error(self, monkeypatch, session):
+        from repro.api.session import SessionError
+        from repro.testing.chaos import CHAOS_ENV
+
+        monkeypatch.setenv(CHAOS_ENV, '[{"action": "crash", "shard": 0}]')
+        job = CharacterizeJob(
+            operator="rca8",
+            pattern=SMALL,
+            sweep=SweepOptions(jobs=2, on_worker_failure="fail"),
+        )
+        with pytest.raises(SessionError, match="sweep execution failed"):
+            session.run(job)
+
+    def test_chaos_recovery_is_invisible_in_the_result(self, monkeypatch):
+        monkeypatch.setenv(
+            "REPRO_CHAOS", '[{"action": "crash", "shard": 0, "attempt": 0}]'
+        )
+        job = CharacterizeJob(
+            operator="rca8", pattern=SMALL, sweep=SweepOptions(jobs=2)
+        )
+        recovered = Session(store=None).run(job)
+        assert recovered.execution.faulted
+        assert recovered.execution.crashes >= 1
+        monkeypatch.delenv("REPRO_CHAOS")
+        clean = Session(store=None).run(
+            CharacterizeJob(operator="rca8", pattern=SMALL)
+        )
+        assert recovered.render() == clean.render()
+
+    def test_store_verify_job(self, tmp_path):
+        from repro.api.jobs import StoreVerifyJob
+        from repro.api.results import StoreVerifyResult
+        from repro.core.store import SweepResultStore
+
+        root = tmp_path / "cache"
+        store = SweepResultStore(root)
+        keys = [store.entry_key({"n": n}) for n in range(3)]
+        for key in keys:
+            store.put(key, {"n": key[:4]})
+        (root / keys[0][:2] / f"{keys[0]}.json").write_text(
+            "garbage", encoding="utf-8"
+        )
+
+        result = Session(store=root).run(StoreVerifyJob())
+        assert isinstance(result, StoreVerifyResult)
+        assert result.report.scanned == 3
+        assert result.report.valid == 2
+        assert result.report.quarantined == 1
+        assert "quarantined: 1" in result.render()
+
+    def test_store_verify_requires_a_store(self, session):
+        from repro.api.jobs import StoreVerifyJob
+        from repro.api.session import SessionError
+
+        with pytest.raises(SessionError):
+            session.run(StoreVerifyJob())

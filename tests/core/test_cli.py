@@ -371,6 +371,133 @@ class TestStoreCommand:
         with pytest.raises(SystemExit):
             main(["store"])
 
+    def test_verify_reports_a_clean_store(self, tmp_path, capsys):
+        cache = self._populate(tmp_path)
+        capsys.readouterr()
+        assert main(["store", "verify", "--cache-dir", str(cache)]) == 0
+        out = capsys.readouterr().out
+        assert "scanned" in out and "valid" in out
+        assert "quarantined: 0" in out
+
+    def test_verify_quarantines_corrupt_entries(self, tmp_path, capsys):
+        cache = self._populate(tmp_path)
+        victim = sorted(cache.glob("*/*.json"))[0]
+        victim.write_text("{ not json", encoding="utf-8")
+        capsys.readouterr()
+        assert main(["store", "verify", "--cache-dir", str(cache)]) == 0
+        out = capsys.readouterr().out
+        assert "quarantined: 1" in out
+        assert not victim.exists()
+        assert (cache / "quarantine" / (victim.name + ".quarantined")).is_file()
+        # The stats command reflects the quarantined entry afterwards.
+        assert main(["store", "stats", "--cache-dir", str(cache)]) == 0
+        assert "quarantined" in capsys.readouterr().out
+
+    def test_verify_counts_unreadable_entries(self, tmp_path, capsys):
+        cache = self._populate(tmp_path)
+        # A directory where an entry file should be is an I/O error on
+        # read even when running as root.
+        (cache / "zz").mkdir(exist_ok=True)
+        (cache / "zz" / "zz-bogus.json").mkdir()
+        capsys.readouterr()
+        assert main(["store", "verify", "--cache-dir", str(cache)]) == 0
+        assert "io errors" in capsys.readouterr().out
+
+
+class TestResilienceFlags:
+    def test_flags_parse_into_the_sweep_vocabulary(self):
+        args = build_parser().parse_args(
+            [
+                "characterize",
+                "--shard-timeout",
+                "5.5",
+                "--max-retries",
+                "1",
+                "--on-worker-failure",
+                "split-and-retry",
+            ]
+        )
+        assert args.shard_timeout == 5.5
+        assert args.max_retries == 1
+        assert args.on_worker_failure == "split-and-retry"
+
+    def test_unknown_failure_action_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["characterize", "--on-worker-failure", "panic"]
+            )
+
+    def test_invalid_shard_timeout_is_a_clean_error(self):
+        with pytest.raises(SystemExit, match="shard_timeout"):
+            main(
+                [
+                    "characterize",
+                    "--no-cache",
+                    "--vectors",
+                    "300",
+                    "--shard-timeout",
+                    "-1",
+                ]
+            )
+
+    def test_chaos_crash_recovery_is_byte_identical(self, monkeypatch, capsys):
+        common = [
+            "characterize",
+            "--architecture",
+            "rca",
+            "--width",
+            "8",
+            "--vectors",
+            "300",
+            "--no-cache",
+        ]
+        assert main(common) == 0
+        captured = capsys.readouterr()
+        serial_out = captured.out
+
+        monkeypatch.setenv(
+            "REPRO_CHAOS", '[{"action": "crash", "shard": 0, "attempt": 0}]'
+        )
+        assert main(common + ["--jobs", "2", "--max-retries", "2"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == serial_out
+        # The fault-recovery accounting goes to stderr, keeping stdout
+        # byte-stable.
+        assert "execution:" in captured.err
+        assert "crashed" in captured.err
+
+    def test_fail_action_exits_cleanly_under_chaos(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", '[{"action": "crash", "shard": 0}]')
+        with pytest.raises(SystemExit, match="sweep execution failed"):
+            main(
+                [
+                    "characterize",
+                    "--architecture",
+                    "rca",
+                    "--width",
+                    "8",
+                    "--vectors",
+                    "300",
+                    "--no-cache",
+                    "--jobs",
+                    "2",
+                    "--on-worker-failure",
+                    "fail",
+                ]
+            )
+
+    def test_keyboard_interrupt_exits_130(self, monkeypatch, capsys):
+        import repro.cli as cli_module
+
+        def interrupted(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setitem(cli_module._COMMANDS, "synthesize", interrupted)
+        assert main(["synthesize"]) == 130
+        err = capsys.readouterr().err
+        assert "rerun to resume warm" in err
+        assert "Traceback" not in err
+
 
 class TestExploreReviewRegressions:
     def test_invalid_clock_scale_is_a_clean_error(self, tmp_path):

@@ -8,6 +8,8 @@ import pytest
 
 from repro.circuits.adders import build_adder
 from repro.core.store import (
+    QUARANTINE_DIR,
+    QUARANTINE_SUFFIX,
     SweepResultStore,
     decode_float64_array,
     decode_int64_array,
@@ -266,3 +268,181 @@ class TestDiskStatsAndPrune:
         self._fill(store, 4)
         assert store.prune(max_bytes=0) == 4
         assert store.disk_stats().entries == 0
+
+
+class TestQuarantine:
+    def test_corrupt_entry_moves_aside_instead_of_vanishing(self, tmp_path):
+        store = SweepResultStore(tmp_path)
+        key = store.entry_key({"n": "q1"})
+        store.put(key, {"ber": 0.5})
+        path = store.root / key[:2] / f"{key}.json"
+        path.write_text("{ truncated garbage", encoding="utf-8")
+        assert store.get(key) is None
+        moved = store.root / QUARANTINE_DIR / (path.name + QUARANTINE_SUFFIX)
+        assert moved.is_file()
+        assert moved.read_text(encoding="utf-8") == "{ truncated garbage"
+        assert store.quarantined_count() == 1
+
+    def test_quarantined_entries_are_invisible_to_lookups_and_stats(
+        self, tmp_path
+    ):
+        store = SweepResultStore(tmp_path)
+        good = store.entry_key({"n": "good"})
+        bad = store.entry_key({"n": "bad"})
+        store.put(good, {"v": 1})
+        store.put(bad, {"v": 2})
+        (store.root / bad[:2] / f"{bad}.json").write_text("junk", encoding="utf-8")
+        assert store.get(bad) is None  # quarantines
+        assert len(store) == 1
+        stats = store.disk_stats()
+        assert stats.entries == 1
+        assert stats.quarantined == 1
+        assert store.get(good) == {"v": 1}
+
+    def test_quarantined_entry_can_be_rewritten(self, tmp_path):
+        store = SweepResultStore(tmp_path)
+        key = store.entry_key({"n": "q2"})
+        store.put(key, {"v": 1})
+        (store.root / key[:2] / f"{key}.json").write_text("junk", encoding="utf-8")
+        assert store.get(key) is None
+        store.put(key, {"v": 2})
+        assert store.get(key) == {"v": 2}
+
+
+class TestVerify:
+    def _corrupt(self, store, key, text="garbage"):
+        path = store.root / key[:2] / f"{key}.json"
+        path.write_text(text, encoding="utf-8")
+        return path
+
+    def test_clean_store_verifies_clean(self, tmp_path):
+        store = SweepResultStore(tmp_path)
+        for n in range(4):
+            store.put(store.entry_key({"n": n}), {"n": n})
+        report = store.verify()
+        assert report.scanned == 4
+        assert report.valid == 4
+        assert report.quarantined == 0
+        assert report.io_errors == 0
+
+    def test_missing_directory_verifies_empty(self, tmp_path):
+        report = SweepResultStore(tmp_path / "never-written").verify()
+        assert report.scanned == 0
+        assert report.valid == 0
+
+    def test_corrupt_entries_are_quarantined_by_the_pass(self, tmp_path):
+        store = SweepResultStore(tmp_path)
+        keys = [store.entry_key({"n": n}) for n in range(3)]
+        for key in keys:
+            store.put(key, {"k": key[:4]})
+        self._corrupt(store, keys[1])
+        report = store.verify()
+        assert report.scanned == 3
+        assert report.valid == 2
+        assert report.quarantined == 1
+        assert store.quarantined_count() == 1
+        # The pass leaves the store usable: the survivors still read back.
+        assert store.get(keys[0]) is not None
+        assert store.get(keys[1]) is None
+
+    def test_entry_under_wrong_key_is_corrupt(self, tmp_path):
+        store = SweepResultStore(tmp_path)
+        key_a = store.entry_key({"n": "a"})
+        key_b = store.entry_key({"n": "b"})
+        store.put(key_a, {"v": 1})
+        source = store.root / key_a[:2] / f"{key_a}.json"
+        target = store.root / key_b[:2]
+        target.mkdir(parents=True, exist_ok=True)
+        (target / f"{key_b}.json").write_text(
+            source.read_text(encoding="utf-8"), encoding="utf-8"
+        )
+        report = store.verify()
+        assert report.valid == 1
+        assert report.quarantined == 1
+
+    def test_unreadable_entry_counts_an_io_error(self, tmp_path):
+        store = SweepResultStore(tmp_path)
+        key = store.entry_key({"n": "dir"})
+        # A directory where an entry file should be: read_text raises
+        # IsADirectoryError (an OSError that is not FileNotFoundError),
+        # which works even when the tests run as root and chmod 000 is
+        # ineffective.
+        (store.root / key[:2] / f"{key}.json").mkdir(parents=True)
+        report = store.verify()
+        assert report.scanned == 1
+        assert report.io_errors == 1
+        assert store.stats.io_errors == 1
+
+
+class TestIoErrorObservability:
+    def test_unwritable_put_counts_an_io_error(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory", encoding="utf-8")
+        store = SweepResultStore(blocker / "sub")
+        store.put(store.entry_key({"n": 1}), {"v": 1})
+        assert store.stats.io_errors == 1
+        assert store.stats.stores == 0
+
+    def test_unreadable_get_is_a_counted_miss(self, tmp_path):
+        store = SweepResultStore(tmp_path)
+        key = store.entry_key({"n": "dir"})
+        (store.root / key[:2] / f"{key}.json").mkdir(parents=True)
+        assert store.get(key) is None
+        assert store.stats.misses == 1
+        assert store.stats.io_errors == 1
+
+    def test_plain_miss_is_not_an_io_error(self, tmp_path):
+        store = SweepResultStore(tmp_path)
+        assert store.get(store.entry_key({"n": 9})) is None
+        assert store.stats.misses == 1
+        assert store.stats.io_errors == 0
+
+
+class TestConcurrentRaces:
+    """Entries deleted by a concurrent session between listing and use."""
+
+    def _fill(self, store, count):
+        keys = [store.entry_key({"n": n}) for n in range(count)]
+        for key in keys:
+            store.put(key, {"n": key[:4]})
+        return keys
+
+    def test_prune_tolerates_entries_vanishing_mid_pass(
+        self, tmp_path, monkeypatch
+    ):
+        store = SweepResultStore(tmp_path)
+        self._fill(store, 4)
+        listed = store._entry_files()
+        # Simulate a concurrent session deleting one listed entry before
+        # prune gets to unlink it.
+        listed[0][0].unlink()
+        monkeypatch.setattr(store, "_entry_files", lambda: listed)
+        removed = store.prune(max_entries=0)
+        # The vanished entry is not counted as our removal.
+        assert removed == 3
+        monkeypatch.undo()
+        assert store.disk_stats().entries == 0
+        assert store.stats.io_errors == 0
+
+    def test_disk_stats_tolerate_entries_vanishing_mid_pass(
+        self, tmp_path, monkeypatch
+    ):
+        import pathlib
+
+        store = SweepResultStore(tmp_path)
+        self._fill(store, 3)
+        listing = sorted(store.root.glob("*/*.json"))
+        listing[0].unlink()
+        original_glob = pathlib.Path.glob
+
+        # Serve a stale listing that still names the deleted entry, as a
+        # concurrent prune would leave it between glob and stat.
+        def stale_glob(path, pattern, **kwargs):
+            if pattern == "*/*.json":
+                return iter(listing)
+            return original_glob(path, pattern, **kwargs)
+
+        monkeypatch.setattr(pathlib.Path, "glob", stale_glob)
+        stats = store.disk_stats()
+        assert stats.entries == 2
+        assert store.stats.io_errors == 0

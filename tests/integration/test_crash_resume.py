@@ -1,0 +1,172 @@
+"""Crash-consistency: a SIGKILLed sweep resumes warm without recomputation.
+
+The sharded executor flushes every completed shard to the result store the
+moment it finishes, so killing the process mid-sweep must lose only the
+in-flight shards.  A warm rerun over the same store simulates exactly the
+unfinished units and produces output byte-identical to a fault-free serial
+run.  The stall is injected with a deterministic ``REPRO_CHAOS`` hang rule,
+the same plumbing the chaos CI job uses.
+"""
+
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+SRC = pathlib.Path(__file__).resolve().parents[2] / "src"
+
+CHARACTERIZE = [
+    "characterize",
+    "--architecture",
+    "rca",
+    "--width",
+    "8",
+    "--vectors",
+    "300",
+    "--seed",
+    "7",
+]
+
+
+def _environment(chaos=None):
+    env = os.environ.copy()
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("REPRO_CHAOS", None)
+    if chaos is not None:
+        env["REPRO_CHAOS"] = json.dumps(chaos)
+    return env
+
+
+def _run(arguments, store, *, jobs, chaos=None):
+    command = [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        *arguments,
+        "--jobs",
+        str(jobs),
+        "--cache-dir",
+        str(store),
+    ]
+    return subprocess.run(
+        command,
+        env=_environment(chaos),
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+def _entries(store):
+    return {
+        path: path.read_bytes() for path in pathlib.Path(store).glob("*/*.json")
+    }
+
+
+def test_killed_sweep_resumes_warm_and_matches_fault_free_output(tmp_path):
+    golden_store = tmp_path / "golden"
+    crash_store = tmp_path / "crashed"
+
+    # Fault-free serial reference run: its stdout is the byte-level oracle
+    # and its store tells us the total unit count.
+    golden = _run(CHARACTERIZE, golden_store, jobs=1)
+    assert golden.returncode == 0, golden.stderr
+    total_units = len(_entries(golden_store))
+    assert total_units > 1
+
+    # Sharded run with one shard hung far past the test timeout.  The
+    # healthy worker keeps completing shards, each flushed to the store as
+    # it lands; once progress is visible on disk, SIGKILL the whole process
+    # group mid-sweep.
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            *CHARACTERIZE,
+            "--jobs",
+            "2",
+            "--cache-dir",
+            str(crash_store),
+        ],
+        env=_environment(
+            chaos=[{"action": "hang", "shard": 0, "attempt": 0, "hang_s": 600}]
+        ),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+        start_new_session=True,
+    )
+    try:
+        deadline = time.monotonic() + 300
+        while time.monotonic() < deadline:
+            if process.poll() is not None:
+                pytest.fail("chaos run exited instead of hanging on shard 0")
+            if _entries(crash_store):
+                break
+            time.sleep(0.1)
+        else:
+            pytest.fail("no shard was flushed to the store before the deadline")
+    finally:
+        os.killpg(process.pid, signal.SIGKILL)
+        process.wait(timeout=60)
+
+    survivors = _entries(crash_store)
+    assert 0 < len(survivors) < total_units
+
+    # Warm resume over the surviving store: simulates only the lost units.
+    resumed = _run(CHARACTERIZE, crash_store, jobs=2)
+    assert resumed.returncode == 0, resumed.stderr
+    assert resumed.stdout == golden.stdout
+
+    after = _entries(crash_store)
+    assert len(after) == total_units
+    # Completed units were neither re-simulated nor rewritten: the
+    # surviving entries are byte-for-byte untouched.
+    for path, payload in survivors.items():
+        assert after[path] == payload
+
+
+def test_interrupted_run_exits_130_without_traceback(tmp_path):
+    """Ctrl-C mid-sweep: clean exit code 130, persisted progress, no spew."""
+    store = tmp_path / "store"
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            *CHARACTERIZE,
+            "--jobs",
+            "2",
+            "--cache-dir",
+            str(store),
+        ],
+        env=_environment(
+            chaos=[{"action": "hang", "shard": 0, "attempt": 0, "hang_s": 600}]
+        ),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        start_new_session=True,
+    )
+    try:
+        deadline = time.monotonic() + 300
+        while time.monotonic() < deadline and not _entries(store):
+            if process.poll() is not None:
+                break
+            time.sleep(0.1)
+        os.killpg(process.pid, signal.SIGINT)
+        stdout, stderr = process.communicate(timeout=120)
+    finally:
+        if process.poll() is None:
+            os.killpg(process.pid, signal.SIGKILL)
+            process.wait(timeout=60)
+
+    assert process.returncode == 130
+    assert "Traceback" not in stderr
+    assert "rerun to resume warm" in stderr
+    assert _entries(store)

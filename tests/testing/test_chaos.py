@@ -1,0 +1,125 @@
+"""Tests of the deterministic chaos harness (rules, plans, env plumbing)."""
+
+import json
+
+import pytest
+
+from repro.testing.chaos import (
+    CHAOS_ACTIONS,
+    CHAOS_ENV,
+    CORRUPTION_MARKER,
+    ChaosPlan,
+    ChaosRule,
+    corrupt_result,
+)
+
+
+class TestChaosRule:
+    @pytest.mark.parametrize("action", CHAOS_ACTIONS)
+    def test_accepts_every_action(self, action):
+        assert ChaosRule(action=action, shard=0).action == action
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"action": "explode", "shard": 0},
+            {"action": "crash", "shard": -1},
+            {"action": "crash", "shard": 0, "attempt": -1},
+            {"action": "hang", "shard": 0, "hang_s": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ChaosRule(**kwargs)
+
+    def test_json_round_trip(self):
+        rule = ChaosRule(action="hang", shard=3, attempt=1, hang_s=12.5)
+        assert ChaosRule.from_json(rule.to_json()) == rule
+
+    def test_from_json_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown ChaosRule field"):
+            ChaosRule.from_json({"action": "crash", "shard": 0, "pid": 42})
+
+
+class TestChaosPlan:
+    def test_rule_lookup_is_keyed_on_shard_and_attempt(self):
+        first = ChaosRule(action="crash", shard=1, attempt=0)
+        second = ChaosRule(action="corrupt", shard=1, attempt=1)
+        plan = ChaosPlan((first, second))
+        assert plan.rule_for(1, 0) is first
+        assert plan.rule_for(1, 1) is second
+        assert plan.rule_for(0, 0) is None
+        assert plan.rule_for(1, 2) is None
+
+    def test_truthiness_tracks_rules(self):
+        assert not ChaosPlan()
+        assert ChaosPlan((ChaosRule(action="crash", shard=0),))
+
+    def test_json_round_trip(self):
+        plan = ChaosPlan(
+            (
+                ChaosRule(action="crash", shard=0),
+                ChaosRule(action="hang", shard=2, attempt=1, hang_s=5.0),
+            )
+        )
+        assert ChaosPlan.from_json(json.loads(json.dumps(plan.to_json()))) == plan
+
+    @pytest.mark.parametrize("document", ["[]", {"rules": []}])
+    def test_from_json_rejects_non_list_documents(self, document):
+        with pytest.raises(ValueError, match="JSON list"):
+            ChaosPlan.from_json(document)
+
+
+class TestFromEnv:
+    def test_absent_variable_means_no_plan(self, monkeypatch):
+        monkeypatch.delenv(CHAOS_ENV, raising=False)
+        assert ChaosPlan.from_env() is None
+
+    def test_empty_variable_means_no_plan(self, monkeypatch):
+        monkeypatch.setenv(CHAOS_ENV, "")
+        assert ChaosPlan.from_env() is None
+
+    def test_reads_a_plan(self, monkeypatch):
+        monkeypatch.setenv(
+            CHAOS_ENV, '[{"action": "crash", "shard": 0, "attempt": 1}]'
+        )
+        plan = ChaosPlan.from_env()
+        assert plan == ChaosPlan((ChaosRule(action="crash", shard=0, attempt=1),))
+
+    def test_explicit_environment_mapping(self):
+        plan = ChaosPlan.from_env({CHAOS_ENV: '[{"action": "corrupt", "shard": 2}]'})
+        assert plan is not None
+        assert plan.rule_for(2, 0).action == "corrupt"
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "not json",
+            '{"action": "crash", "shard": 0}',  # a dict, not a list
+            '[{"action": "sabotage", "shard": 0}]',
+            '[{"action": "crash"}]',  # missing shard
+        ],
+    )
+    def test_malformed_plans_raise_instead_of_injecting_nothing(
+        self, monkeypatch, text
+    ):
+        monkeypatch.setenv(CHAOS_ENV, text)
+        with pytest.raises(ValueError, match=CHAOS_ENV):
+            ChaosPlan.from_env()
+
+
+class TestCorruptResult:
+    def test_list_results_keep_their_shape(self):
+        corrupted = corrupt_result([{"payload_version": 3}, {"payload_version": 3}])
+        assert len(corrupted) == 2
+        for unit in corrupted:
+            assert unit[CORRUPTION_MARKER] is True
+            assert unit["payload_version"] == -1
+
+    def test_scalar_results_become_marked_garbage(self):
+        corrupted = corrupt_result({"payload_version": 3})
+        assert corrupted[CORRUPTION_MARKER] is True
+
+    def test_corruption_is_deterministic(self):
+        original = [{"payload_version": 3}]
+        assert corrupt_result(original) == corrupt_result(original)
