@@ -1,9 +1,41 @@
-"""Helpers shared by the benchmark modules (output persistence, sizing)."""
+"""Helpers shared by the benchmark modules (output persistence, sizing).
+
+Besides the rendered text tables, every benchmark persists a
+machine-readable ``BENCH_<name>.json`` via :func:`write_metrics`.  The
+documents all carry the same schema, so the CI perf gate
+(``benchmarks/perf_gate.py``) can diff any run against the committed
+baselines without knowing the individual benchmarks:
+
+.. code-block:: json
+
+    {
+      "bench": "store",
+      "schema": 1,
+      "git_sha": "...",        // REPRO_GIT_SHA or GITHUB_SHA, else "unknown"
+      "timestamp": 1700000000, // REPRO_BENCH_TIMESTAMP/SOURCE_DATE_EPOCH wins
+      "vectors": 4000,
+      "jobs": 1,
+      "metrics": [
+        {"name": "warm_read_speedup", "value": 5.1, "unit": "x",
+         "kind": "ratio", "higher_is_better": true}
+      ]
+    }
+
+Metric ``kind`` decides how the perf gate treats it: ``ratio`` and
+``quality`` metrics are machine-independent and *gated* (a relative change
+past the tolerance in the bad direction fails CI); ``time`` and ``count``
+metrics are informational -- recorded for trend lines, never compared
+across machines.
+"""
 
 from __future__ import annotations
 
+import dataclasses
+import json
 import os
 import pathlib
+import time
+from typing import Any, Sequence
 
 #: Stimulus size used by the harness.  The paper uses 20 000 vectors; 4 000
 #: keeps the full harness fast while preserving the qualitative shapes.
@@ -11,6 +43,14 @@ import pathlib
 DEFAULT_BENCH_VECTORS = 4000
 
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+#: Metric kinds the perf gate compares against the baselines.
+GATED_KINDS = frozenset({"ratio", "quality"})
+
+_KINDS = frozenset({"time", "ratio", "count", "quality"})
+
+#: Default gate direction per kind (``None`` = informational either way).
+_KIND_DIRECTION = {"ratio": True, "quality": True, "time": False, "count": None}
 
 
 def bench_vectors() -> int:
@@ -23,4 +63,90 @@ def write_output(name: str, text: str) -> pathlib.Path:
     OUTPUT_DIR.mkdir(exist_ok=True)
     path = OUTPUT_DIR / name
     path.write_text(text + "\n", encoding="utf-8")
+    return path
+
+
+@dataclasses.dataclass(frozen=True)
+class Metric:
+    """One named measurement inside a ``BENCH_<name>.json`` document.
+
+    ``kind`` is one of ``time`` (seconds-scale durations, informational),
+    ``ratio`` (machine-independent speedups/fractions, gated), ``count``
+    (sizes, informational) and ``quality`` (accuracy-style scores, gated).
+    ``higher_is_better`` defaults from the kind and only matters for gated
+    metrics.
+    """
+
+    name: str
+    value: float
+    unit: str
+    kind: str = "time"
+    higher_is_better: bool | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(
+                f"unknown metric kind {self.kind!r}; "
+                f"available: {', '.join(sorted(_KINDS))}"
+            )
+
+    def direction(self) -> bool | None:
+        """Gate direction: ``True`` = bigger is better, ``None`` = ungated."""
+        if self.higher_is_better is not None:
+            return self.higher_is_better
+        return _KIND_DIRECTION[self.kind]
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "value": float(self.value),
+            "unit": self.unit,
+            "kind": self.kind,
+            "higher_is_better": self.direction(),
+        }
+
+
+def _git_sha() -> str:
+    for variable in ("REPRO_GIT_SHA", "GITHUB_SHA"):
+        value = os.environ.get(variable, "").strip()
+        if value:
+            return value
+    return "unknown"
+
+
+def _timestamp() -> float:
+    for variable in ("REPRO_BENCH_TIMESTAMP", "SOURCE_DATE_EPOCH"):
+        value = os.environ.get(variable, "").strip()
+        if value:
+            return float(value)
+    return time.time()
+
+
+def write_metrics(
+    bench: str,
+    metrics: Sequence[Metric],
+    *,
+    vectors: int | None = None,
+    jobs: int | None = None,
+) -> pathlib.Path:
+    """Persist ``BENCH_<bench>.json`` under ``benchmarks/output/``.
+
+    Metric names must be unique within a document -- the perf gate joins
+    baseline and current runs on ``(bench, metric name)``.
+    """
+    names = [metric.name for metric in metrics]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate metric names in bench {bench!r}: {names}")
+    document = {
+        "bench": bench,
+        "schema": 1,
+        "git_sha": _git_sha(),
+        "timestamp": _timestamp(),
+        "vectors": vectors,
+        "jobs": jobs,
+        "metrics": [metric.to_json() for metric in metrics],
+    }
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / f"BENCH_{bench}.json"
+    path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
     return path

@@ -10,7 +10,7 @@ two adders or hold across prefix/block architectures.
 
 from __future__ import annotations
 
-from _bench_utils import write_output
+from _bench_utils import Metric, write_metrics, write_output
 
 from repro.circuits.adders import build_adder
 from repro.core.characterization import CharacterizationFlow
@@ -57,6 +57,19 @@ def test_ablation_adder_architectures(benchmark):
     print("\n=== Ablation: adder architectures ===")
     print(text)
     write_output("ablation_architectures.txt", text)
+    write_metrics(
+        "ablation_architectures",
+        [
+            Metric(
+                f"{architecture}_zero_ber_saving",
+                saving,
+                "fraction",
+                kind="quality",
+            )
+            for architecture, saving in zero_ber_savings.items()
+        ],
+        vectors=1500,
+    )
 
     adder = build_adder("ksa", WIDTH)
     benchmark(lambda: synthesize(adder.netlist))

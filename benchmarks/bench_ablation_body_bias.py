@@ -9,7 +9,7 @@ provides at 0% and at 10% BER.
 
 from __future__ import annotations
 
-from _bench_utils import bench_vectors, write_output
+from _bench_utils import Metric, bench_vectors, write_metrics, write_output
 
 from repro.core.characterization import CharacterizationFlow
 from repro.core.energy import best_triad_within_ber
@@ -47,6 +47,21 @@ def test_ablation_body_bias_contribution(benchmark, benchmark_characterizations)
     print("\n=== Ablation: body-bias contribution ===")
     print(text)
     write_output("ablation_body_bias.txt", text)
+    write_metrics(
+        "ablation_body_bias",
+        [
+            Metric(
+                f"saving_{'with' if with_bias else 'without'}_vbb_at_"
+                f"{margin * 100:.0f}pct_ber",
+                value,
+                "fraction",
+                kind="quality",
+            )
+            for margin, full_best, reduced_best in rows
+            for with_bias, value in ((True, full_best), (False, reduced_best))
+        ],
+        vectors=bench_vectors(),
+    )
 
     # At 0% BER the body-biased grid must reach strictly better savings:
     # forward body bias is what keeps the adder error-free at low Vdd.

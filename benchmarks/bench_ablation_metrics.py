@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from _bench_utils import bench_vectors, write_output
+from _bench_utils import Metric, bench_vectors, write_metrics, write_output
 
 from repro.core.calibration import calibrate_probability_table
 from repro.core.characterization import CharacterizationFlow
@@ -70,6 +70,15 @@ def test_ablation_calibration_metric(benchmark):
     print("\n=== Ablation: calibration metric ===")
     print(text)
     write_output("ablation_metrics.txt", text)
+    write_metrics(
+        "ablation_metrics",
+        [
+            Metric(f"snr_{metric}_db", snr, "dB", kind="quality")
+            for metric, snr in snrs.items()
+        ]
+        + [Metric("snr_random_flips_db", random_snr, "dB", kind="quality")],
+        vectors=bench_vectors(),
+    )
 
     # The best calibration metric beats the position-independent baseline,
     # and every metric produces a usable (positive-SNR) model.

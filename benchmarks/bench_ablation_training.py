@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from _bench_utils import write_output
+from _bench_utils import Metric, write_metrics, write_output
 
 from repro.core.calibration import calibrate_probability_table
 from repro.core.characterization import CharacterizationFlow
@@ -65,6 +65,14 @@ def test_ablation_training_configuration(benchmark):
     print("\n=== Ablation: training configuration ===")
     print(text)
     write_output("ablation_training.txt", text)
+    write_metrics(
+        "ablation_training",
+        [
+            Metric(f"snr_{kind}_{size}_db", snr, "dB", kind="quality")
+            for (kind, size), snr in results.items()
+        ],
+        vectors=4000,
+    )
 
     # Every configuration produces a usable model on held-out data.
     assert min(results.values()) > 0.0

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from _bench_utils import write_output
+from _bench_utils import Metric, write_metrics, write_output
 
 from repro.apps import (
     FirFilter,
@@ -76,6 +76,18 @@ def test_application_quality_vs_ber(benchmark):
     print("\n=== Application quality vs BER ===")
     print(text)
     write_output("application_quality.txt", text)
+    write_metrics(
+        "application_quality",
+        [
+            Metric(f"blur_psnr_{level}_ber_db", blur, "dB", kind="quality")
+            for level, (_, blur, _) in zip(("low", "mid", "high"), qualities)
+        ]
+        + [
+            Metric(f"fir_snr_{level}_ber_db", fir, "dB", kind="quality")
+            for level, (_, _, fir) in zip(("low", "mid", "high"), qualities)
+        ],
+        vectors=1500,
+    )
 
     # Quality must degrade monotonically (within tolerance) as BER grows.
     assert qualities[0][1] >= qualities[-1][1]

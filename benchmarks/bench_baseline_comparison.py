@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from _bench_utils import bench_vectors, write_output
+from _bench_utils import Metric, bench_vectors, write_metrics, write_output
 
 from repro.baselines import build_baseline
 from repro.core.calibration import calibrate_probability_table
@@ -105,6 +105,28 @@ def test_vos_model_vs_static_baselines(benchmark):
     print("\n=== VOS model vs static baselines ===")
     print(text)
     write_output("baseline_comparison.txt", text)
+    write_metrics(
+        "baseline_comparison",
+        [
+            Metric(
+                "vos_mse_dynamic_range",
+                max(vos_mses) / min(vos_mses),
+                "x",
+                kind="ratio",
+            ),
+            Metric(
+                "vos_ber_vs_lsb_margin",
+                min(
+                    baseline_bers_by_family["lsb_truncated"]
+                    + baseline_bers_by_family["lower_or"]
+                )
+                / max(vos_bers),
+                "x",
+                kind="ratio",
+            ),
+        ],
+        vectors=bench_vectors(),
+    )
 
     # One VOS-characterized adder spans >10x in error magnitude purely via
     # its runtime knob.

@@ -26,7 +26,7 @@ import time
 
 import numpy as np
 
-from _bench_utils import bench_vectors, write_output
+from _bench_utils import Metric, bench_vectors, write_metrics, write_output
 
 from repro.circuits.adders import build_adder
 from repro.core.characterization import CharacterizationFlow
@@ -159,6 +159,18 @@ def test_engine_throughput(benchmark):
     print("\n=== Engine throughput ===")
     print(text)
     write_output("bench_engine_throughput.txt", text)
+    write_metrics(
+        "engine_throughput",
+        [
+            Metric("packed_golden_speedup", packed_speedup, "x", kind="ratio"),
+            Metric("compiled_golden_speedup", t_seed / t_compiled, "x", kind="ratio"),
+            Metric("sweep_engine_speedup", sweep_speedup, "x", kind="ratio"),
+            Metric("golden_packed_s", t_packed, "s", kind="time"),
+            Metric("golden_seed_s", t_seed, "s", kind="time"),
+            Metric("sweep_engine_s", t_sweep_engine, "s", kind="time"),
+        ],
+        vectors=n_golden,
+    )
 
     floor = _speedup_floor()
     assert packed_speedup >= floor, (

@@ -19,7 +19,7 @@ re-simulates the 8-bit candidates.
 
 from __future__ import annotations
 
-from _bench_utils import bench_vectors, write_output
+from _bench_utils import Metric, bench_vectors, write_metrics, write_output
 from conftest import bench_jobs, bench_store
 
 from repro.analysis.figures import frontier_series, render_frontier
@@ -95,6 +95,31 @@ def test_successive_halving_matches_exhaustive(benchmark):
     print("\n=== Design-space exploration (this substrate) ===")
     print(text)
     write_output("explore_successive_halving.txt", text)
+    write_metrics(
+        "explore",
+        [
+            Metric(
+                "full_evaluation_saving",
+                exhaustive.full_evaluations / max(halving.full_evaluations, 1),
+                "x",
+                kind="ratio",
+            ),
+            Metric(
+                "screening_evaluations",
+                halving.screening_evaluations,
+                "candidates",
+                kind="count",
+            ),
+            Metric(
+                "full_evaluations",
+                halving.full_evaluations,
+                "candidates",
+                kind="count",
+            ),
+        ],
+        vectors=full_vectors,
+        jobs=bench_jobs(),
+    )
 
     # Timing: a fully warm successive-halving pass (screening + promotion
     # decisions + frontier maintenance; simulation answered by reuse).

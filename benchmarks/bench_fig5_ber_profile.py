@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from _bench_utils import bench_vectors, write_output
+from _bench_utils import Metric, bench_vectors, write_metrics, write_output
 
 from repro.analysis.figures import fig5_ber_per_bit
 
@@ -39,6 +39,20 @@ def test_fig5_ber_distribution(benchmark):
     print("\n=== Fig. 5 (this substrate) ===")
     print(text)
     write_output("fig5_ber_profile.txt", text)
+    write_metrics(
+        "fig5_ber_profile",
+        [
+            Metric(
+                f"mean_ber_vdd_{entry.vdd:0.1f}".replace(".", "p"),
+                entry.mean_ber,
+                "fraction",
+                kind="quality",
+                higher_is_better=False,
+            )
+            for entry in series
+        ],
+        vectors=bench_vectors(),
+    )
 
     by_vdd = {entry.vdd: entry for entry in series}
     # Mean BER grows monotonically as the supply is over-scaled.

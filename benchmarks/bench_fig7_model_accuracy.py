@@ -15,7 +15,7 @@ Paper shape to reproduce:
 
 from __future__ import annotations
 
-from _bench_utils import bench_vectors, write_output
+from _bench_utils import Metric, bench_vectors, write_metrics, write_output
 
 from repro.analysis.figures import fig7_model_accuracy
 from repro.core.calibration import calibrate_probability_table
@@ -52,6 +52,20 @@ def test_fig7_model_accuracy(benchmark):
     print("\n=== Fig. 7 (this substrate) ===")
     print(text)
     write_output("fig7_model_accuracy.txt", text)
+    write_metrics(
+        "fig7_model_accuracy",
+        [
+            Metric(
+                f"snr_{point.adder_name}_{point.metric}_db",
+                point.mean_snr_db,
+                "dB",
+                kind="quality",
+            )
+            for point in points
+            if point.mean_snr_db != float("inf")
+        ],
+        vectors=max(bench_vectors() // 2, 1000),
+    )
 
     assert len(points) == len(BENCHMARKS) * len(METRICS)
     for point in points:

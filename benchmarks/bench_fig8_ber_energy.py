@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from _bench_utils import write_output
+from _bench_utils import Metric, write_metrics, write_output
 
 from repro.analysis.figures import fig8_ber_energy_series, render_fig8
 from repro.core.triad import OperatingTriad
@@ -45,10 +45,19 @@ def test_fig8_all_adders(benchmark, benchmark_characterizations):
     write_output("fig8_ber_energy.txt", "\n\n".join(rendered))
 
     # Forward body bias dominates the best low-BER savings for every adder.
-    for characterization in benchmark_characterizations.values():
+    best_savings = {}
+    for name, characterization in benchmark_characterizations.items():
         low_ber = [e for e in characterization.results if e.ber <= 0.10]
         best = max(low_ber, key=characterization.energy_efficiency_of)
         assert best.triad.vbb == 2.0
+        best_savings[name] = characterization.energy_efficiency_of(best)
+    write_metrics(
+        "fig8_ber_energy",
+        [
+            Metric(f"best_low_ber_saving_{name}", saving, "fraction", kind="quality")
+            for name, saving in best_savings.items()
+        ],
+    )
 
     adder = build_adder("rca", 8)
     testbench = AdderTestbench(adder)

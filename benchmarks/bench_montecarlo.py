@@ -25,7 +25,7 @@ import tempfile
 
 import numpy as np
 
-from _bench_utils import bench_vectors, write_output
+from _bench_utils import Metric, bench_vectors, write_metrics, write_output
 from conftest import bench_jobs, bench_store
 
 from repro.analysis.figures import frontier_series, render_frontier
@@ -161,6 +161,24 @@ def test_montecarlo_yield_and_robust_frontier(benchmark):
     print("\n=== Monte Carlo yield analysis (this substrate) ===")
     print(text)
     write_output("montecarlo_yield.txt", text)
+    write_metrics(
+        "montecarlo",
+        [
+            Metric(
+                f"yield_at_2pct_vdd_{vdd:0.1f}".replace(".", "p"),
+                by_vdd[vdd].yield_at(YIELD_MARGIN),
+                "fraction",
+                kind="quality",
+            )
+            for vdd in SUPPLY_SWEEP
+        ]
+        + [
+            Metric("robust_frontier_points", len(robust_result.frontier), "points", kind="count"),
+            Metric("mc_samples", samples, "samples", kind="count"),
+        ],
+        vectors=n_vectors,
+        jobs=jobs,
+    )
 
     # Timing: a fully warm Monte Carlo sweep (store hits + statistics only).
     benchmark(run_yield)

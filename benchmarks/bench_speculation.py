@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from _bench_utils import bench_vectors, write_output
+from _bench_utils import Metric, bench_vectors, write_metrics, write_output
 
 from repro.core.speculation import DynamicSpeculationController
 
@@ -74,6 +74,19 @@ def test_dynamic_speculation_modes(benchmark, benchmark_characterizations):
     print("\n=== Dynamic speculation modes (this substrate) ===")
     print(text)
     write_output("speculation_modes.txt", text)
+    write_metrics(
+        "speculation",
+        [
+            Metric(
+                f"mode_gain_{row['adder']}_pp",
+                row["approximate_saving"] - row["accurate_saving"],
+                "pp",
+                kind="quality",
+            )
+            for row in rows
+        ],
+        vectors=bench_vectors(),
+    )
 
     characterization = benchmark_characterizations["rca8"]
     observations = list(np.clip(np.random.default_rng(0).normal(0.05, 0.02, 200), 0, 1))

@@ -1,0 +1,121 @@
+"""Per-shard dispatch overhead: shared-memory stimulus vs inline pickling.
+
+Every shard task of a sweep used to carry the full operand arrays through
+the pickle pipe -- megabytes serialised once per shard, again per pool
+rebuild.  With the shared-memory transport (:mod:`repro.core.shm`) the
+parent publishes the arrays once and each shard carries a
+:class:`SharedArrayRef` of a few hundred bytes.
+
+Two measurements:
+
+* **Per-shard task size** -- ``pickle.dumps`` bytes of the ref each shard
+  actually receives, inline vs shared.  Deterministic (no timing), so the
+  shrink ratio is the gated metric.
+* **Fan-out wall time** -- ``run_shards`` over ``REPRO_BENCH_JOBS`` (default
+  4) workers x 16 shards, each shard loading the stimulus and returning a
+  checksum, with the transport enabled vs disabled.  Results must be
+  identical; times are recorded for trend lines (pool spawn cost makes the
+  ratio machine-dependent, so it is not gated).
+
+``REPRO_BENCH_VECTORS`` sizes the stimulus arrays (default 4000 int64
+operands per input, the harness default).
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+
+import numpy as np
+
+from _bench_utils import Metric, bench_vectors, write_metrics, write_output
+from conftest import bench_jobs
+
+from repro.core.resilience import run_shards
+from repro.core.shm import share_arrays
+from repro.simulation.patterns import PatternConfig, generate_patterns
+
+N_SHARDS = 16
+
+#: Required inline-over-shared task-size shrink.  The ref is a couple of
+#: hundred bytes regardless of the stimulus, so at the default 4000-vector
+#: stimulus the true ratio is in the hundreds; 10x keeps the floor safe for
+#: tiny REPRO_BENCH_VECTORS overrides.
+SHRINK_FLOOR = 10.0
+
+
+def _checksum_shard(task):
+    ref, shard_index = task
+    arrays = ref.load()
+    return [int(arrays["in1"].sum() + arrays["in2"].sum()) + shard_index]
+
+
+def _dispatch(arrays, enabled: bool) -> tuple[list, float]:
+    bundle = share_arrays(arrays, enabled=enabled)
+    tasks = [(bundle.ref, index) for index in range(N_SHARDS)]
+    start = time.perf_counter()
+    results = run_shards(
+        tasks, _checksum_shard, max_workers=bench_jobs(), cleanup=bundle.unlink
+    )
+    return results, time.perf_counter() - start
+
+
+def test_sweep_dispatch_overhead():
+    """Compare per-shard task bytes and fan-out time, shared vs inline."""
+    n_vectors = bench_vectors()
+    in1, in2 = generate_patterns(
+        PatternConfig(n_vectors=n_vectors, width=8, seed=2017)
+    )
+    arrays = {
+        "in1": np.asarray(in1, dtype=np.int64),
+        "in2": np.asarray(in2, dtype=np.int64),
+    }
+    stimulus_bytes = sum(array.nbytes for array in arrays.values())
+
+    shared_bundle = share_arrays(arrays, enabled=True)
+    inline_bundle = share_arrays(arrays, enabled=False)
+    try:
+        assert shared_bundle.shared
+        assert not inline_bundle.shared
+        shared_task_bytes = len(pickle.dumps((shared_bundle.ref, 0)))
+        inline_task_bytes = len(pickle.dumps((inline_bundle.ref, 0)))
+    finally:
+        shared_bundle.unlink()
+        inline_bundle.unlink()
+    shrink = inline_task_bytes / shared_task_bytes
+
+    shared_results, t_shared = _dispatch(arrays, enabled=True)
+    inline_results, t_inline = _dispatch(arrays, enabled=False)
+    assert shared_results == inline_results, "transport must be invisible"
+
+    lines = [
+        "Sweep dispatch: shared-memory stimulus transport vs inline pickling",
+        f"stimulus: 2 x {n_vectors} int64 operands ({stimulus_bytes / 1e6:.1f} MB), "
+        f"{N_SHARDS} shards over {bench_jobs()} workers",
+        f"{'transport':<12}{'task bytes':>12}{'fan-out [s]':>13}",
+        f"{'inline':<12}{inline_task_bytes:>12,}{t_inline:>13.3f}",
+        f"{'shared':<12}{shared_task_bytes:>12,}{t_shared:>13.3f}",
+        f"per-shard task shrink: {shrink:,.0f}x "
+        f"({N_SHARDS * (inline_task_bytes - shared_task_bytes) / 1e6:.1f} MB "
+        f"less per dispatch)",
+    ]
+    text = "\n".join(lines)
+    print("\n=== Sweep dispatch ===")
+    print(text)
+    write_output("bench_sweep_dispatch.txt", text)
+    write_metrics(
+        "sweep_dispatch",
+        [
+            Metric("task_bytes_shrink", shrink, "x", kind="ratio"),
+            Metric("shared_task_bytes", shared_task_bytes, "B", kind="count"),
+            Metric("inline_task_bytes", inline_task_bytes, "B", kind="count"),
+            Metric("fanout_shared_s", t_shared, "s", kind="time"),
+            Metric("fanout_inline_s", t_inline, "s", kind="time"),
+        ],
+        vectors=n_vectors,
+        jobs=bench_jobs(),
+    )
+
+    assert shared_task_bytes < 1024, "the shared ref must stay tiny"
+    assert inline_task_bytes > stimulus_bytes, "inline must carry the arrays"
+    assert shrink >= SHRINK_FLOOR

@@ -15,7 +15,7 @@ the 8-bit area) must hold.
 
 from __future__ import annotations
 
-from _bench_utils import write_output
+from _bench_utils import Metric, write_metrics, write_output
 
 from repro.analysis.tables import table2_synthesis
 from repro.circuits.adders import build_adder
@@ -30,6 +30,23 @@ def test_table2_synthesis_report(benchmark):
     write_output("table2_synthesis.txt", text)
 
     by_name = {report.design_name: report for report in reports}
+    write_metrics(
+        "table2_synthesis",
+        [
+            Metric(f"area_{name}_um2", report.area_um2, "um2", kind="count")
+            for name, report in by_name.items()
+        ]
+        + [
+            Metric(
+                f"critical_path_{name}_ns",
+                report.critical_path_ns,
+                "ns",
+                kind="quality",
+                higher_is_better=False,
+            )
+            for name, report in by_name.items()
+        ],
+    )
     assert by_name["bka8"].critical_path_ns < by_name["rca8"].critical_path_ns
     assert by_name["bka16"].critical_path_ns < by_name["rca16"].critical_path_ns
     assert by_name["bka8"].area_um2 > by_name["rca8"].area_um2

@@ -9,7 +9,7 @@ critical paths), and verifies the 43-triad structure.
 
 from __future__ import annotations
 
-from _bench_utils import write_output
+from _bench_utils import Metric, write_metrics, write_output
 
 from repro.analysis.tables import PAPER_BENCHMARKS, table3_triads
 from repro.circuits.adders import build_adder
@@ -37,5 +37,12 @@ def test_table3_triad_grid(benchmark):
 
     for name in paper_labels:
         assert len(matched_labels[name]) == 43
+    write_metrics(
+        "table3_triads",
+        [
+            Metric(f"triads_{name}", len(matched_labels[name]), "triads", kind="count")
+            for name in paper_labels
+        ],
+    )
 
     benchmark(lambda: matched_triad_grid("rca8", critical_paths["rca8"]))

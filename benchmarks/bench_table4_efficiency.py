@@ -16,7 +16,7 @@ double-digit savings already at 0% BER, rising into the 80-90% range once a
 
 from __future__ import annotations
 
-from _bench_utils import write_output
+from _bench_utils import Metric, write_metrics, write_output
 
 from repro.analysis.tables import render_table4, table4_energy_efficiency
 from repro.core.energy import summarize_by_ber_range
@@ -30,6 +30,7 @@ def test_table4_energy_efficiency(benchmark, benchmark_characterizations):
     print(text)
     write_output("table4_efficiency.txt", text)
 
+    metrics = []
     for name, rows in summaries.items():
         by_label = {row.ber_range_label: row for row in rows}
         zero = by_label["0%"]
@@ -43,6 +44,18 @@ def test_table4_energy_efficiency(benchmark, benchmark_characterizations):
         )
         assert best_overall > zero.max_energy_efficiency
         assert best_overall > 0.7
+        metrics.append(
+            Metric(
+                f"zero_ber_efficiency_{name}",
+                zero.max_energy_efficiency,
+                "fraction",
+                kind="quality",
+            )
+        )
+        metrics.append(
+            Metric(f"best_efficiency_{name}", best_overall, "fraction", kind="quality")
+        )
+    write_metrics("table4_efficiency", metrics)
 
     rca8 = benchmark_characterizations["rca8"]
     benchmark(lambda: summarize_by_ber_range(rca8))

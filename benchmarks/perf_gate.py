@@ -1,0 +1,184 @@
+"""CI perf gate: diff ``BENCH_*.json`` runs against committed baselines.
+
+Every benchmark writes a machine-readable ``BENCH_<name>.json`` document
+(see :mod:`_bench_utils`).  This gate joins a fresh run against the
+baselines committed under ``benchmarks/baselines/`` on
+``(bench, metric name)`` and fails when a *gated* metric (kind ``ratio`` or
+``quality``) moved past the tolerance in its bad direction -- below baseline
+for higher-is-better metrics, above it for lower-is-better ones.
+Improvements never fail, whatever their size; ``time`` and ``count``
+metrics are machine-dependent and reported but never gated.
+
+Usage::
+
+    python perf_gate.py                  # compare output/ vs baselines/
+    python perf_gate.py --tolerance 0.1  # tighter gate (default 0.20)
+    python perf_gate.py --update         # rewrite baselines from output/
+
+Exit status: 0 = all gated metrics within tolerance, 1 = regression(s),
+2 = missing/invalid documents.  A benchmark present in the baselines but
+absent from the run is an error (a silently skipped benchmark must not
+green the gate); a new benchmark with no baseline is reported and passes
+(commit its baseline with ``--update``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import shutil
+import sys
+
+HERE = pathlib.Path(__file__).parent
+DEFAULT_CURRENT = HERE / "output"
+DEFAULT_BASELINES = HERE / "baselines"
+DEFAULT_TOLERANCE = 0.20
+
+GATED_KINDS = frozenset({"ratio", "quality"})
+
+
+def load_documents(directory: pathlib.Path) -> dict[str, dict]:
+    """Read every ``BENCH_*.json`` in a directory, keyed by bench name."""
+    documents: dict[str, dict] = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        document = json.loads(path.read_text(encoding="utf-8"))
+        for field in ("bench", "metrics"):
+            if field not in document:
+                raise ValueError(f"{path}: missing {field!r} field")
+        documents[document["bench"]] = document
+    return documents
+
+
+def _metrics(document: dict) -> dict[str, dict]:
+    return {metric["name"]: metric for metric in document["metrics"]}
+
+
+def compare(
+    baseline: dict[str, dict],
+    current: dict[str, dict],
+    tolerance: float,
+) -> tuple[list[str], list[str]]:
+    """Return (failures, notes) from joining current onto baseline."""
+    failures: list[str] = []
+    notes: list[str] = []
+
+    for bench in sorted(baseline):
+        if bench not in current:
+            failures.append(
+                f"{bench}: benchmark missing from the current run "
+                "(a skipped benchmark must not pass the gate)"
+            )
+            continue
+        base_metrics = _metrics(baseline[bench])
+        run_metrics = _metrics(current[bench])
+        for name, base in sorted(base_metrics.items()):
+            if base["kind"] not in GATED_KINDS:
+                continue
+            run = run_metrics.get(name)
+            if run is None:
+                failures.append(f"{bench}/{name}: gated metric missing from run")
+                continue
+            direction = base.get("higher_is_better")
+            if direction is None:
+                notes.append(f"{bench}/{name}: no gate direction, skipped")
+                continue
+            base_value = float(base["value"])
+            run_value = float(run["value"])
+            if base_value == 0.0:
+                notes.append(f"{bench}/{name}: zero baseline, skipped")
+                continue
+            change = (run_value - base_value) / abs(base_value)
+            regression = -change if direction else change
+            label = (
+                f"{bench}/{name}: {base_value:.4g} -> {run_value:.4g} "
+                f"({change:+.1%}, {'higher' if direction else 'lower'} is better)"
+            )
+            if regression > tolerance:
+                failures.append(f"REGRESSION {label} exceeds {tolerance:.0%}")
+            else:
+                notes.append(label)
+        for name in sorted(set(run_metrics) - set(base_metrics)):
+            if run_metrics[name]["kind"] in GATED_KINDS:
+                notes.append(f"{bench}/{name}: new gated metric, no baseline yet")
+
+    for bench in sorted(set(current) - set(baseline)):
+        notes.append(f"{bench}: new benchmark, no baseline yet (use --update)")
+    return failures, notes
+
+
+def update_baselines(current_dir: pathlib.Path, baseline_dir: pathlib.Path) -> int:
+    baseline_dir.mkdir(exist_ok=True)
+    copied = 0
+    for path in sorted(current_dir.glob("BENCH_*.json")):
+        shutil.copyfile(path, baseline_dir / path.name)
+        copied += 1
+        print(f"updated {baseline_dir / path.name}")
+    return copied
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--current",
+        type=pathlib.Path,
+        default=DEFAULT_CURRENT,
+        help="directory holding the fresh BENCH_*.json run (default: output/)",
+    )
+    parser.add_argument(
+        "--baselines",
+        type=pathlib.Path,
+        default=DEFAULT_BASELINES,
+        help="directory holding the committed baselines (default: baselines/)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="maximum tolerated relative regression of a gated metric "
+        "(default: 0.20 = 20%%)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="copy the current run over the baselines instead of gating",
+    )
+    args = parser.parse_args(argv)
+
+    if args.update:
+        copied = update_baselines(args.current, args.baselines)
+        if copied == 0:
+            print(f"no BENCH_*.json documents in {args.current}", file=sys.stderr)
+            return 2
+        return 0
+
+    try:
+        current = load_documents(args.current)
+        baseline = load_documents(args.baselines)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"perf gate: {error}", file=sys.stderr)
+        return 2
+    if not baseline:
+        print(f"perf gate: no baselines in {args.baselines}", file=sys.stderr)
+        return 2
+    if not current:
+        print(f"perf gate: no run documents in {args.current}", file=sys.stderr)
+        return 2
+
+    failures, notes = compare(baseline, current, args.tolerance)
+    for note in notes:
+        print(f"  {note}")
+    if failures:
+        print(f"\nperf gate FAILED ({len(failures)} problem(s)):", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"\nperf gate OK: {len(notes)} metric(s) within "
+        f"{args.tolerance:.0%} of baseline"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

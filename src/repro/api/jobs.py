@@ -333,6 +333,13 @@ class StoreVerifyJob:
 
 
 @dataclasses.dataclass(frozen=True)
+class StoreMigrateJob:
+    """Migrate the session's result store to the current on-disk layout
+    (legacy per-entry JSON files repack into packfile segments); unreadable
+    legacy entries are quarantined, never silently dropped."""
+
+
+@dataclasses.dataclass(frozen=True)
 class StorePruneJob:
     """Delete oldest store entries until the store fits the limits."""
 
@@ -365,6 +372,7 @@ Job = Union[
     FaultSweepJob,
     StoreStatsJob,
     StoreVerifyJob,
+    StoreMigrateJob,
     StorePruneJob,
 ]
 
@@ -381,6 +389,7 @@ JOB_TYPES: dict[str, type] = {
     "faults": FaultSweepJob,
     "store-stats": StoreStatsJob,
     "store-verify": StoreVerifyJob,
+    "store-migrate": StoreMigrateJob,
     "store-prune": StorePruneJob,
 }
 

@@ -43,6 +43,7 @@ from repro.api.jobs import (
     Job,
     MonteCarloJob,
     SpeculateJob,
+    StoreMigrateJob,
     StorePruneJob,
     StoreStatsJob,
     StoreVerifyJob,
@@ -58,6 +59,7 @@ from repro.api.results import (
     Fig5Result,
     MonteCarloResult,
     SpeculateResult,
+    StoreMigrateResult,
     StorePruneResult,
     StoreStatsResult,
     StoreVerifyResult,
@@ -183,6 +185,7 @@ class _SweepRequest:
     keep_latched: bool
     jobs: int
     policy: ExecutionPolicy | None = None
+    shared_memory: bool | None = None
 
 
 class _MergedSweep:
@@ -200,6 +203,7 @@ class _MergedSweep:
         self.triads: dict[str, tuple[OperatingTriad, bool]] = {}  # key -> (triad, keep)
         self.jobs = 1
         self.policy: ExecutionPolicy | None = None
+        self.shared_memory: bool | None = None
 
 
 class Session:
@@ -231,6 +235,12 @@ class Session:
         for sweep-running jobs that do not override it through their
         :class:`~repro.api.options.SweepOptions`; ``None`` keeps the engine
         default (retry twice, no shard timeout).
+    shared_memory:
+        Default stimulus transport of sharded sweeps for jobs that do not
+        override it through their SweepOptions: ``True``/``False`` force
+        shared memory on/off, ``None`` (the default) follows the
+        ``REPRO_SHM`` environment variable (see :mod:`repro.core.shm`).
+        Results are byte-identical either way.
     """
 
     def __init__(
@@ -241,6 +251,7 @@ class Session:
         jobs: int = 1,
         sta_margin: float = 1.5,
         policy: ExecutionPolicy | None = None,
+        shared_memory: bool | None = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -248,6 +259,7 @@ class Session:
         self._default_jobs = jobs
         self._sta_margin = sta_margin
         self._policy = policy
+        self._shared_memory = shared_memory
         if store == DEFAULT_STORE:
             backing: SweepResultStore | None = SweepResultStore.default()
         elif store is None or isinstance(store, SweepResultStore):
@@ -268,6 +280,7 @@ class Session:
         library: StandardCellLibrary = DEFAULT_LIBRARY,
         sta_margin: float = 1.5,
         policy: ExecutionPolicy | None = None,
+        shared_memory: bool | None = None,
     ) -> "Session":
         """Build a session from the shared :class:`StoreOptions` vocabulary."""
         options = store or StoreOptions()
@@ -277,6 +290,7 @@ class Session:
             jobs=jobs,
             sta_margin=sta_margin,
             policy=policy,
+            shared_memory=shared_memory,
         )
 
     # -- substrate -------------------------------------------------------------
@@ -322,6 +336,13 @@ class Session:
         sweep = getattr(job, "sweep", None)
         override = sweep.policy() if sweep is not None else None
         return override if override is not None else self._policy
+
+    def _shm_for(self, job: Any) -> bool | None:
+        """The job's stimulus-transport choice: its SweepOptions override,
+        else the session default (``None`` defers to ``REPRO_SHM``)."""
+        sweep = getattr(job, "sweep", None)
+        override = sweep.shared_memory if sweep is not None else None
+        return override if override is not None else self._shared_memory
 
     def _require_store(self) -> SweepResultStore:
         store = self._view.backing
@@ -371,6 +392,7 @@ class Session:
             store=self._view,
             policy=self._policy_for(job),
             report=report,
+            shm=self._shm_for(job),
         )
         if job.output:
             save_characterization(characterization, job.output)
@@ -429,6 +451,7 @@ class Session:
                     store=self._view,
                     policy=self._policy_for(job),
                     report=report,
+                    shm=self._shm_for(job),
                 )
             characterizations[characterization.adder_name] = characterization
         summaries = {
@@ -454,6 +477,7 @@ class Session:
             flow=self.flow_for(spec),
             policy=self._policy_for(job),
             report=report,
+            shm=self._shm_for(job),
         )
         return Fig5Result(
             operator=spec.name,
@@ -474,6 +498,7 @@ class Session:
             store=self._view,
             policy=self._policy_for(job),
             report=report,
+            shm=self._shm_for(job),
         )
         entry = characterization.results[0]
         measurement = characterization.measurement_for(triad)
@@ -538,6 +563,7 @@ class Session:
             ),
             policy=self._policy_for(job),
             report=report,
+            shm=self._shm_for(job),
         )
         result = run_search(
             space,
@@ -626,6 +652,7 @@ class Session:
             store=self._view,
             policy=self._policy_for(job),
             report=report,
+            shm=self._shm_for(job),
         )
         return MonteCarloResult(
             operator=flow.adder.name,
@@ -651,6 +678,7 @@ class Session:
             store=self._view,
             policy=self._policy_for(job),
             report=report,
+            shm=self._shm_for(job),
         )
         return FaultSweepResult(
             operator=circuit.name,
@@ -671,6 +699,11 @@ class Session:
     def _run_store_verify(self, job: StoreVerifyJob) -> StoreVerifyResult:
         store = self._require_store()
         return StoreVerifyResult(root=str(store.root), report=store.verify())
+
+    def _run_store_migrate(self, job: StoreMigrateJob) -> StoreMigrateResult:
+        store = self._require_store()
+        report = store.migrate()
+        return StoreMigrateResult(root=str(store.root), report=report)
 
     def _run_store_prune(self, job: StorePruneJob) -> StorePruneResult:
         store = self._require_store()
@@ -723,6 +756,7 @@ class Session:
         """
         worker_count = self._jobs_for(job)
         job_policy = self._policy_for(job)
+        job_shm = self._shm_for(job)
         if isinstance(job, CharacterizeJob):
             spec = job.spec
             flow = self.flow_for(spec)
@@ -734,6 +768,7 @@ class Session:
                     keep_latched=job.keep_measurements,
                     jobs=worker_count,
                     policy=job_policy,
+                    shared_memory=job_shm,
                 )
             ]
         if isinstance(job, Fig5Job):
@@ -756,6 +791,7 @@ class Session:
                     keep_latched=False,
                     jobs=worker_count,
                     policy=job_policy,
+                    shared_memory=job_shm,
                 )
             ]
         if isinstance(job, Table4Job):
@@ -781,6 +817,7 @@ class Session:
                         keep_latched=False,
                         jobs=worker_count,
                         policy=job_policy,
+                        shared_memory=job_shm,
                     )
                 )
             return requests
@@ -794,6 +831,7 @@ class Session:
                     keep_latched=True,
                     jobs=worker_count,
                     policy=job_policy,
+                    shared_memory=job_shm,
                 )
             ]
         return []
@@ -833,6 +871,8 @@ class Session:
                 group.jobs = max(group.jobs, request.jobs)
                 if group.policy is None:
                     group.policy = request.policy
+                if group.shared_memory is None:
+                    group.shared_memory = request.shared_memory
                 for triad in request.triads:
                     planned += 1
                     key = sweep_module.characterization_entry_key(base, triad)
@@ -874,6 +914,7 @@ class Session:
                     testbench=flow.testbench,
                     policy=group.policy,
                     report=report,
+                    shm=group.shared_memory,
                 )
         return planned, deduped, cache_hits
 
@@ -890,5 +931,6 @@ _HANDLERS = {
     FaultSweepJob: Session._run_faults,
     StoreStatsJob: Session._run_store_stats,
     StoreVerifyJob: Session._run_store_verify,
+    StoreMigrateJob: Session._run_store_migrate,
     StorePruneJob: Session._run_store_prune,
 }

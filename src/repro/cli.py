@@ -74,6 +74,7 @@ from repro.api.jobs import (
     Job,
     MonteCarloJob,
     SpeculateJob,
+    StoreMigrateJob,
     StorePruneJob,
     StoreStatsJob,
     StoreVerifyJob,
@@ -344,6 +345,12 @@ def build_parser() -> argparse.ArgumentParser:
         "verify", help="fsck pass: validate every entry, quarantine corrupt ones"
     )
     _add_store_dir_argument(store_verify)
+    store_migrate = store_commands.add_parser(
+        "migrate",
+        help="repack legacy per-entry JSON stores into the current packfile "
+        "layout (lossless; unreadable entries are quarantined)",
+    )
+    _add_store_dir_argument(store_migrate)
     store_prune = store_commands.add_parser(
         "prune", help="delete oldest entries until the store fits the limits"
     )
@@ -415,6 +422,12 @@ def _add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
         help="recovery action for crashed / timed-out / corrupt shards "
         "(default: retry)",
     )
+    parser.add_argument(
+        "--no-shm",
+        action="store_true",
+        help="pickle the stimulus into every shard instead of passing it "
+        "through shared memory (results are byte-identical either way)",
+    )
     _add_store_dir_argument(parser)
     parser.add_argument(
         "--no-cache",
@@ -465,10 +478,13 @@ def _session(args: argparse.Namespace) -> Session:
             no_cache=getattr(args, "no_cache", False),
         )
     )
-    policy = _sweep_options(args).policy()
+    sweep = _sweep_options(args)
     return _checked(
         lambda: Session.from_options(
-            options, jobs=getattr(args, "jobs", 1), policy=policy
+            options,
+            jobs=getattr(args, "jobs", 1),
+            policy=sweep.policy(),
+            shared_memory=sweep.shared_memory,
         )
     )
 
@@ -480,6 +496,7 @@ def _sweep_options(args: argparse.Namespace) -> SweepOptions:
             shard_timeout=getattr(args, "shard_timeout", None),
             max_retries=getattr(args, "max_retries", None),
             on_worker_failure=getattr(args, "on_worker_failure", None),
+            shared_memory=False if getattr(args, "no_shm", False) else None,
         )
     )
 
@@ -664,6 +681,8 @@ def _command_store(args: argparse.Namespace) -> int:
         job: Job = StoreStatsJob()
     elif args.store_command == "verify":
         job = StoreVerifyJob()
+    elif args.store_command == "migrate":
+        job = StoreMigrateJob()
     else:  # store_command == "prune" (the subparser enforces the choice)
         job = _checked(
             lambda: StorePruneJob(

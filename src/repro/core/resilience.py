@@ -43,6 +43,7 @@ through the API results and the CLI so silent degradation is visible.
 from __future__ import annotations
 
 import dataclasses
+import signal
 import time
 from collections import deque
 from concurrent.futures import (
@@ -267,6 +268,19 @@ def _invoke(worker: Callable[[Any], Any], task: Any, rule: Any) -> Any:
     return result
 
 
+def _init_worker() -> None:
+    """Worker-side pool initialiser: leave Ctrl-C to the orchestrator.
+
+    A terminal interrupt is delivered to the whole foreground process
+    group, so every pool worker would raise ``KeyboardInterrupt`` wherever
+    it happens to be -- an idle worker dies inside the queue machinery and
+    spews a traceback that races the parent's own clean teardown.  Workers
+    ignore the signal instead; the parent turns the interrupt into
+    :func:`_destroy_pool` (which terminates them) and a clean exit.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+
 def _destroy_pool(pool: ProcessPoolExecutor) -> None:
     """Tear a broken or hung pool down without waiting on its workers.
 
@@ -296,6 +310,7 @@ def run_shards(
     on_result: Callable[[Any, list[Any]], None] | None = None,
     chaos: "chaos_hooks.ChaosPlan | None" = None,
     report: ExecutionReport | None = None,
+    cleanup: Callable[[], None] | None = None,
 ) -> list[list[Any]]:
     """Execute shard tasks fault-tolerantly; return per-task unit lists.
 
@@ -336,6 +351,14 @@ def run_shards(
     report:
         Optional report to accumulate into (a fresh one is used otherwise);
         counters are added, so one report can span several runs.
+    cleanup:
+        Called exactly once when the run is over -- success, failure, or
+        interrupt -- after the pool is gone and the serial fallback has
+        finished, i.e. after the last point where a worker or this process
+        could still be using run-scoped resources.  The sweep orchestrators
+        release their shared-memory stimulus segment here
+        (:meth:`~repro.core.shm.SharedArrayBundle.unlink`).  Exceptions it
+        raises are swallowed: cleanup must never mask the run's outcome.
 
     Returns
     -------
@@ -352,6 +375,41 @@ def run_shards(
         shards completed before the interrupt have already been delivered
         through ``on_result``.
     """
+    try:
+        return _run_shards(
+            tasks,
+            worker,
+            policy=policy,
+            max_workers=max_workers,
+            units=units,
+            split=split,
+            validate=validate,
+            on_result=on_result,
+            chaos=chaos,
+            report=report,
+        )
+    finally:
+        if cleanup is not None:
+            try:
+                cleanup()
+            except Exception:
+                pass
+
+
+def _run_shards(
+    tasks: Sequence[Any],
+    worker: Callable[[Any], list[Any]],
+    *,
+    policy: ExecutionPolicy | None,
+    max_workers: int | None,
+    units: Callable[[Any], int] | None,
+    split: Callable[[Any], tuple[Any, Any]] | None,
+    validate: Callable[[Any, Any], bool] | None,
+    on_result: Callable[[Any, list[Any]], None] | None,
+    chaos: "chaos_hooks.ChaosPlan | None",
+    report: ExecutionReport | None,
+) -> list[list[Any]]:
+    """Engine body of :func:`run_shards`; cleanup is the wrapper's job."""
     tasks = list(tasks)
     if policy is None:
         policy = DEFAULT_POLICY
@@ -439,7 +497,9 @@ def run_shards(
             if policy.backoff_s > 0 and max_attempt > 0:
                 time.sleep(policy.backoff_s * (2 ** (max_attempt - 1)))
             if pool is None:
-                pool = ProcessPoolExecutor(max_workers=max_workers)
+                pool = ProcessPoolExecutor(
+                    max_workers=max_workers, initializer=_init_worker
+                )
             round_start = time.monotonic()
             broken = False
             failed_items: list[_Item] = []

@@ -1,0 +1,260 @@
+"""Shared-memory stimulus transport for sweep worker processes.
+
+The shard tasks of :mod:`repro.core.sweep` and
+:mod:`repro.variation.montecarlo` carry the operand streams of the sweep --
+the same one or two megabyte-scale int64 arrays duplicated into *every*
+shard.  With pickling transport, dispatching a 16-way sweep serialises the
+stimulus 16 times and copies it through 16 pipes.  This module moves the
+arrays into one POSIX shared-memory segment instead
+(:mod:`multiprocessing.shared_memory`): the parent publishes them once via
+:func:`share_arrays`, the shard tasks carry only a tiny picklable
+:class:`SharedArrayRef`, and each worker attaches, copies its view out, and
+detaches.
+
+Design points:
+
+* **One segment per sweep, owned by the parent.**  ``share_arrays`` packs
+  all arrays into a single segment named ``repro_shm_<pid>_<token>`` and
+  returns a :class:`SharedArrayBundle` whose :meth:`~SharedArrayBundle.unlink`
+  is the only destructor.  The sweep orchestrators hand it to
+  :func:`repro.core.resilience.run_shards` as the ``cleanup`` hook, which
+  runs it in a ``finally`` -- so the segment is removed even when workers
+  crash mid-attach, a shard times out, or the run is interrupted.
+* **Copy-on-attach.**  :meth:`SharedArrayRef.load` copies each array out of
+  the segment and closes the mapping before returning.  Workers never hold
+  live views into the segment, so the parent may unlink it at any time
+  without racing attached readers, and a worker that dies abruptly leaks no
+  mapping of consequence (the kernel reclaims it with the process).
+* **Transparent fallback.**  When shared memory is unavailable (``/dev/shm``
+  full, platform without it) or disabled -- per call via ``enabled=False``
+  or globally via the ``REPRO_SHM`` environment variable -- the ref simply
+  carries the arrays inline and pickles like before.  ``load()`` behaves
+  identically on both paths, and sweep results are byte-identical either
+  way: the transport moves bytes, it never transforms them.
+* **Crash janitor.**  A SIGKILLed or OOM-killed run can never unlink its
+  own segment, and POSIX shared memory outlives its creator by design.
+  Segment names embed the creating pid, so :func:`reap_stale_segments`
+  can tell garbage from live segments; ``share_arrays`` sweeps before
+  publishing, keeping ``/dev/shm`` bounded across crashed runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import os
+import secrets
+from multiprocessing import shared_memory
+from typing import Mapping
+
+import numpy as np
+
+#: Environment variable gating shared-memory transport.  Any of ``0``,
+#: ``off``, ``false`` or ``no`` (case-insensitive) forces the inline-pickle
+#: fallback; anything else (including unset) leaves it enabled.
+SHM_ENV = "REPRO_SHM"
+
+_DISABLED_VALUES = frozenset({"0", "off", "false", "no"})
+
+#: Prefix of every segment this module creates; tests sweep ``/dev/shm``
+#: for it to prove nothing leaks.
+SEGMENT_PREFIX = "repro_shm_"
+
+#: Where the kernel surfaces POSIX shared memory (Linux; absent elsewhere,
+#: which simply disables the janitor).
+_SHM_DIR = "/dev/shm"
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        # EPERM and friends: the process exists but is not ours.
+        return True
+    return True
+
+
+def reap_stale_segments() -> int:
+    """Unlink segments abandoned by dead processes; returns the count.
+
+    Best-effort and race-free by construction: only names whose embedded
+    creator pid no longer exists are touched (a live concurrent sweep keeps
+    its segments), and a segment that vanishes mid-sweep is skipped.
+    """
+    try:
+        names = os.listdir(_SHM_DIR)
+    except OSError:
+        return 0
+    reaped = 0
+    for name in names:
+        if not name.startswith(SEGMENT_PREFIX):
+            continue
+        pid_text = name[len(SEGMENT_PREFIX) :].split("_", 1)[0]
+        if not pid_text.isdigit() or _pid_alive(int(pid_text)):
+            continue
+        try:
+            os.unlink(os.path.join(_SHM_DIR, name))
+            reaped += 1
+        except OSError:
+            continue
+    return reaped
+
+
+def shm_enabled(flag: bool | None = None) -> bool:
+    """Whether shared-memory transport should be attempted.
+
+    An explicit ``flag`` wins; otherwise the :data:`SHM_ENV` environment
+    variable decides (default: enabled).
+    """
+    if flag is not None:
+        return bool(flag)
+    value = os.environ.get(SHM_ENV, "").strip().lower()
+    return value not in _DISABLED_VALUES
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment as a pure reader.
+
+    On Python >= 3.13, ``track=False`` keeps the attach out of the resource
+    tracker (the reader does not own the segment).  On older versions the
+    attach re-registers the name, which is harmless here: pool workers are
+    forked from the segment's creator and share its tracker, whose cache is
+    a set -- the duplicate registration dedupes and the creator's single
+    ``unlink()`` retires it.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+    except TypeError:
+        return shared_memory.SharedMemory(name=name)
+
+
+@dataclasses.dataclass(frozen=True)
+class _ArraySpec:
+    """Where one array lives inside the segment."""
+
+    field: str
+    dtype: str
+    shape: tuple[int, ...]
+    offset: int
+
+
+@dataclasses.dataclass(frozen=True)
+class SharedArrayRef:
+    """Picklable handle to a named set of arrays.
+
+    Either points into a shared-memory ``segment`` (the cheap path: a few
+    hundred bytes regardless of array size) or carries the arrays ``inline``
+    (the fallback path: pickles exactly like passing the arrays directly).
+    Workers call :meth:`load` and cannot tell the difference.
+    """
+
+    segment: str | None
+    specs: tuple[_ArraySpec, ...]
+    inline: tuple[tuple[str, np.ndarray], ...] = ()
+
+    def load(self) -> dict[str, np.ndarray]:
+        """Materialise the arrays, by field name.
+
+        On the shared path the returned arrays are private copies and the
+        segment mapping is closed before returning, so callers never hold
+        the segment open.
+        """
+        if self.segment is None:
+            return {field: array for field, array in self.inline}
+        segment = _attach(self.segment)
+        try:
+            arrays: dict[str, np.ndarray] = {}
+            for spec in self.specs:
+                count = math.prod(spec.shape)
+                view = np.frombuffer(
+                    segment.buf, dtype=spec.dtype, count=count, offset=spec.offset
+                )
+                arrays[spec.field] = view.reshape(spec.shape).copy()
+                del view
+            return arrays
+        finally:
+            segment.close()
+
+
+class SharedArrayBundle:
+    """Owner handle of one published array set.
+
+    ``ref`` is what travels inside shard tasks; :meth:`unlink` (idempotent,
+    never raises) releases the segment and must be called exactly once per
+    sweep, after the last worker that could attach has finished -- the
+    ``cleanup`` hook of :func:`repro.core.resilience.run_shards` is the
+    intended place.
+    """
+
+    def __init__(
+        self, ref: SharedArrayRef, segment: shared_memory.SharedMemory | None
+    ) -> None:
+        self.ref = ref
+        self._segment = segment
+
+    @property
+    def shared(self) -> bool:
+        """Whether the arrays actually live in shared memory."""
+        return self.ref.segment is not None
+
+    def unlink(self) -> None:
+        """Close and remove the segment (no-op on the fallback path)."""
+        segment, self._segment = self._segment, None
+        if segment is None:
+            return
+        try:
+            segment.close()
+        except Exception:
+            pass
+        try:
+            segment.unlink()
+        except Exception:
+            pass
+
+
+def share_arrays(
+    arrays: Mapping[str, np.ndarray], enabled: bool | None = None
+) -> SharedArrayBundle:
+    """Publish arrays for worker processes; always succeeds.
+
+    Copies each array into one fresh shared-memory segment and returns the
+    owning :class:`SharedArrayBundle`.  If shared memory is disabled (see
+    :func:`shm_enabled`) or the segment cannot be created, the bundle
+    degrades to inline transport -- callers need no error handling, only the
+    unconditional ``bundle.unlink()``.
+    """
+    items = [
+        (field, np.ascontiguousarray(array)) for field, array in arrays.items()
+    ]
+    if not shm_enabled(enabled):
+        return SharedArrayBundle(
+            SharedArrayRef(segment=None, specs=(), inline=tuple(items)), None
+        )
+    reap_stale_segments()
+    total = sum(array.nbytes for _, array in items)
+    name = f"{SEGMENT_PREFIX}{os.getpid()}_{secrets.token_hex(4)}"
+    try:
+        segment = shared_memory.SharedMemory(
+            name=name, create=True, size=max(total, 1)
+        )
+    except (OSError, ValueError):
+        return SharedArrayBundle(
+            SharedArrayRef(segment=None, specs=(), inline=tuple(items)), None
+        )
+    specs: list[_ArraySpec] = []
+    offset = 0
+    for field, array in items:
+        segment.buf[offset : offset + array.nbytes] = array.tobytes()
+        specs.append(
+            _ArraySpec(
+                field=field,
+                dtype=str(array.dtype),
+                shape=tuple(array.shape),
+                offset=offset,
+            )
+        )
+        offset += array.nbytes
+    ref = SharedArrayRef(segment=segment.name, specs=tuple(specs))
+    return SharedArrayBundle(ref, segment)

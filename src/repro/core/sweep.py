@@ -14,7 +14,9 @@ triad cheap; this module makes the *grid* scale:
   (``jobs`` workers).  Workers rebuild the circuit from its generator name;
   the parent verifies the rebuilt netlist fingerprint matches before
   dispatching, and falls back to in-process execution for circuits the
-  registry cannot reproduce.
+  registry cannot reproduce.  The operand streams travel through one
+  shared-memory segment (:mod:`repro.core.shm`) rather than being pickled
+  into every shard, with a transparent inline fallback (``REPRO_SHM=0``).
 * **Result store.**  Each triad's summary is a pure function of (circuit,
   stimulus, triad, library, engine version); completed entries are persisted
   in a content-addressed :class:`~repro.core.store.SweepResultStore`, so
@@ -52,13 +54,14 @@ from repro.circuits.multipliers import MultiplierCircuit, array_multiplier
 from repro.circuits.signals import int_to_bits
 from repro.core.metrics import mean_squared_error
 from repro.core.resilience import ExecutionPolicy, ExecutionReport, run_shards
+from repro.core.shm import SharedArrayRef, share_arrays
 from repro.core.store import (
     SweepResultStore,
     decode_int64_array,
-    encode_int64_array,
     library_fingerprint,
     netlist_fingerprint,
     operand_fingerprint,
+    pack_int64_array,
 )
 from repro.core.triad import OperatingTriad, TriadGrid
 from repro.simulation.engine import ENGINE_VERSION
@@ -260,7 +263,10 @@ def measurement_to_payload(
         "faulty_vector_fraction": measurement.faulty_vector_fraction,
     }
     if keep_latched:
-        payload["latched_words"] = encode_int64_array(measurement.latched_words)
+        # Raw bytes, not base64: the store writes them verbatim into pack
+        # records and warm reads hand the same bytes back, so cached and
+        # freshly computed payloads are identical dicts.
+        payload["latched_words"] = pack_int64_array(measurement.latched_words)
     return payload
 
 
@@ -371,8 +377,7 @@ def shard_triads(
 class _CharacterizationShard:
     spec: CircuitSpec
     library: StandardCellLibrary
-    in1: np.ndarray
-    in2: np.ndarray
+    stimulus: SharedArrayRef
     triads: tuple[tuple[float, float, float], ...]
     keep_latched: bool
 
@@ -380,8 +385,9 @@ class _CharacterizationShard:
 def _run_characterization_shard(task: _CharacterizationShard) -> list[dict[str, Any]]:
     circuit = task.spec.build()
     testbench = _make_testbench(circuit, task.library)
+    operands = task.stimulus.load()
     triads = [OperatingTriad(tclk=t, vdd=v, vbb=b) for t, v, b in task.triads]
-    measurements = testbench.run_sweep(task.in1, task.in2, triads)
+    measurements = testbench.run_sweep(operands["in1"], operands["in2"], triads)
     return [
         measurement_to_payload(m, circuit.output_width, task.keep_latched)
         for m in measurements
@@ -391,8 +397,7 @@ def _run_characterization_shard(task: _CharacterizationShard) -> list[dict[str, 
 @dataclasses.dataclass(frozen=True)
 class _FaultShard:
     spec: CircuitSpec
-    in1: np.ndarray
-    in2: np.ndarray
+    stimulus: SharedArrayRef
     faults: tuple[tuple[int, bool], ...]
 
 
@@ -401,9 +406,8 @@ def _run_fault_shard(task: _FaultShard) -> list[dict[str, Any]]:
     simulator = StuckAtFaultSimulator(
         circuit.netlist, output_ports=circuit.output_ports()
     )
-    assignment = circuit.input_assignment(
-        np.asarray(task.in1, dtype=np.int64), np.asarray(task.in2, dtype=np.int64)
-    )
+    operands = task.stimulus.load()
+    assignment = circuit.input_assignment(operands["in1"], operands["in2"])
     faults = [StuckAtFault(net=net, stuck_value=value) for net, value in task.faults]
     results = simulator.run(assignment, faults)
     return [_fault_result_to_payload(result) for result in results]
@@ -554,6 +558,7 @@ def run_characterization_sweep(
     policy: ExecutionPolicy | None = None,
     chaos: ChaosPlan | None = None,
     report: ExecutionReport | None = None,
+    shm: bool | None = None,
 ) -> list[dict[str, Any]]:
     """Characterize a circuit over a triad grid, sharded, cached, resilient.
 
@@ -592,6 +597,12 @@ def run_characterization_sweep(
     report:
         Optional :class:`~repro.core.resilience.ExecutionReport` to
         accumulate recovery accounting into.
+    shm:
+        Whether worker processes receive the operand streams through a
+        shared-memory segment (:mod:`repro.core.shm`) instead of pickling
+        them into every shard.  ``None`` (the default) follows the
+        ``REPRO_SHM`` environment variable; results are byte-identical
+        either way.
 
     Returns
     -------
@@ -608,10 +619,14 @@ def run_characterization_sweep(
     keys: dict[OperatingTriad, str] = {}
     payloads: dict[OperatingTriad, dict[str, Any]] = {}
     for triad in grid:
-        key = characterization_entry_key(base_components, triad)
-        keys[triad] = key
-        if store is not None:
-            cached = store.get(key)
+        keys[triad] = characterization_entry_key(base_components, triad)
+    if store is not None:
+        # One batch read for the whole grid: segments are visited in offset
+        # order instead of seeking per key, which is what keeps warm sweeps
+        # fast on multi-thousand-entry stores.
+        cached_batch = store.get_many([keys[triad] for triad in grid])
+        for triad in grid:
+            cached = cached_batch.get(keys[triad])
             if payload_usable(cached, n_vectors, keep_latched):
                 payloads[triad] = cached  # type: ignore[assignment]
 
@@ -621,12 +636,12 @@ def run_characterization_sweep(
         spec = _verified_spec(circuit, fingerprint) if jobs > 1 else None
         shards = shard_triads(missing, jobs if spec is not None else 1)
         if spec is not None and len(shards) > 1:
+            bundle = share_arrays({"in1": in1_arr, "in2": in2_arr}, enabled=shm)
             tasks = [
                 _CharacterizationShard(
                     spec=spec,
                     library=library,
-                    in1=in1_arr,
-                    in2=in2_arr,
+                    stimulus=bundle.ref,
                     triads=tuple((t.tclk, t.vdd, t.vbb) for t in shard),
                     keep_latched=keep_latched,
                 )
@@ -654,6 +669,7 @@ def run_characterization_sweep(
                 on_result=flush,
                 chaos=chaos,
                 report=report,
+                cleanup=bundle.unlink,
             )
             for shard, shard_result in zip(shards, shard_payloads):
                 for triad, payload in zip(shard, shard_result):
@@ -692,6 +708,7 @@ def run_fault_sweep(
     policy: ExecutionPolicy | None = None,
     chaos: ChaosPlan | None = None,
     report: ExecutionReport | None = None,
+    shm: bool | None = None,
 ) -> list[FaultSimulationResult]:
     """Run a stuck-at fault campaign, sharded over fault sites and cached.
 
@@ -702,7 +719,7 @@ def run_fault_sweep(
     fault, engine version) -- the cell library does not enter the key because
     stuck-at simulation is purely functional.
 
-    ``policy`` / ``chaos`` / ``report`` configure and account the
+    ``policy`` / ``chaos`` / ``report`` / ``shm`` configure and account the
     fault-tolerant shard engine exactly as in
     :func:`run_characterization_sweep`; completed shards (and, in-process,
     fixed-size fault blocks) flush to the store immediately.
@@ -727,15 +744,21 @@ def run_fault_sweep(
     keys: list[str] = []
     results: dict[int, FaultSimulationResult] = {}
     missing_indices: list[int] = []
-    for index, fault in enumerate(fault_list):
-        key = SweepResultStore.entry_key(
-            {
-                **base_components,
-                "fault": {"net": fault.net, "value": bool(fault.stuck_value)},
-            }
+    for fault in fault_list:
+        keys.append(
+            SweepResultStore.entry_key(
+                {
+                    **base_components,
+                    "fault": {
+                        "net": fault.net,
+                        "value": bool(fault.stuck_value),
+                    },
+                }
+            )
         )
-        keys.append(key)
-        cached = store.get(key) if store is not None else None
+    cached_batch = store.get_many(keys) if store is not None else {}
+    for index in range(len(fault_list)):
+        cached = cached_batch.get(keys[index])
         if (
             cached is not None
             and cached.get("payload_version") == PAYLOAD_VERSION
@@ -757,11 +780,11 @@ def run_fault_sweep(
             for i in missing_indices
         }
         if spec is not None and len(chunks) > 1:
+            bundle = share_arrays({"in1": in1_arr, "in2": in2_arr}, enabled=shm)
             tasks = [
                 _FaultShard(
                     spec=spec,
-                    in1=in1_arr,
-                    in2=in2_arr,
+                    stimulus=bundle.ref,
                     faults=tuple(
                         (fault_list[i].net, bool(fault_list[i].stuck_value))
                         for i in chunk
@@ -789,6 +812,7 @@ def run_fault_sweep(
                 on_result=flush,
                 chaos=chaos,
                 report=report,
+                cleanup=bundle.unlink,
             )
             for chunk, chunk_result in zip(chunks, chunk_payloads):
                 for index, payload in zip(chunk, chunk_result):

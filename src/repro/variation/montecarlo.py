@@ -38,12 +38,13 @@ import numpy as np
 from repro.circuits.multipliers import MultiplierCircuit
 from repro.circuits.signals import int_to_bits
 from repro.core.resilience import ExecutionPolicy, ExecutionReport, run_shards
+from repro.core.shm import SharedArrayRef, share_arrays
 from repro.core.store import (
     SweepResultStore,
     decode_float64_array,
-    encode_float64_array,
     library_fingerprint,
     netlist_fingerprint,
+    pack_float64_array,
 )
 from repro.core.sweep import CircuitSpec, record_simulated_units, verified_spec
 from repro.core.triad import OperatingTriad, TriadGrid
@@ -206,10 +207,10 @@ def _simulate_range(
                 "triad": {"tclk": triad.tclk, "vdd": triad.vdd, "vbb": triad.vbb},
                 "n_vectors": n_vectors,
                 "samples": {"start": start, "stop": stop},
-                "ber_samples": encode_float64_array(ber),
-                "faulty_fraction_samples": encode_float64_array(faulty),
-                "energy_samples": encode_float64_array(dynamic + static),
-                "static_energy_samples": encode_float64_array(static),
+                "ber_samples": pack_float64_array(ber),
+                "faulty_fraction_samples": pack_float64_array(faulty),
+                "energy_samples": pack_float64_array(dynamic + static),
+                "static_energy_samples": pack_float64_array(static),
                 "dynamic_energy_per_operation": dynamic,
             }
     return [payloads[index] for index in range(len(triads))]
@@ -219,8 +220,7 @@ def _simulate_range(
 class _MonteCarloShard:
     spec: CircuitSpec
     library: StandardCellLibrary
-    in1: np.ndarray
-    in2: np.ndarray
+    stimulus: SharedArrayRef
     triads: tuple[tuple[float, float, float], ...]
     model: GateVariationModel
     seed: int
@@ -230,6 +230,7 @@ class _MonteCarloShard:
 
 def _run_montecarlo_shard(task: _MonteCarloShard) -> list[dict[str, Any]]:
     circuit = task.spec.build()
+    operands = task.stimulus.load()
     triads = [
         OperatingTriad(tclk=t, vdd=v, vbb=b) for t, v, b in task.triads
     ]
@@ -237,8 +238,8 @@ def _run_montecarlo_shard(task: _MonteCarloShard) -> list[dict[str, Any]]:
         circuit,
         task.library,
         triads,
-        task.in1,
-        task.in2,
+        operands["in1"],
+        operands["in2"],
         task.model,
         task.seed,
         task.start,
@@ -289,6 +290,7 @@ def run_montecarlo_sweep(
     policy: ExecutionPolicy | None = None,
     chaos: ChaosPlan | None = None,
     report: ExecutionReport | None = None,
+    shm: bool | None = None,
 ) -> list[TriadVariationResult]:
     """Monte Carlo characterize a circuit over a triad grid, sharded + cached.
 
@@ -317,11 +319,12 @@ def run_montecarlo_sweep(
         fetched from / persisted to it (warm reruns simulate nothing).
         Every completed range flushes immediately -- sharded or in-process
         -- so an interrupted run resumes warm.
-    policy / chaos / report:
-        Fault-tolerance knobs of the shard engine, as in
-        :func:`repro.core.sweep.run_characterization_sweep`.  Sample-range
-        shards are never split on retry (the range decomposition *is* the
-        store-key layout), but all other recovery actions apply.
+    policy / chaos / report / shm:
+        Fault-tolerance and stimulus-transport knobs of the shard engine,
+        as in :func:`repro.core.sweep.run_characterization_sweep`.
+        Sample-range shards are never split on retry (the range
+        decomposition *is* the store-key layout), but all other recovery
+        actions apply.
 
     Returns
     -------
@@ -355,7 +358,7 @@ def run_montecarlo_sweep(
     payloads: dict[tuple[int, int], dict[str, Any]] = {}
     for range_index, (start, stop) in enumerate(ranges):
         for triad_index, triad in enumerate(triads):
-            key = SweepResultStore.entry_key(
+            keys[(range_index, triad_index)] = SweepResultStore.entry_key(
                 {
                     **base_components,
                     "triad": {
@@ -366,11 +369,13 @@ def run_montecarlo_sweep(
                     "samples": {"start": start, "stop": stop},
                 }
             )
-            keys[(range_index, triad_index)] = key
-            if store is not None:
-                cached = store.get(key)
-                if _payload_usable(cached, n_vectors, start, stop):
-                    payloads[(range_index, triad_index)] = cached  # type: ignore[assignment]
+    if store is not None:
+        cached_batch = store.get_many(list(keys.values()))
+        for (range_index, triad_index), key in keys.items():
+            start, stop = ranges[range_index]
+            cached = cached_batch.get(key)
+            if _payload_usable(cached, n_vectors, start, stop):
+                payloads[(range_index, triad_index)] = cached  # type: ignore[assignment]
 
     missing = [
         range_index
@@ -384,12 +389,12 @@ def run_montecarlo_sweep(
         record_simulated_units(len(missing) * len(triads))
         spec = verified_spec(circuit, fingerprint) if jobs > 1 else None
         if spec is not None and jobs > 1 and len(missing) > 1:
+            bundle = share_arrays({"in1": in1_arr, "in2": in2_arr}, enabled=shm)
             tasks = [
                 _MonteCarloShard(
                     spec=spec,
                     library=shifted,
-                    in1=in1_arr,
-                    in2=in2_arr,
+                    stimulus=bundle.ref,
                     triads=tuple((t.tclk, t.vdd, t.vbb) for t in triads),
                     model=config.model,
                     seed=config.seed,
@@ -422,6 +427,7 @@ def run_montecarlo_sweep(
                 on_result=flush,
                 chaos=chaos,
                 report=report,
+                cleanup=bundle.unlink,
             )
             for range_index, payload_list in zip(missing, range_payloads):
                 for triad_index, payload in enumerate(payload_list):

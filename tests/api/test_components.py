@@ -16,45 +16,50 @@ from repro.simulation.fault_injection import (
 )
 
 
+KEY_A = "a" * 64
+KEY_B = "b" * 64
+KEY_C = "c" * 64
+
+
 class TestMemoryOverlayStore:
     def test_pure_memory_round_trip(self):
         overlay = MemoryOverlayStore()
         assert overlay.backing is None
-        assert overlay.get("k") is None
-        overlay.put("k", {"a": 1})
-        assert overlay.get("k") == {"a": 1}
+        assert overlay.get(KEY_A) is None
+        overlay.put(KEY_A, {"a": 1})
+        assert overlay.get(KEY_A) == {"a": 1}
         assert len(overlay) == 1
 
     def test_reads_through_and_memoises_the_backing_store(self, tmp_path):
         backing = SweepResultStore(tmp_path)
-        backing.put("k", {"a": 1})
+        backing.put(KEY_A, {"a": 1})
         overlay = MemoryOverlayStore(backing)
-        assert overlay.get("k") == {"a": 1}
+        assert overlay.get(KEY_A) == {"a": 1}
         backing.clear()  # memoised: later reads never touch the disk again
-        assert overlay.get("k") == {"a": 1}
+        assert overlay.get(KEY_A) == {"a": 1}
 
     def test_writes_through_to_the_backing_store(self, tmp_path):
         backing = SweepResultStore(tmp_path)
         overlay = MemoryOverlayStore(backing)
-        overlay.put("k", {"a": 2})
-        assert backing.get("k") == {"a": 2}
+        overlay.put(KEY_A, {"a": 2})
+        assert backing.get(KEY_A) == {"a": 2}
 
     def test_lru_eviction_bounds_the_memory_layer(self):
         overlay = MemoryOverlayStore(max_entries=2)
-        overlay.put("a", {"v": 1})
-        overlay.put("b", {"v": 2})
-        assert overlay.get("a") == {"v": 1}  # refresh: "b" is now oldest
-        overlay.put("c", {"v": 3})
+        overlay.put(KEY_A, {"v": 1})
+        overlay.put(KEY_B, {"v": 2})
+        assert overlay.get(KEY_A) == {"v": 1}  # refresh: "b" is now oldest
+        overlay.put(KEY_C, {"v": 3})
         assert len(overlay) == 2
-        assert overlay.get("b") is None
-        assert overlay.get("a") == {"v": 1} and overlay.get("c") == {"v": 3}
+        assert overlay.get(KEY_B) is None
+        assert overlay.get(KEY_A) == {"v": 1} and overlay.get(KEY_C) == {"v": 3}
 
     def test_eviction_falls_back_to_the_backing_store(self, tmp_path):
         backing = SweepResultStore(tmp_path)
         overlay = MemoryOverlayStore(backing, max_entries=1)
-        overlay.put("a", {"v": 1})
-        overlay.put("b", {"v": 2})  # evicts "a" from memory only
-        assert overlay.get("a") == {"v": 1}  # re-read from disk
+        overlay.put(KEY_A, {"v": 1})
+        overlay.put(KEY_B, {"v": 2})  # evicts "a" from memory only
+        assert overlay.get(KEY_A) == {"v": 1}  # re-read from disk
 
     def test_max_entries_must_be_positive(self):
         with pytest.raises(ValueError, match="max_entries"):

@@ -13,6 +13,7 @@ from repro.api.jobs import (
     Fig5Job,
     MonteCarloJob,
     SpeculateJob,
+    StoreMigrateJob,
     StorePruneJob,
     StoreStatsJob,
     StoreVerifyJob,
@@ -46,6 +47,7 @@ ALL_JOBS = [
     FaultSweepJob(operator="rca8", pattern=PatternOptions(vectors=128)),
     StoreStatsJob(),
     StoreVerifyJob(),
+    StoreMigrateJob(),
     StorePruneJob(max_entries=5),
 ]
 
@@ -223,3 +225,9 @@ class TestSweepOptionsPolicy:
             jobs=2, shard_timeout=10.0, max_retries=1, on_worker_failure="retry"
         )
         assert SweepOptions.from_json(options.to_json()) == options
+
+    def test_shared_memory_round_trips_and_builds_no_policy(self):
+        options = SweepOptions(jobs=2, shared_memory=False)
+        assert SweepOptions.from_json(options.to_json()) == options
+        # Transport choice is orthogonal to the resilience policy.
+        assert options.policy() is None

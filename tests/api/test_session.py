@@ -12,6 +12,7 @@ from repro.api.jobs import (
     Fig5Job,
     MonteCarloJob,
     SpeculateJob,
+    StoreMigrateJob,
     StorePruneJob,
     StoreStatsJob,
     SynthesizeJob,
@@ -186,6 +187,29 @@ class TestSessionRuns:
         assert pruned.removed == 38 and pruned.stats.entries == 5
         assert "pruned 38 entries" in pruned.render()
 
+    def test_store_migrate_job_repacks_a_legacy_store(self, tmp_path):
+        from repro.core.store import (
+            SweepResultStore,
+            store_layout_version,
+            write_legacy_entry,
+        )
+
+        root = tmp_path / "cache"
+        warm = Session(store=root)
+        warm.run(CharacterizeJob(operator="rca8", pattern=SMALL))
+        legacy = tmp_path / "legacy"
+        for key, payload in SweepResultStore(root).snapshot().items():
+            write_legacy_entry(legacy, key, json.loads(payload))
+        assert store_layout_version(legacy) == 1
+
+        session = Session(store=legacy)
+        migrated = session.run(StoreMigrateJob())
+        assert migrated.report.migrated == 43
+        assert migrated.report.quarantined == 0
+        assert "migrated   : 43" in migrated.render()
+        assert store_layout_version(legacy) == 2
+        assert SweepResultStore(legacy).snapshot() == SweepResultStore(root).snapshot()
+
     def test_store_jobs_need_a_store(self, session):
         with pytest.raises(ValueError, match="no result store"):
             session.run(StoreStatsJob())
@@ -215,6 +239,28 @@ class TestSessionSubstrate:
             CharacterizeJob(operator="rca8", pattern=SMALL)
         )
         assert sharded.render() == reference.render()
+
+    def test_job_shared_memory_overrides_session_default(self):
+        job = CharacterizeJob(operator="rca8")
+        assert Session(store=None)._shm_for(job) is None
+        assert Session(store=None, shared_memory=False)._shm_for(job) is False
+        override = CharacterizeJob(
+            operator="rca8", sweep=SweepOptions(shared_memory=True)
+        )
+        assert Session(store=None, shared_memory=False)._shm_for(override) is True
+
+    def test_shared_memory_transport_is_invisible(self):
+        inline = Session(store=None, shared_memory=False).run(
+            CharacterizeJob(
+                operator="rca8", pattern=SMALL, sweep=SweepOptions(jobs=2)
+            )
+        )
+        shared = Session(store=None, shared_memory=True).run(
+            CharacterizeJob(
+                operator="rca8", pattern=SMALL, sweep=SweepOptions(jobs=2)
+            )
+        )
+        assert inline.render() == shared.render()
 
     def test_warm_session_memory_dedups_repeat_runs(self, session):
         from repro.core.sweep import simulated_unit_count
@@ -274,9 +320,9 @@ class TestResilienceIntegration:
         keys = [store.entry_key({"n": n}) for n in range(3)]
         for key in keys:
             store.put(key, {"n": key[:4]})
-        (root / keys[0][:2] / f"{keys[0]}.json").write_text(
-            "garbage", encoding="utf-8"
-        )
+        from _store_helpers import corrupt_one_entry
+
+        corrupt_one_entry(root, keys[0])
 
         result = Session(store=root).run(StoreVerifyJob())
         assert isinstance(result, StoreVerifyResult)

@@ -146,7 +146,7 @@ class TestSweepOptions:
         ]
         assert main(command) == 0
         cold_out = capsys.readouterr().out
-        assert any(cache.glob("*/*.json"))
+        assert any(cache.glob("packs/*.pack"))
         assert main(command) == 0
         warm_out = capsys.readouterr().out
         assert warm_out == cold_out
@@ -355,13 +355,17 @@ class TestStoreCommand:
         )
         out = capsys.readouterr().out
         assert "pruned" in out
-        assert len(list(cache.glob("*/*.json"))) == 5
+        from repro.core.store import SweepResultStore
+
+        assert len(SweepResultStore(cache)) == 5
 
     def test_prune_all(self, tmp_path, capsys):
         cache = self._populate(tmp_path)
         capsys.readouterr()
         assert main(["store", "prune", "--cache-dir", str(cache), "--all"]) == 0
-        assert not list(cache.glob("*/*.json"))
+        from repro.core.store import SweepResultStore
+
+        assert len(SweepResultStore(cache)) == 0
 
     def test_prune_requires_a_limit(self, tmp_path):
         with pytest.raises(SystemExit):
@@ -380,28 +384,60 @@ class TestStoreCommand:
         assert "quarantined: 0" in out
 
     def test_verify_quarantines_corrupt_entries(self, tmp_path, capsys):
+        from _store_helpers import corrupt_one_entry
+
         cache = self._populate(tmp_path)
-        victim = sorted(cache.glob("*/*.json"))[0]
-        victim.write_text("{ not json", encoding="utf-8")
+        victim = corrupt_one_entry(cache)
         capsys.readouterr()
         assert main(["store", "verify", "--cache-dir", str(cache)]) == 0
         out = capsys.readouterr().out
         assert "quarantined: 1" in out
-        assert not victim.exists()
-        assert (cache / "quarantine" / (victim.name + ".quarantined")).is_file()
+        assert list((cache / "quarantine").glob("*.quarantined"))
+        from repro.core.store import SweepResultStore
+
+        assert SweepResultStore(cache).get(victim) is None
         # The stats command reflects the quarantined entry afterwards.
         assert main(["store", "stats", "--cache-dir", str(cache)]) == 0
         assert "quarantined" in capsys.readouterr().out
 
     def test_verify_counts_unreadable_entries(self, tmp_path, capsys):
+        from _store_helpers import make_segment_unreadable
+
         cache = self._populate(tmp_path)
-        # A directory where an entry file should be is an I/O error on
+        # A directory where a pack segment should be is an I/O error on
         # read even when running as root.
-        (cache / "zz").mkdir(exist_ok=True)
-        (cache / "zz" / "zz-bogus.json").mkdir()
+        make_segment_unreadable(cache)
         capsys.readouterr()
         assert main(["store", "verify", "--cache-dir", str(cache)]) == 0
         assert "io errors" in capsys.readouterr().out
+
+    def test_migrate_repacks_a_legacy_store(self, tmp_path, capsys):
+        from repro.core.store import (
+            SweepResultStore,
+            store_layout_version,
+            write_legacy_entry,
+        )
+
+        cache = self._populate(tmp_path)
+        legacy = tmp_path / "legacy"
+        snapshot = SweepResultStore(cache).snapshot()
+        for key, payload in snapshot.items():
+            write_legacy_entry(legacy, key, json.loads(payload))
+        capsys.readouterr()
+        assert main(["store", "migrate", "--cache-dir", str(legacy)]) == 0
+        out = capsys.readouterr().out
+        assert f"migrated   : {len(snapshot)}" in out
+        assert store_layout_version(legacy) == 2
+        assert SweepResultStore(legacy).snapshot() == snapshot
+        # The migrated store passes a subsequent fsck.
+        assert main(["store", "verify", "--cache-dir", str(legacy)]) == 0
+        assert "quarantined: 0" in capsys.readouterr().out
+
+    def test_migrate_is_a_no_op_on_a_current_store(self, tmp_path, capsys):
+        cache = self._populate(tmp_path)
+        capsys.readouterr()
+        assert main(["store", "migrate", "--cache-dir", str(cache)]) == 0
+        assert "migrated   : 0" in capsys.readouterr().out
 
 
 class TestResilienceFlags:
@@ -420,6 +456,26 @@ class TestResilienceFlags:
         assert args.shard_timeout == 5.5
         assert args.max_retries == 1
         assert args.on_worker_failure == "split-and-retry"
+
+    def test_no_shm_parses_into_the_sweep_vocabulary(self):
+        args = build_parser().parse_args(["characterize", "--no-shm"])
+        assert args.no_shm is True
+        args = build_parser().parse_args(["characterize"])
+        assert args.no_shm is False
+
+    def test_no_shm_is_byte_identical(self, capsys):
+        common = [
+            "characterize",
+            "--vectors",
+            "300",
+            "--no-cache",
+            "--jobs",
+            "2",
+        ]
+        assert main(common) == 0
+        shared_out = capsys.readouterr().out
+        assert main(common + ["--no-shm"]) == 0
+        assert capsys.readouterr().out == shared_out
 
     def test_unknown_failure_action_rejected(self):
         with pytest.raises(SystemExit):
@@ -691,17 +747,11 @@ class TestMonteCarloCommand:
         )
         sharded_out = capsys.readouterr().out
         assert sharded_out == serial_out
-        serial_files = sorted(
-            path.relative_to(serial_cache) for path in serial_cache.glob("*/*.json")
-        )
-        sharded_files = sorted(
-            path.relative_to(sharded_cache) for path in sharded_cache.glob("*/*.json")
-        )
-        assert serial_files == sharded_files and serial_files
-        for relative in serial_files:
-            assert (serial_cache / relative).read_bytes() == (
-                sharded_cache / relative
-            ).read_bytes()
+        from _store_helpers import store_snapshot
+
+        serial_entries = store_snapshot(serial_cache)
+        sharded_entries = store_snapshot(sharded_cache)
+        assert serial_entries and serial_entries == sharded_entries
 
     def test_warm_rerun_is_identical(self, tmp_path, capsys):
         cache = tmp_path / "cache"

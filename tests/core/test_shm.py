@@ -1,0 +1,335 @@
+"""Tests of the shared-memory stimulus transport and its failure edges.
+
+The transport's contract is invisibility: sweep results are byte-identical
+whether operands travel through a shared-memory segment or inline pickles,
+and no ``/dev/shm`` segment survives a run -- not a clean one, not one whose
+workers crashed mid-attach, not one sabotaged by a chaos plan while the
+packfile store was flushing shards.
+"""
+
+import glob
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.circuits.adders import build_adder
+from repro.core.resilience import ExecutionPolicy, ExecutionReport, run_shards
+from repro.core.shm import (
+    SEGMENT_PREFIX,
+    SHM_ENV,
+    SharedArrayRef,
+    reap_stale_segments,
+    share_arrays,
+    shm_enabled,
+)
+from repro.core.store import SweepResultStore
+from repro.core.sweep import (
+    pattern_stimulus,
+    run_characterization_sweep,
+    simulated_unit_count,
+)
+from repro.core.triad import TriadGrid
+from repro.simulation.patterns import PatternConfig, generate_patterns
+from repro.testing.chaos import ChaosPlan, ChaosRule
+
+
+def _live_segments():
+    return sorted(glob.glob(f"/dev/shm/{SEGMENT_PREFIX}*"))
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_segments():
+    """Every test in this file must leave ``/dev/shm`` exactly as it found it."""
+    before = _live_segments()
+    yield
+    assert _live_segments() == before
+
+
+ARRAYS = {
+    "in1": np.arange(512, dtype=np.int64).reshape(4, 128),
+    "in2": np.linspace(-1.0, 1.0, 99),
+}
+
+
+class TestShareArrays:
+    def test_shared_round_trip_preserves_values_dtypes_shapes(self):
+        bundle = share_arrays(ARRAYS, enabled=True)
+        try:
+            assert bundle.shared
+            loaded = bundle.ref.load()
+            assert set(loaded) == set(ARRAYS)
+            for field, array in ARRAYS.items():
+                assert loaded[field].dtype == array.dtype
+                assert loaded[field].shape == array.shape
+                assert np.array_equal(loaded[field], array)
+        finally:
+            bundle.unlink()
+
+    def test_loaded_arrays_are_private_copies(self):
+        bundle = share_arrays(ARRAYS, enabled=True)
+        loaded = bundle.ref.load()
+        bundle.unlink()  # segment gone; copies must stay intact and writable
+        loaded["in1"][0, 0] = -7
+        assert loaded["in1"][0, 0] == -7
+        assert ARRAYS["in1"][0, 0] == 0
+
+    def test_unlink_is_idempotent(self):
+        bundle = share_arrays(ARRAYS, enabled=True)
+        bundle.unlink()
+        bundle.unlink()
+
+    def test_shared_ref_pickles_small(self):
+        big = {"in1": np.zeros(1_000_000, dtype=np.int64)}
+        bundle = share_arrays(big, enabled=True)
+        try:
+            assert len(pickle.dumps(bundle.ref)) < 1_000
+        finally:
+            bundle.unlink()
+
+    def test_disabled_falls_back_to_inline(self):
+        bundle = share_arrays(ARRAYS, enabled=False)
+        assert not bundle.shared
+        loaded = bundle.ref.load()
+        for field, array in ARRAYS.items():
+            assert np.array_equal(loaded[field], array)
+        bundle.unlink()  # no-op
+
+    def test_inline_ref_round_trips_through_pickle(self):
+        bundle = share_arrays(ARRAYS, enabled=False)
+        loaded = pickle.loads(pickle.dumps(bundle.ref)).load()
+        assert np.array_equal(loaded["in1"], ARRAYS["in1"])
+
+    def test_creation_failure_falls_back_to_inline(self, monkeypatch):
+        def refuse(*args, **kwargs):
+            raise OSError("no space on /dev/shm")
+
+        monkeypatch.setattr(
+            "repro.core.shm.shared_memory.SharedMemory", refuse
+        )
+        bundle = share_arrays(ARRAYS, enabled=True)
+        assert not bundle.shared
+        assert np.array_equal(bundle.ref.load()["in2"], ARRAYS["in2"])
+
+    @pytest.mark.parametrize("value", ["0", "off", "OFF", "false", "no"])
+    def test_env_values_that_disable(self, monkeypatch, value):
+        monkeypatch.setenv(SHM_ENV, value)
+        assert not shm_enabled()
+        assert not share_arrays(ARRAYS).shared
+
+    @pytest.mark.parametrize("value", [None, "1", "on", ""])
+    def test_env_values_that_enable(self, monkeypatch, value):
+        if value is None:
+            monkeypatch.delenv(SHM_ENV, raising=False)
+        else:
+            monkeypatch.setenv(SHM_ENV, value)
+        assert shm_enabled()
+
+    def test_explicit_flag_beats_environment(self, monkeypatch):
+        monkeypatch.setenv(SHM_ENV, "0")
+        assert shm_enabled(True)
+        bundle = share_arrays(ARRAYS, enabled=True)
+        try:
+            assert bundle.shared
+        finally:
+            bundle.unlink()
+
+
+# -- the run_shards cleanup hook ----------------------------------------------
+
+
+def _double(task):
+    return [value * 2 for value in task]
+
+
+class TestRunShardsCleanup:
+    def test_cleanup_runs_once_after_success(self):
+        calls = []
+        assert run_shards(
+            [[1, 2]], _double, cleanup=lambda: calls.append(1)
+        ) == [[2, 4]]
+        assert calls == [1]
+
+    def test_cleanup_runs_on_empty_task_list(self):
+        calls = []
+        run_shards([], _double, cleanup=lambda: calls.append(1))
+        assert calls == [1]
+
+    def test_cleanup_runs_when_the_policy_fails_the_run(self):
+        calls = []
+        chaos = ChaosPlan((ChaosRule(action="crash", shard=0, attempt=0),))
+        with pytest.raises(Exception):
+            run_shards(
+                [[1, 2]],
+                _double,
+                policy=ExecutionPolicy(on_failure="fail"),
+                chaos=chaos,
+                cleanup=lambda: calls.append(1),
+            )
+        assert calls == [1]
+
+    def test_cleanup_exceptions_never_mask_the_result(self):
+        def explode():
+            raise RuntimeError("cleanup bug")
+
+        assert run_shards([[3]], _double, cleanup=explode) == [[6]]
+
+
+class TestStaleSegmentJanitor:
+    def _orphan(self, pid):
+        """A segment named as if created by ``pid``, never unlinked."""
+        from multiprocessing import shared_memory
+
+        segment = shared_memory.SharedMemory(
+            name=f"{SEGMENT_PREFIX}{pid}_deadbeef", create=True, size=16
+        )
+        path = f"/dev/shm/{segment.name}"
+        segment.close()
+        return path
+
+    def _dead_pid(self):
+        import subprocess
+        import sys
+
+        probe = subprocess.run(
+            [sys.executable, "-c", "import os; print(os.getpid())"],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        return int(probe.stdout)
+
+    def test_segments_of_dead_processes_are_reaped(self):
+        # A SIGKILLed run cannot unlink its own segment; the janitor can.
+        path = self._orphan(self._dead_pid())
+        assert os.path.exists(path)
+        assert reap_stale_segments() >= 1
+        assert not os.path.exists(path)
+
+    def test_segments_of_live_processes_survive(self):
+        path = self._orphan(os.getpid())
+        try:
+            reap_stale_segments()
+            assert os.path.exists(path)
+        finally:
+            os.unlink(path)
+
+    def test_share_arrays_sweeps_before_publishing(self):
+        path = self._orphan(self._dead_pid())
+        bundle = share_arrays(ARRAYS, enabled=True)
+        try:
+            assert not os.path.exists(path)
+        finally:
+            bundle.unlink()
+
+
+# -- worker crash while the segment is attached -------------------------------
+
+
+def _crash_attached_once(task):
+    """Shard body that dies hard with the segment mapping live -- once."""
+    ref, marker, values = task
+    if marker and not os.path.exists(marker):
+        with open(marker, "w", encoding="utf-8"):
+            pass
+        from repro.core.shm import _attach
+
+        _attach(ref.segment)  # mapping held open across the hard exit
+        os._exit(32)
+    base = int(ref.load()["base"].sum())
+    return [value + base for value in values]
+
+
+class TestWorkerCrashWhileAttached:
+    def test_no_segment_leaks_and_the_report_is_accurate(self, tmp_path):
+        bundle = share_arrays(
+            {"base": np.full(8, 10, dtype=np.int64)}, enabled=True
+        )
+        assert bundle.shared
+        marker = str(tmp_path / "crashed-once")
+        tasks = [(bundle.ref, marker, [1, 2]), (bundle.ref, "", [3])]
+        report = ExecutionReport()
+        result = run_shards(
+            tasks,
+            _crash_attached_once,
+            policy=ExecutionPolicy(max_retries=2),
+            units=lambda task: len(task[2]),
+            report=report,
+            cleanup=bundle.unlink,
+        )
+        assert result == [[81, 82], [83]]
+        assert os.path.exists(marker)
+        assert report.crashes >= 1
+        assert report.pool_rebuilds >= 1
+        assert report.recovered_shards >= 1
+        assert not _live_segments()
+
+
+# -- orchestrator-level byte-identity and chaos interaction -------------------
+
+
+@pytest.fixture(scope="module")
+def sweep_inputs():
+    grid = TriadGrid.from_product(
+        (0.5, 0.3), supply_voltages=(1.0, 0.6), body_bias_voltages=(0.0,)
+    )
+    config = PatternConfig(n_vectors=200, width=8, seed=7)
+    in1, in2 = generate_patterns(config)
+    return build_adder("rca", 8), grid, in1, in2, pattern_stimulus(config)
+
+
+class TestTransportInvisibility:
+    def test_fallback_is_byte_identical_to_shared(self, sweep_inputs, monkeypatch):
+        adder, grid, in1, in2, stimulus = sweep_inputs
+        shared = run_characterization_sweep(
+            adder, grid, in1, in2, stimulus, jobs=2, shm=True
+        )
+        monkeypatch.setenv(SHM_ENV, "off")
+        inline = run_characterization_sweep(
+            adder, grid, in1, in2, stimulus, jobs=2
+        )
+        assert inline == shared
+
+    def test_chaos_crash_with_packfile_flush_stays_consistent(
+        self, sweep_inputs, tmp_path
+    ):
+        # A worker crash mid-sweep must leak no segment, leave the packfile
+        # store verifiable, and leave it warm enough that a rerun simulates
+        # zero units.
+        adder, grid, in1, in2, stimulus = sweep_inputs
+        store = SweepResultStore(tmp_path / "cache")
+        chaos = ChaosPlan((ChaosRule(action="crash", shard=0, attempt=0),))
+        report = ExecutionReport()
+        first = run_characterization_sweep(
+            adder,
+            grid,
+            in1,
+            in2,
+            stimulus,
+            jobs=2,
+            store=store,
+            shm=True,
+            policy=ExecutionPolicy(max_retries=2, shard_timeout_s=30.0),
+            chaos=chaos,
+            report=report,
+        )
+        assert report.crashes >= 1
+        assert not _live_segments()
+        fsck = SweepResultStore(store.root).verify()
+        assert fsck.quarantined == 0
+        assert fsck.io_errors == 0
+        assert fsck.scanned == fsck.valid == len(list(grid))
+        before = simulated_unit_count()
+        warm = run_characterization_sweep(
+            adder,
+            grid,
+            in1,
+            in2,
+            stimulus,
+            jobs=2,
+            store=SweepResultStore(store.root),
+            shm=True,
+        )
+        assert simulated_unit_count() == before
+        assert warm == first

@@ -1,4 +1,4 @@
-"""Tests of the content-addressed sweep result store."""
+"""Tests of the content-addressed sweep result store (packfile layout)."""
 
 import dataclasses
 import json
@@ -7,9 +7,14 @@ import numpy as np
 import pytest
 
 from repro.circuits.adders import build_adder
+from repro.core import store as store_module
+from repro.core.packfile import encode_blobs
 from repro.core.store import (
+    FORMAT_FILE,
+    PACKS_DIR,
     QUARANTINE_DIR,
     QUARANTINE_SUFFIX,
+    STORE_VERSION,
     SweepResultStore,
     decode_float64_array,
     decode_int64_array,
@@ -18,9 +23,43 @@ from repro.core.store import (
     library_fingerprint,
     netlist_fingerprint,
     operand_fingerprint,
+    store_layout_version,
+    write_legacy_entry,
 )
 from repro.technology.fdsoi28 import FDSOI28_LVT
 from repro.technology.library import DEFAULT_LIBRARY, StandardCellLibrary
+
+
+def _pack_files(store):
+    return sorted((store.root / PACKS_DIR).glob("*.pack"))
+
+
+def _idx_files(store):
+    return sorted((store.root / PACKS_DIR).glob("*.idx"))
+
+
+def _index_lines(store):
+    """All add-lines of all index files, in file order."""
+    lines = []
+    for path in _idx_files(store):
+        for raw in path.read_text(encoding="utf-8").splitlines():
+            record = json.loads(raw)
+            if "k" in record:
+                record["segment"] = path.name[: -len(".idx")]
+                lines.append(record)
+    return lines
+
+
+def _corrupt_record(store, key):
+    """Flip a byte inside ``key``'s record body on disk."""
+    for line in _index_lines(store):
+        if line["k"] == key:
+            path = store.root / PACKS_DIR / (line["segment"] + ".pack")
+            data = bytearray(path.read_bytes())
+            data[line["o"] + 20] ^= 0xFF
+            path.write_bytes(bytes(data))
+            return line
+    raise AssertionError(f"key {key} not found in any index")
 
 
 class TestFingerprints:
@@ -94,6 +133,19 @@ class TestEntryKeys:
         b = SweepResultStore.entry_key({"tclk": 2.8000000001e-10})
         assert a != b
 
+    def test_keys_do_not_depend_on_the_container_version(self):
+        # STORE_VERSION names the on-disk layout only; mixing it into keys
+        # would orphan every migrated entry.
+        key = SweepResultStore.entry_key({"n": 1})
+        assert key == SweepResultStore.entry_key({"n": 1})
+        payload = {"n": 1, "store_format": store_module.STORE_FORMAT_VERSION}
+        import hashlib
+
+        expected = hashlib.sha256(
+            json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+        ).hexdigest()
+        assert key == expected
+
 
 class TestSweepResultStore:
     def test_round_trip(self, tmp_path):
@@ -104,39 +156,74 @@ class TestSweepResultStore:
         fetched = SweepResultStore(tmp_path).get(key)
         assert fetched == {"ber": 0.25, "bitwise_error": [0.0, 0.5]}
 
+    def test_binary_array_fields_round_trip_byte_identically(self, tmp_path):
+        store = SweepResultStore(tmp_path)
+        key = store.entry_key({"n": "arrays"})
+        words = np.arange(500, dtype=np.int64)
+        samples = np.random.default_rng(1).random(64)
+        payload = {
+            "summary": {"ber": 0.5},
+            "latched_words": encode_int64_array(words),
+            "ber_samples": encode_float64_array(samples),
+        }
+        store.put(key, payload)
+        fetched = SweepResultStore(tmp_path).get(key)
+        # Warm reads hand the array fields back as raw bytes -- never
+        # re-encoded to base64 -- and the codec decodes them bit-exactly.
+        assert isinstance(fetched["latched_words"], bytes)
+        assert np.array_equal(decode_int64_array(fetched["latched_words"]), words)
+        assert np.array_equal(
+            decode_float64_array(fetched["ber_samples"]), samples
+        )
+        # Through encode_blobs the payload is byte-identical to the input:
+        # warm entries compare equal to fresh computations.
+        assert encode_blobs(fetched) == payload
+
+    def test_non_canonical_base64_field_survives_verbatim(self, tmp_path):
+        # A blob-eligible field whose value is not canonical base64 must be
+        # kept as the literal string, never rewritten through a decode.
+        store = SweepResultStore(tmp_path)
+        key = store.entry_key({"n": "odd"})
+        payload = {"latched_words": "not base64!!", "energy_samples": 12.5}
+        store.put(key, payload)
+        assert SweepResultStore(tmp_path).get(key) == payload
+
     def test_missing_directory_reads_empty(self, tmp_path):
         store = SweepResultStore(tmp_path / "does-not-exist")
         assert len(store) == 0
         assert store.get("ab" + "0" * 62) is None
 
-    def test_corrupted_entry_is_dropped_and_recomputed(self, tmp_path):
+    def test_corrupted_record_is_dropped_and_recomputed(self, tmp_path):
         store = SweepResultStore(tmp_path)
         key = store.entry_key({"n": 2})
         store.put(key, {"ber": 0.5})
-        path = store.root / key[:2] / f"{key}.json"
-        path.write_text("{ truncated garbage", encoding="utf-8")
-        assert store.get(key) is None
-        assert store.stats.corrupt == 1
-        assert not path.exists()
+        _corrupt_record(store, key)
+        fresh = SweepResultStore(tmp_path)
+        assert fresh.get(key) is None
+        assert fresh.stats.corrupt == 1
         # The entry can be rewritten and read again afterwards.
-        store.put(key, {"ber": 0.5})
-        assert store.get(key) == {"ber": 0.5}
+        fresh.put(key, {"ber": 0.5})
+        assert fresh.get(key) == {"ber": 0.5}
 
-    def test_entry_under_wrong_key_is_rejected(self, tmp_path):
+    def test_record_under_wrong_key_is_rejected(self, tmp_path):
+        # Forge an index line that points a different key at a valid record:
+        # the record embeds its own key, so the lookup is a corruption, not
+        # a hit.
         store = SweepResultStore(tmp_path)
         key_a = store.entry_key({"n": "a"})
         key_b = store.entry_key({"n": "b"})
         store.put(key_a, {"ber": 0.5})
-        source = store.root / key_a[:2] / f"{key_a}.json"
-        target = store.root / key_b[:2]
-        target.mkdir(parents=True, exist_ok=True)
-        (target / f"{key_b}.json").write_text(
-            source.read_text(encoding="utf-8"), encoding="utf-8"
-        )
-        # The copied entry embeds key_a, so looking it up under key_b is a
-        # corruption, not a hit.
-        assert store.get(key_b) is None
-        assert store.stats.corrupt == 1
+        (line,) = _index_lines(store)
+        idx = store.root / PACKS_DIR / (line["segment"] + ".idx")
+        forged = dict(line)
+        forged.pop("segment")
+        forged["k"] = key_b
+        with open(idx, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(forged) + "\n")
+        fresh = SweepResultStore(tmp_path)
+        assert fresh.get(key_b) is None
+        assert fresh.stats.corrupt == 1
+        assert fresh.get(key_a) == {"ber": 0.5}
 
     def test_clear_and_len(self, tmp_path):
         store = SweepResultStore(tmp_path)
@@ -156,14 +243,39 @@ class TestSweepResultStore:
         assert store.stats.hits == 1
         assert store.stats.stores == 1
 
-    def test_payloads_are_json_documents(self, tmp_path):
+    def test_entries_live_in_pack_segments(self, tmp_path):
         store = SweepResultStore(tmp_path)
-        key = store.entry_key({"n": 4})
-        store.put(key, {"ber": 0.125})
-        path = store.root / key[:2] / f"{key}.json"
-        document = json.loads(path.read_text(encoding="utf-8"))
-        assert document["key"] == key
-        assert document["ber"] == 0.125
+        for n in range(3):
+            store.put(store.entry_key({"n": n}), {"n": n})
+        packs = _pack_files(store)
+        assert len(packs) == 1  # one writer = one segment
+        assert packs[0].read_bytes().startswith(b"RPK2")
+        # No per-entry JSON files anywhere.
+        assert not list(store.root.glob("*/*.json"))
+        marker = json.loads((store.root / FORMAT_FILE).read_text(encoding="utf-8"))
+        assert marker == {"store_version": STORE_VERSION}
+        assert store_layout_version(store.root) == STORE_VERSION
+
+    def test_segments_rotate_at_the_size_cap(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(store_module, "MAX_SEGMENT_BYTES", 4096)
+        store = SweepResultStore(tmp_path)
+        keys = [store.entry_key({"n": n}) for n in range(8)]
+        for key in keys:
+            store.put(key, {"pad": "x" * 1024})
+        assert len(_pack_files(store)) > 1
+        fresh = SweepResultStore(tmp_path)
+        assert all(fresh.get(key) == {"pad": "x" * 1024} for key in keys)
+
+    def test_snapshot_and_entry_keys(self, tmp_path):
+        store = SweepResultStore(tmp_path)
+        keys = sorted(store.entry_key({"n": n}) for n in range(3))
+        for n, key in enumerate(sorted(keys)):
+            store.put(key, {"n": n})
+        assert store.entry_keys() == keys
+        snapshot = store.snapshot()
+        assert set(snapshot) == set(keys)
+        for text in snapshot.values():
+            json.loads(text)
 
     def test_unwritable_root_degrades_to_uncached(self, tmp_path):
         blocker = tmp_path / "blocker"
@@ -177,6 +289,24 @@ class TestSweepResultStore:
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
         store = SweepResultStore.default()
         assert store.root == tmp_path / "env-cache"
+
+
+class _TickingClock:
+    """Deterministic, strictly increasing stand-in for time.time()."""
+
+    def __init__(self):
+        self.now = 1_000_000.0
+
+    def __call__(self):
+        self.now += 1.0
+        return self.now
+
+
+@pytest.fixture
+def ticking_clock(monkeypatch):
+    clock = _TickingClock()
+    monkeypatch.setattr(store_module.time, "time", clock)
+    return clock
 
 
 class TestDiskStatsAndPrune:
@@ -200,21 +330,49 @@ class TestDiskStatsAndPrune:
         assert stats.oldest_mtime is not None
         assert stats.newest_mtime >= stats.oldest_mtime
 
-    def test_prune_max_entries_keeps_newest(self, tmp_path):
-        import os, time
+    def test_disk_stats_is_o_index_not_o_entries(self, tmp_path, monkeypatch):
+        """10k-entry synthetic store: no per-entry filesystem calls."""
+        store = SweepResultStore(tmp_path)
+        count = 10_000
+        for index in range(count):
+            store.put(
+                SweepResultStore.entry_key({"index": index}), {"index": index}
+            )
+        fresh = SweepResultStore(tmp_path)
+        assert len(fresh) == count  # loads the index
 
+        import os as os_module
+
+        calls = {"stat": 0}
+        real_stat = os_module.stat
+
+        def counting_stat(*args, **kwargs):
+            calls["stat"] += 1
+            return real_stat(*args, **kwargs)
+
+        monkeypatch.setattr(os_module, "stat", counting_stat)
+        stats = fresh.disk_stats()
+        monkeypatch.undo()
+        assert stats.entries == count
+        assert stats.total_bytes > 0
+        # O(segments + directory listings), nowhere near O(entries).
+        assert calls["stat"] < 100
+
+    def test_prune_max_entries_keeps_newest(self, tmp_path, ticking_clock):
         store = SweepResultStore(tmp_path)
         keys = []
         for index in range(4):
             key = SweepResultStore.entry_key({"index": index})
             store.put(key, {"index": index})
             keys.append(key)
-            # Make mtimes strictly ordered regardless of filesystem resolution.
-            os.utime(store._entry_path(key), (index, index))
         removed = store.prune(max_entries=2)
         assert removed == 2
         assert store.get(keys[0]) is None and store.get(keys[1]) is None
         assert store.get(keys[2]) is not None and store.get(keys[3]) is not None
+        # The survivors also survive a fresh index load.
+        fresh = SweepResultStore(tmp_path)
+        assert fresh.get(keys[2]) is not None and fresh.get(keys[3]) is not None
+        assert len(fresh) == 2
 
     def test_prune_max_bytes(self, tmp_path):
         store = SweepResultStore(tmp_path)
@@ -223,6 +381,14 @@ class TestDiskStatsAndPrune:
         store.prune(max_bytes=total // 2)
         assert store.disk_stats().total_bytes <= total // 2
         assert store.disk_stats().entries > 0
+
+    def test_prune_reclaims_pack_bytes_on_disk(self, tmp_path):
+        store = SweepResultStore(tmp_path)
+        self._fill(store, 6, payload_size=2000)
+        before = sum(path.stat().st_size for path in _pack_files(store))
+        store.prune(max_entries=2)
+        after = sum(path.stat().st_size for path in _pack_files(store))
+        assert after < before / 2
 
     def test_prune_without_limits_is_a_no_op(self, tmp_path):
         store = SweepResultStore(tmp_path)
@@ -235,6 +401,7 @@ class TestDiskStatsAndPrune:
         self._fill(store, 3)
         assert store.prune(max_entries=0) == 3
         assert store.disk_stats().entries == 0
+        assert not _pack_files(store)
 
     def test_prune_rejects_negative_limits(self, tmp_path):
         store = SweepResultStore(tmp_path)
@@ -255,10 +422,7 @@ class TestDiskStatsAndPrune:
     ):
         store = SweepResultStore(tmp_path)
         self._fill(store, 3, payload_size=50)
-        smallest = min(
-            path.stat().st_size for path in tmp_path.glob("*/*.json")
-        )
-        removed = store.prune(max_bytes=smallest - 1)
+        removed = store.prune(max_bytes=1)
         assert removed == 3
         assert store.disk_stats().entries == 0
         assert store.disk_stats().total_bytes == 0
@@ -271,17 +435,18 @@ class TestDiskStatsAndPrune:
 
 
 class TestQuarantine:
-    def test_corrupt_entry_moves_aside_instead_of_vanishing(self, tmp_path):
+    def test_corrupt_record_moves_aside_instead_of_vanishing(self, tmp_path):
         store = SweepResultStore(tmp_path)
         key = store.entry_key({"n": "q1"})
         store.put(key, {"ber": 0.5})
-        path = store.root / key[:2] / f"{key}.json"
-        path.write_text("{ truncated garbage", encoding="utf-8")
-        assert store.get(key) is None
-        moved = store.root / QUARANTINE_DIR / (path.name + QUARANTINE_SUFFIX)
-        assert moved.is_file()
-        assert moved.read_text(encoding="utf-8") == "{ truncated garbage"
-        assert store.quarantined_count() == 1
+        line = _corrupt_record(store, key)
+        fresh = SweepResultStore(tmp_path)
+        assert fresh.get(key) is None
+        quarantine = store.root / QUARANTINE_DIR
+        (moved,) = sorted(quarantine.glob(f"*{QUARANTINE_SUFFIX}"))
+        # The quarantined file preserves the damaged record bytes verbatim.
+        assert moved.stat().st_size == line["l"]
+        assert fresh.quarantined_count() == 1
 
     def test_quarantined_entries_are_invisible_to_lookups_and_stats(
         self, tmp_path
@@ -291,30 +456,43 @@ class TestQuarantine:
         bad = store.entry_key({"n": "bad"})
         store.put(good, {"v": 1})
         store.put(bad, {"v": 2})
-        (store.root / bad[:2] / f"{bad}.json").write_text("junk", encoding="utf-8")
-        assert store.get(bad) is None  # quarantines
-        assert len(store) == 1
-        stats = store.disk_stats()
+        _corrupt_record(store, bad)
+        fresh = SweepResultStore(tmp_path)
+        assert fresh.get(bad) is None  # quarantines
+        assert len(fresh) == 1
+        stats = fresh.disk_stats()
         assert stats.entries == 1
         assert stats.quarantined == 1
-        assert store.get(good) == {"v": 1}
+        assert fresh.get(good) == {"v": 1}
+
+    def test_quarantine_is_durable_across_sessions(self, tmp_path):
+        # The drop is recorded as an index tombstone: a later session
+        # misses without re-detecting (or re-quarantining) the damage.
+        store = SweepResultStore(tmp_path)
+        key = store.entry_key({"n": "q3"})
+        store.put(key, {"v": 1})
+        _corrupt_record(store, key)
+        first = SweepResultStore(tmp_path)
+        assert first.get(key) is None
+        assert first.stats.corrupt == 1
+        second = SweepResultStore(tmp_path)
+        assert second.get(key) is None
+        assert second.stats.corrupt == 0
+        assert second.quarantined_count() == 1
 
     def test_quarantined_entry_can_be_rewritten(self, tmp_path):
         store = SweepResultStore(tmp_path)
         key = store.entry_key({"n": "q2"})
         store.put(key, {"v": 1})
-        (store.root / key[:2] / f"{key}.json").write_text("junk", encoding="utf-8")
-        assert store.get(key) is None
-        store.put(key, {"v": 2})
-        assert store.get(key) == {"v": 2}
+        _corrupt_record(store, key)
+        fresh = SweepResultStore(tmp_path)
+        assert fresh.get(key) is None
+        fresh.put(key, {"v": 2})
+        assert fresh.get(key) == {"v": 2}
+        assert SweepResultStore(tmp_path).get(key) == {"v": 2}
 
 
 class TestVerify:
-    def _corrupt(self, store, key, text="garbage"):
-        path = store.root / key[:2] / f"{key}.json"
-        path.write_text(text, encoding="utf-8")
-        return path
-
     def test_clean_store_verifies_clean(self, tmp_path):
         store = SweepResultStore(tmp_path)
         for n in range(4):
@@ -330,48 +508,55 @@ class TestVerify:
         assert report.scanned == 0
         assert report.valid == 0
 
-    def test_corrupt_entries_are_quarantined_by_the_pass(self, tmp_path):
+    def test_corrupt_records_are_quarantined_by_the_pass(self, tmp_path):
         store = SweepResultStore(tmp_path)
         keys = [store.entry_key({"n": n}) for n in range(3)]
         for key in keys:
             store.put(key, {"k": key[:4]})
-        self._corrupt(store, keys[1])
-        report = store.verify()
+        _corrupt_record(store, keys[1])
+        fresh = SweepResultStore(tmp_path)
+        report = fresh.verify()
         assert report.scanned == 3
         assert report.valid == 2
         assert report.quarantined == 1
-        assert store.quarantined_count() == 1
+        assert fresh.quarantined_count() == 1
         # The pass leaves the store usable: the survivors still read back.
-        assert store.get(keys[0]) is not None
-        assert store.get(keys[1]) is None
+        assert fresh.get(keys[0]) is not None
+        assert fresh.get(keys[1]) is None
 
-    def test_entry_under_wrong_key_is_corrupt(self, tmp_path):
+    def test_record_under_wrong_key_is_corrupt(self, tmp_path):
         store = SweepResultStore(tmp_path)
         key_a = store.entry_key({"n": "a"})
         key_b = store.entry_key({"n": "b"})
         store.put(key_a, {"v": 1})
-        source = store.root / key_a[:2] / f"{key_a}.json"
-        target = store.root / key_b[:2]
-        target.mkdir(parents=True, exist_ok=True)
-        (target / f"{key_b}.json").write_text(
-            source.read_text(encoding="utf-8"), encoding="utf-8"
-        )
-        report = store.verify()
+        (line,) = _index_lines(store)
+        idx = store.root / PACKS_DIR / (line["segment"] + ".idx")
+        forged = dict(line)
+        forged.pop("segment")
+        forged["k"] = key_b
+        with open(idx, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(forged) + "\n")
+        report = SweepResultStore(tmp_path).verify()
         assert report.valid == 1
         assert report.quarantined == 1
 
-    def test_unreadable_entry_counts_an_io_error(self, tmp_path):
+    def test_unreadable_segment_counts_io_errors(self, tmp_path):
         store = SweepResultStore(tmp_path)
         key = store.entry_key({"n": "dir"})
-        # A directory where an entry file should be: read_text raises
+        store.put(key, {"v": 1})
+        (pack,) = _pack_files(store)
+        # A directory where the pack should be: read_bytes raises
         # IsADirectoryError (an OSError that is not FileNotFoundError),
         # which works even when the tests run as root and chmod 000 is
         # ineffective.
-        (store.root / key[:2] / f"{key}.json").mkdir(parents=True)
-        report = store.verify()
+        fresh = SweepResultStore(tmp_path)
+        assert len(fresh) == 1  # index loads fine
+        pack.unlink()
+        pack.mkdir()
+        report = fresh.verify()
         assert report.scanned == 1
         assert report.io_errors == 1
-        assert store.stats.io_errors == 1
+        assert fresh.stats.io_errors == 1
 
 
 class TestIoErrorObservability:
@@ -383,13 +568,18 @@ class TestIoErrorObservability:
         assert store.stats.io_errors == 1
         assert store.stats.stores == 0
 
-    def test_unreadable_get_is_a_counted_miss(self, tmp_path):
+    def test_unreadable_segment_get_is_a_counted_miss(self, tmp_path):
         store = SweepResultStore(tmp_path)
         key = store.entry_key({"n": "dir"})
-        (store.root / key[:2] / f"{key}.json").mkdir(parents=True)
-        assert store.get(key) is None
-        assert store.stats.misses == 1
-        assert store.stats.io_errors == 1
+        store.put(key, {"v": 1})
+        (pack,) = _pack_files(store)
+        fresh = SweepResultStore(tmp_path)
+        assert len(fresh) == 1
+        pack.unlink()
+        pack.mkdir()
+        assert fresh.get(key) is None
+        assert fresh.stats.misses == 1
+        assert fresh.stats.io_errors == 1
 
     def test_plain_miss_is_not_an_io_error(self, tmp_path):
         store = SweepResultStore(tmp_path)
@@ -398,51 +588,278 @@ class TestIoErrorObservability:
         assert store.stats.io_errors == 0
 
 
-class TestConcurrentRaces:
-    """Entries deleted by a concurrent session between listing and use."""
+class TestCrashConsistency:
+    """The append protocol survives crashes at every point."""
 
     def _fill(self, store, count):
         keys = [store.entry_key({"n": n}) for n in range(count)]
-        for key in keys:
-            store.put(key, {"n": key[:4]})
+        for n, key in enumerate(keys):
+            store.put(key, {"n": n})
         return keys
 
-    def test_prune_tolerates_entries_vanishing_mid_pass(
-        self, tmp_path, monkeypatch
-    ):
+    def test_records_missing_index_lines_are_recovered(self, tmp_path):
+        # Crash between the pack flush and the index flush: the tail scan
+        # finds the orphaned records on the next open.
         store = SweepResultStore(tmp_path)
-        self._fill(store, 4)
-        listed = store._entry_files()
-        # Simulate a concurrent session deleting one listed entry before
-        # prune gets to unlink it.
-        listed[0][0].unlink()
-        monkeypatch.setattr(store, "_entry_files", lambda: listed)
-        removed = store.prune(max_entries=0)
-        # The vanished entry is not counted as our removal.
-        assert removed == 3
-        monkeypatch.undo()
-        assert store.disk_stats().entries == 0
-        assert store.stats.io_errors == 0
+        keys = self._fill(store, 5)
+        (idx,) = _idx_files(store)
+        lines = idx.read_bytes().splitlines(keepends=True)
+        idx.write_bytes(b"".join(lines[:2]))
+        fresh = SweepResultStore(tmp_path)
+        assert len(fresh) == 5
+        assert all(fresh.get(key) == {"n": n} for n, key in enumerate(keys))
 
-    def test_disk_stats_tolerate_entries_vanishing_mid_pass(
-        self, tmp_path, monkeypatch
-    ):
-        import pathlib
-
+    def test_verify_makes_tail_recovery_durable(self, tmp_path):
         store = SweepResultStore(tmp_path)
-        self._fill(store, 3)
-        listing = sorted(store.root.glob("*/*.json"))
-        listing[0].unlink()
-        original_glob = pathlib.Path.glob
+        keys = self._fill(store, 4)
+        (idx,) = _idx_files(store)
+        lines = idx.read_bytes().splitlines(keepends=True)
+        idx.write_bytes(b"".join(lines[:1]))
+        fresh = SweepResultStore(tmp_path)
+        report = fresh.verify()
+        assert report.valid == 4
+        # The index file regained the missing lines: a third session loads
+        # everything without scanning the pack tail.
+        assert len(idx.read_bytes().splitlines()) == 4
+        third = SweepResultStore(tmp_path)
+        assert all(third.get(key) is not None for key in keys)
 
-        # Serve a stale listing that still names the deleted entry, as a
-        # concurrent prune would leave it between glob and stat.
-        def stale_glob(path, pattern, **kwargs):
-            if pattern == "*/*.json":
-                return iter(listing)
-            return original_glob(path, pattern, **kwargs)
+    def test_torn_trailing_record_is_ignored(self, tmp_path):
+        # Crash mid-append: the partial record fails its CRC and the store
+        # carries on with every complete entry.
+        store = SweepResultStore(tmp_path)
+        keys = self._fill(store, 3)
+        (pack,) = _pack_files(store)
+        data = pack.read_bytes()
+        pack.write_bytes(data + data[: len(data) // 3])
+        fresh = SweepResultStore(tmp_path)
+        assert len(fresh) == 3
+        assert all(fresh.get(key) is not None for key in keys)
+        assert fresh.verify().valid == 3
 
-        monkeypatch.setattr(pathlib.Path, "glob", stale_glob)
-        stats = store.disk_stats()
-        assert stats.entries == 2
-        assert store.stats.io_errors == 0
+    def test_partial_index_line_is_left_for_the_writer(self, tmp_path):
+        store = SweepResultStore(tmp_path)
+        keys = self._fill(store, 2)
+        (idx,) = _idx_files(store)
+        with open(idx, "ab") as handle:
+            handle.write(b'{"k": "incomplete')  # no newline: still in flight
+        fresh = SweepResultStore(tmp_path)
+        assert len(fresh) == 2
+        assert all(fresh.get(key) is not None for key in keys)
+
+
+class TestConcurrentSessions:
+    """Stores on the same root owned by different sessions/processes."""
+
+    def test_second_session_sees_first_sessions_appends(self, tmp_path):
+        reader = SweepResultStore(tmp_path)
+        assert len(reader) == 0  # index loaded while empty
+        writer = SweepResultStore(tmp_path)
+        key = writer.entry_key({"n": 1})
+        writer.put(key, {"v": 1})
+        # The reader refreshes its index and finds the foreign append.
+        assert reader.get(key) == {"v": 1}
+
+    def test_sessions_never_share_a_write_segment(self, tmp_path):
+        a = SweepResultStore(tmp_path)
+        b = SweepResultStore(tmp_path)
+        a.put(a.entry_key({"s": "a"}), {"v": 1})
+        b.put(b.entry_key({"s": "b"}), {"v": 2})
+        assert len(_pack_files(a)) == 2
+
+    def test_get_tolerates_concurrent_clear(self, tmp_path):
+        writer = SweepResultStore(tmp_path)
+        key = writer.entry_key({"n": 1})
+        writer.put(key, {"v": 1})
+        reader = SweepResultStore(tmp_path)
+        assert len(reader) == 1
+        writer.clear()
+        # The segment vanished under the reader: a plain miss, not an error.
+        assert reader.get(key) is None
+        assert reader.stats.io_errors == 0
+
+    def test_index_reload_after_foreign_rewrite(self, tmp_path, ticking_clock):
+        writer = SweepResultStore(tmp_path)
+        keys = [writer.entry_key({"n": n}) for n in range(4)]
+        for n, key in enumerate(keys):
+            writer.put(key, {"n": n})
+        reader = SweepResultStore(tmp_path)
+        assert len(reader) == 4
+        # Another session compacts the segment (prune): the reader notices
+        # the shrunken index file and rebuilds its view from scratch.
+        other = SweepResultStore(tmp_path)
+        assert other.prune(max_entries=2) == 2
+        assert len(reader) == 2
+        assert reader.get(keys[3]) == {"n": 3}
+        assert reader.get(keys[0]) is None
+        assert reader.stats.corrupt == 0
+
+
+class TestLegacyLayout:
+    """v1 one-JSON-file-per-entry stores read through and migrate."""
+
+    def _legacy_fill(self, root, count):
+        keys = []
+        for n in range(count):
+            key = SweepResultStore.entry_key({"n": n})
+            write_legacy_entry(root, key, {"n": n})
+            keys.append(key)
+        return keys
+
+    def test_legacy_entries_read_through(self, tmp_path):
+        keys = self._legacy_fill(tmp_path, 3)
+        store = SweepResultStore(tmp_path)
+        assert store_layout_version(tmp_path) == 1
+        assert len(store) == 3
+        assert all(store.get(key) == {"n": n} for n, key in enumerate(keys))
+        assert store.stats.hits == 3
+
+    def test_corrupt_legacy_entry_is_quarantined_v1_style(self, tmp_path):
+        (key,) = self._legacy_fill(tmp_path, 1)
+        path = tmp_path / key[:2] / f"{key}.json"
+        path.write_text("{ truncated garbage", encoding="utf-8")
+        store = SweepResultStore(tmp_path)
+        assert store.get(key) is None
+        assert store.stats.corrupt == 1
+        moved = tmp_path / QUARANTINE_DIR / (path.name + QUARANTINE_SUFFIX)
+        assert moved.is_file()
+        assert moved.read_text(encoding="utf-8") == "{ truncated garbage"
+
+    def test_legacy_entry_under_wrong_key_is_rejected(self, tmp_path):
+        store = SweepResultStore(tmp_path)
+        key_a = store.entry_key({"n": "a"})
+        key_b = store.entry_key({"n": "b"})
+        write_legacy_entry(tmp_path, key_a, {"v": 1})
+        source = tmp_path / key_a[:2] / f"{key_a}.json"
+        target = tmp_path / key_b[:2]
+        target.mkdir(parents=True, exist_ok=True)
+        (target / f"{key_b}.json").write_text(
+            source.read_text(encoding="utf-8"), encoding="utf-8"
+        )
+        assert store.get(key_b) is None
+        assert store.stats.corrupt == 1
+
+    def test_mixed_layouts_coexist(self, tmp_path):
+        legacy_keys = self._legacy_fill(tmp_path, 2)
+        store = SweepResultStore(tmp_path)
+        new_key = store.entry_key({"n": "new"})
+        store.put(new_key, {"v": "new"})
+        assert len(store) == 3
+        assert store.disk_stats().entries == 3
+        assert store.verify().valid == 3
+        assert sorted(store.entry_keys()) == sorted(legacy_keys + [new_key])
+
+    def test_prune_spans_both_layouts_oldest_first(self, tmp_path, ticking_clock):
+        import os
+
+        keys = self._legacy_fill(tmp_path, 2)
+        # Age the legacy entries far into the past.
+        for n, key in enumerate(keys):
+            os.utime(tmp_path / key[:2] / f"{key}.json", (n + 1, n + 1))
+        store = SweepResultStore(tmp_path)
+        new_key = store.entry_key({"n": "new"})
+        store.put(new_key, {"v": "new"})
+        assert store.prune(max_entries=1) == 2
+        assert store.get(new_key) is not None
+        assert store.get(keys[0]) is None
+
+    def test_clear_spans_both_layouts(self, tmp_path):
+        self._legacy_fill(tmp_path, 2)
+        store = SweepResultStore(tmp_path)
+        store.put(store.entry_key({"n": "new"}), {"v": 1})
+        assert store.clear() == 3
+        assert len(SweepResultStore(tmp_path)) == 0
+
+
+class TestMigration:
+    def _legacy_store(self, root, count):
+        keys = []
+        for n in range(count):
+            key = SweepResultStore.entry_key({"n": n})
+            write_legacy_entry(
+                root,
+                key,
+                {
+                    "n": n,
+                    "latched_words": encode_int64_array(
+                        np.arange(n + 4, dtype=np.int64)
+                    ),
+                },
+            )
+            keys.append(key)
+        return keys
+
+    def test_migrate_is_lossless(self, tmp_path):
+        self._legacy_store(tmp_path, 5)
+        store = SweepResultStore(tmp_path)
+        before = store.snapshot()
+        report = store.migrate()
+        assert report.migrated == 5
+        assert report.quarantined == 0
+        assert report.io_errors == 0
+        assert store.snapshot() == before
+        # And from a cold index load too.
+        fresh = SweepResultStore(tmp_path)
+        assert fresh.snapshot() == before
+        assert len(fresh) == 5
+
+    def test_migrate_removes_the_v1_files(self, tmp_path):
+        self._legacy_store(tmp_path, 3)
+        store = SweepResultStore(tmp_path)
+        store.migrate()
+        assert not list(tmp_path.glob("*/*.json"))
+        # Even the fan-out directories are gone.
+        leftovers = [
+            path
+            for path in tmp_path.iterdir()
+            if path.is_dir() and len(path.name) == 2
+        ]
+        assert leftovers == []
+        assert store_layout_version(tmp_path) == STORE_VERSION
+
+    def test_migrated_entries_stay_warm(self, tmp_path):
+        keys = self._legacy_store(tmp_path, 3)
+        SweepResultStore(tmp_path).migrate()
+        fresh = SweepResultStore(tmp_path)
+        for key in keys:
+            assert fresh.get(key) is not None
+        assert fresh.stats.hits == 3
+        assert fresh.stats.misses == 0
+
+    def test_migrate_is_idempotent(self, tmp_path):
+        self._legacy_store(tmp_path, 2)
+        store = SweepResultStore(tmp_path)
+        assert store.migrate().migrated == 2
+        second = store.migrate()
+        assert second.migrated == 0
+        assert second.quarantined == 0
+        assert len(store) == 2
+
+    def test_migrate_on_an_empty_root_just_stamps_the_format(self, tmp_path):
+        store = SweepResultStore(tmp_path)
+        report = store.migrate()
+        assert report.migrated == 0
+        assert store_layout_version(tmp_path) == STORE_VERSION
+
+    def test_migrate_quarantines_corrupt_v1_entries(self, tmp_path):
+        keys = self._legacy_store(tmp_path, 3)
+        victim = tmp_path / keys[1][:2] / f"{keys[1]}.json"
+        victim.write_text("garbage", encoding="utf-8")
+        store = SweepResultStore(tmp_path)
+        report = store.migrate()
+        assert report.migrated == 2
+        assert report.quarantined == 1
+        assert store.quarantined_count() == 1
+        assert store.verify().valid == 2
+
+    def test_migrate_preserves_prune_ordering(self, tmp_path, ticking_clock):
+        import os
+
+        keys = self._legacy_store(tmp_path, 3)
+        for n, key in enumerate(keys):
+            os.utime(tmp_path / key[:2] / f"{key}.json", (n + 1, n + 1))
+        store = SweepResultStore(tmp_path)
+        store.migrate()
+        assert store.prune(max_entries=1) == 2
+        assert store.get(keys[2]) is not None
+        assert store.get(keys[0]) is None and store.get(keys[1]) is None

@@ -211,8 +211,9 @@ class TestCharacterizationSweep:
         cold = run_characterization_sweep(
             adder, small_grid, in1, in2, stimulus, store=store
         )
-        victim = next(store.root.glob("*/*.json"))
-        victim.write_text("garbage", encoding="utf-8")
+        from _store_helpers import corrupt_one_entry
+
+        corrupt_one_entry(store.root)
         recovered_store = SweepResultStore(tmp_path)
         recovered = run_characterization_sweep(
             adder, small_grid, in1, in2, stimulus, store=recovered_store

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Generate (or check) the committed v1-layout store fixture.
+
+``tests/fixtures/store_v1`` freezes the previous release's
+one-JSON-file-per-entry store layout: an rca8 characterization (256 uniform
+vectors, seed 2017, the matched Table III triad grid) computed on the
+current engine and downgraded entry by entry through
+:func:`repro.core.store.write_legacy_entry`.  The migration tests and the
+``store-migration`` CI job replay ``repro store migrate`` against a copy of
+these bytes, so the upgrade path is exercised on a real store, not a
+synthetic one.
+
+Everything is deterministic -- seeded stimulus, serial sweep, canonical
+JSON -- so regeneration is byte-identical and ``--check`` can fail CI when
+the committed fixture drifts from what the engine actually produces::
+
+    PYTHONPATH=src python tests/fixtures/make_store_v1.py          # rewrite
+    PYTHONPATH=src python tests/fixtures/make_store_v1.py --check  # verify
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import shutil
+import sys
+import tempfile
+
+from repro.api import CharacterizeJob, PatternOptions, Session
+from repro.core.store import SweepResultStore, write_legacy_entry
+
+FIXTURE_ROOT = pathlib.Path(__file__).resolve().parent / "store_v1"
+
+#: The sweep frozen into the fixture; ``store_v1_jobs.json`` replays the
+#: same job so a migrated store serves it fully warm.
+OPERATOR = "rca8"
+PATTERN = PatternOptions(kind="uniform", vectors=256, seed=2017)
+
+
+def build(target: pathlib.Path) -> int:
+    """Write the v1 store under ``target``; returns the entry count."""
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = pathlib.Path(tmp) / "cache"
+        session = Session(store=cache)
+        session.run(CharacterizeJob(operator=OPERATOR, pattern=PATTERN))
+        snapshot = SweepResultStore(cache).snapshot()
+    for key in sorted(snapshot):
+        write_legacy_entry(target, key, json.loads(snapshot[key]))
+    return len(snapshot)
+
+
+def tree(root: pathlib.Path) -> dict[str, bytes]:
+    """Relative path -> content of every file under ``root``."""
+    return {
+        str(path.relative_to(root)): path.read_bytes()
+        for path in sorted(root.rglob("*"))
+        if path.is_file()
+    }
+
+
+def check() -> int:
+    if not FIXTURE_ROOT.is_dir():
+        print(f"missing fixture: {FIXTURE_ROOT} (run without --check)")
+        return 1
+    with tempfile.TemporaryDirectory() as tmp:
+        fresh = pathlib.Path(tmp) / "store_v1"
+        entries = build(fresh)
+        expected, committed = tree(fresh), tree(FIXTURE_ROOT)
+    if expected == committed:
+        print(f"ok: {FIXTURE_ROOT} matches regeneration ({entries} entries)")
+        return 0
+    for name in sorted(set(expected) | set(committed)):
+        if expected.get(name) != committed.get(name):
+            state = (
+                "missing" if name not in committed
+                else "stale" if name in expected
+                else "unexpected"
+            )
+            print(f"{state}: {name}")
+    print(f"fixture drift: regenerate with {pathlib.Path(__file__).name}")
+    return 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="verify the committed fixture matches a fresh regeneration",
+    )
+    args = parser.parse_args(argv)
+    if args.check:
+        return check()
+    if FIXTURE_ROOT.exists():
+        shutil.rmtree(FIXTURE_ROOT)
+    entries = build(FIXTURE_ROOT)
+    print(f"wrote {entries} v1 entries to {FIXTURE_ROOT}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -63,9 +63,9 @@ def _run(arguments, store, *, jobs, chaos=None):
 
 
 def _entries(store):
-    return {
-        path: path.read_bytes() for path in pathlib.Path(store).glob("*/*.json")
-    }
+    from _store_helpers import store_snapshot
+
+    return store_snapshot(store)
 
 
 def test_killed_sweep_resumes_warm_and_matches_fault_free_output(tmp_path):
@@ -127,8 +127,8 @@ def test_killed_sweep_resumes_warm_and_matches_fault_free_output(tmp_path):
     assert len(after) == total_units
     # Completed units were neither re-simulated nor rewritten: the
     # surviving entries are byte-for-byte untouched.
-    for path, payload in survivors.items():
-        assert after[path] == payload
+    for key, payload in survivors.items():
+        assert after[key] == payload
 
 
 def test_interrupted_run_exits_130_without_traceback(tmp_path):

@@ -1,0 +1,174 @@
+"""Unit tests of the CI perf gate (``benchmarks/perf_gate.py``).
+
+The gate is a standalone script (it must run in CI without the package
+installed), so it is loaded here by path rather than imported.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+_GATE_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent / "benchmarks" / "perf_gate.py"
+)
+
+
+@pytest.fixture(scope="module")
+def gate():
+    spec = importlib.util.spec_from_file_location("perf_gate", _GATE_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _document(bench: str, metrics: list[dict]) -> dict:
+    return {"bench": bench, "schema": 1, "metrics": metrics}
+
+
+def _metric(
+    name: str,
+    value: float,
+    *,
+    kind: str = "ratio",
+    higher_is_better: bool | None = True,
+) -> dict:
+    return {
+        "name": name,
+        "value": value,
+        "unit": "x",
+        "kind": kind,
+        "higher_is_better": higher_is_better,
+    }
+
+
+def _write(directory: pathlib.Path, document: dict) -> None:
+    directory.mkdir(exist_ok=True)
+    path = directory / f"BENCH_{document['bench']}.json"
+    path.write_text(json.dumps(document), encoding="utf-8")
+
+
+class TestCompare:
+    def test_within_tolerance_passes(self, gate):
+        baseline = {"store": _document("store", [_metric("speedup", 4.0)])}
+        current = {"store": _document("store", [_metric("speedup", 3.5)])}
+        failures, notes = gate.compare(baseline, current, 0.20)
+        assert failures == []
+        assert any("speedup" in note for note in notes)
+
+    def test_regression_beyond_tolerance_fails(self, gate):
+        baseline = {"store": _document("store", [_metric("speedup", 4.0)])}
+        current = {"store": _document("store", [_metric("speedup", 3.0)])}
+        failures, _ = gate.compare(baseline, current, 0.20)
+        assert len(failures) == 1
+        assert "REGRESSION" in failures[0]
+
+    def test_improvement_never_fails(self, gate):
+        baseline = {"store": _document("store", [_metric("speedup", 4.0)])}
+        current = {"store": _document("store", [_metric("speedup", 40.0)])}
+        failures, _ = gate.compare(baseline, current, 0.20)
+        assert failures == []
+
+    def test_lower_is_better_direction(self, gate):
+        metric = _metric("size_ratio", 0.75, higher_is_better=False)
+        baseline = {"store": _document("store", [metric])}
+        worse = {
+            "store": _document(
+                "store", [_metric("size_ratio", 0.95, higher_is_better=False)]
+            )
+        }
+        better = {
+            "store": _document(
+                "store", [_metric("size_ratio", 0.40, higher_is_better=False)]
+            )
+        }
+        failures, _ = gate.compare(baseline, worse, 0.20)
+        assert len(failures) == 1
+        failures, _ = gate.compare(baseline, better, 0.20)
+        assert failures == []
+
+    def test_time_and_count_metrics_are_not_gated(self, gate):
+        baseline = {
+            "store": _document(
+                "store",
+                [
+                    _metric("read_s", 0.1, kind="time", higher_is_better=False),
+                    _metric("entries", 5000, kind="count", higher_is_better=None),
+                ],
+            )
+        }
+        current = {
+            "store": _document(
+                "store",
+                [
+                    _metric("read_s", 99.0, kind="time", higher_is_better=False),
+                    _metric("entries", 1, kind="count", higher_is_better=None),
+                ],
+            )
+        }
+        failures, _ = gate.compare(baseline, current, 0.20)
+        assert failures == []
+
+    def test_missing_benchmark_fails(self, gate):
+        baseline = {"store": _document("store", [_metric("speedup", 4.0)])}
+        failures, _ = gate.compare(baseline, {}, 0.20)
+        assert len(failures) == 1
+        assert "missing" in failures[0]
+
+    def test_missing_gated_metric_fails(self, gate):
+        baseline = {"store": _document("store", [_metric("speedup", 4.0)])}
+        current = {"store": _document("store", [_metric("other", 1.0)])}
+        failures, _ = gate.compare(baseline, current, 0.20)
+        assert any("missing from run" in failure for failure in failures)
+
+    def test_new_benchmark_passes_with_note(self, gate):
+        current = {"fresh": _document("fresh", [_metric("speedup", 2.0)])}
+        failures, notes = gate.compare({}, current, 0.20)
+        assert failures == []
+        assert any("no baseline" in note for note in notes)
+
+
+class TestMain:
+    def test_gate_pass_and_fail_roundtrip(self, gate, tmp_path, capsys):
+        baselines = tmp_path / "baselines"
+        output = tmp_path / "output"
+        _write(baselines, _document("store", [_metric("speedup", 4.0)]))
+        _write(output, _document("store", [_metric("speedup", 3.9)]))
+        argv = ["--current", str(output), "--baselines", str(baselines)]
+        assert gate.main(argv) == 0
+        assert "perf gate OK" in capsys.readouterr().out
+
+        _write(output, _document("store", [_metric("speedup", 1.0)]))
+        assert gate.main(argv) == 1
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_update_writes_baselines(self, gate, tmp_path):
+        output = tmp_path / "output"
+        baselines = tmp_path / "baselines"
+        _write(output, _document("store", [_metric("speedup", 4.0)]))
+        argv = [
+            "--current",
+            str(output),
+            "--baselines",
+            str(baselines),
+            "--update",
+        ]
+        assert gate.main(argv) == 0
+        copied = json.loads(
+            (baselines / "BENCH_store.json").read_text(encoding="utf-8")
+        )
+        assert copied["metrics"][0]["value"] == 4.0
+        # A second gate run against the fresh baselines passes.
+        assert gate.main(argv[:-1]) == 0
+
+    def test_missing_directories_error(self, gate, tmp_path):
+        argv = [
+            "--current",
+            str(tmp_path / "nope"),
+            "--baselines",
+            str(tmp_path / "also-nope"),
+        ]
+        assert gate.main(argv) == 2

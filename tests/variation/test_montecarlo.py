@@ -44,9 +44,9 @@ def _run(adder, stimulus, config, jobs=1, store=None):
 
 
 def _entry_files(root):
-    return sorted(
-        path.relative_to(root) for path in pathlib.Path(root).glob("*/*.json")
-    )
+    from _store_helpers import store_snapshot
+
+    return sorted(store_snapshot(root))
 
 
 class TestDeterminism:
@@ -68,14 +68,12 @@ class TestDeterminism:
         serial = _run(rca8_mc, stimulus_600, config, jobs=1, store=serial_store)
         sharded = _run(rca8_mc, stimulus_600, config, jobs=3, store=sharded_store)
 
-        serial_files = _entry_files(serial_store.root)
-        sharded_files = _entry_files(sharded_store.root)
-        assert serial_files == sharded_files
-        assert len(serial_files) == 3 * 3  # 3 triads x 3 sample ranges
-        for relative in serial_files:
-            assert (serial_store.root / relative).read_bytes() == (
-                sharded_store.root / relative
-            ).read_bytes()
+        from _store_helpers import store_snapshot
+
+        serial_entries = store_snapshot(serial_store.root)
+        sharded_entries = store_snapshot(sharded_store.root)
+        assert serial_entries == sharded_entries
+        assert len(serial_entries) == 3 * 3  # 3 triads x 3 sample ranges
         for a, b in zip(serial, sharded):
             assert np.array_equal(a.ber_samples, b.ber_samples)
             assert np.array_equal(a.faulty_fraction_samples, b.faulty_fraction_samples)
