@@ -9,6 +9,13 @@ for higher-is-better metrics, above it for lower-is-better ones.
 Improvements never fail, whatever their size; ``time`` and ``count``
 metrics are machine-dependent and reported but never gated.
 
+A baseline metric may additionally carry a ``"cap"`` field: an *absolute*
+bound in the metric's bad direction (a maximum for lower-is-better metrics,
+a minimum for higher-is-better ones) checked independently of the relative
+tolerance.  Caps encode hard requirements -- e.g. "tracing overhead must
+stay <= 1.05x" -- that must hold even when the committed baseline value
+drifts well below the bound.
+
 Usage::
 
     python perf_gate.py                  # compare output/ vs baselines/
@@ -85,6 +92,18 @@ def compare(
                 continue
             base_value = float(base["value"])
             run_value = float(run["value"])
+            cap = base.get("cap")
+            if cap is not None:
+                cap_value = float(cap)
+                breached = (
+                    run_value < cap_value if direction else run_value > cap_value
+                )
+                if breached:
+                    failures.append(
+                        f"CAP {bench}/{name}: {run_value:.4g} breaches the "
+                        f"absolute {'minimum' if direction else 'maximum'} "
+                        f"{cap_value:.4g}"
+                    )
             if base_value == 0.0:
                 notes.append(f"{bench}/{name}: zero baseline, skipped")
                 continue

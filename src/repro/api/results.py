@@ -12,9 +12,16 @@ Results of sweep-running jobs additionally carry an optional
 :class:`~repro.core.resilience.ExecutionReport` in their ``execution``
 field -- the fault-recovery accounting of the run (retries, requeues,
 fallbacks, recovered shards, wall time lost).  It is deliberately *not*
-part of ``render()`` or ``to_json()``: rendered tables and JSON documents
-stay byte-identical whether or not faults were recovered (the CLI prints a
-faulted report to stderr instead).
+part of ``render()``: rendered tables stay byte-identical whether or not
+faults were recovered (the CLI prints a faulted report to stderr instead).
+
+Every result also carries an optional :class:`~repro.obs.report.RunReport`
+in its ``run`` field -- the work accounting :meth:`Session.run` attaches
+(simulated units, the execution report, store counter deltas).  It *is*
+part of ``to_json()`` under the ``"run"`` key: the report holds counters
+only (never wall-clock values or trace paths), so JSON documents stay
+byte-identical between traced and untraced runs, and identical between
+fault-free and fault-recovered runs of the same work.
 """
 
 from __future__ import annotations
@@ -55,6 +62,7 @@ from repro.core.store import (
 )
 from repro.core.triad import OperatingTriad
 from repro.explore.search import SearchResult
+from repro.obs.report import RunReport
 from repro.simulation.fault_injection import FaultSimulationResult
 from repro.synthesis.report import render_synthesis_table
 from repro.synthesis.synthesize import SynthesisReport
@@ -66,11 +74,17 @@ def _triad_json(triad: OperatingTriad) -> dict[str, float]:
     return {"tclk": triad.tclk, "vdd": triad.vdd, "vbb": triad.vbb}
 
 
+def _run_json(run: RunReport | None) -> dict[str, Any] | None:
+    """The ``"run"`` value every result's ``to_json()`` carries."""
+    return run.to_json() if run is not None else None
+
+
 @dataclasses.dataclass(frozen=True)
 class SynthesizeResult:
     """Table II style synthesis reports."""
 
     reports: tuple[SynthesisReport, ...]
+    run: RunReport | None = None
 
     def render(self) -> str:
         """The Table II text table."""
@@ -78,7 +92,10 @@ class SynthesizeResult:
 
     def to_json(self) -> dict[str, Any]:
         """Structured reports (one record per operator)."""
-        return {"reports": [dataclasses.asdict(report) for report in self.reports]}
+        return {
+            "reports": [dataclasses.asdict(report) for report in self.reports],
+            "run": _run_json(self.run),
+        }
 
 
 @dataclasses.dataclass(frozen=True)
@@ -88,6 +105,7 @@ class CharacterizeResult:
     characterization: AdderCharacterization
     output: str | None = None
     execution: ExecutionReport | None = None
+    run: RunReport | None = None
 
     def render(self) -> str:
         """The Fig. 8 series table (plus the save note when persisted)."""
@@ -97,8 +115,14 @@ class CharacterizeResult:
         return text
 
     def to_json(self) -> dict[str, Any]:
-        """The characterization dataset document (same format as ``--output``)."""
-        return characterization_to_dict(self.characterization)
+        """The characterization dataset document plus the ``"run"`` report.
+
+        The dataset part is exactly the ``--output`` file format; the
+        ``"run"`` key rides on top (and is absent from saved datasets).
+        """
+        document = characterization_to_dict(self.characterization)
+        document["run"] = _run_json(self.run)
+        return document
 
 
 def _efficiency_summary_json(entry: EfficiencySummary) -> dict[str, Any]:
@@ -112,6 +136,7 @@ class Table4Result:
     characterizations: dict[str, AdderCharacterization]
     summaries: dict[str, list[EfficiencySummary]]
     execution: ExecutionReport | None = None
+    run: RunReport | None = None
 
     def render(self) -> str:
         """The Table IV text table."""
@@ -123,7 +148,8 @@ class Table4Result:
             "summaries": {
                 name: [_efficiency_summary_json(entry) for entry in rows]
                 for name, rows in self.summaries.items()
-            }
+            },
+            "run": _run_json(self.run),
         }
 
 
@@ -135,6 +161,7 @@ class Fig5Result:
     width: int
     series: tuple[Fig5Series, ...]
     execution: ExecutionReport | None = None
+    run: RunReport | None = None
 
     def render(self) -> str:
         """The per-bit BER text table (one row per supply voltage)."""
@@ -152,6 +179,7 @@ class Fig5Result:
                 }
                 for entry in self.series
             ],
+            "run": _run_json(self.run),
         }
 
 
@@ -164,6 +192,7 @@ class CalibrateResult:
     mean_best_distance: float
     output: str | None = None
     execution: ExecutionReport | None = None
+    run: RunReport | None = None
 
     def render(self) -> str:
         """The calibration summary line (plus the save note when persisted)."""
@@ -184,6 +213,7 @@ class CalibrateResult:
             "mean_best_distance": self.mean_best_distance,
             "width": self.table.width,
             "matrix": np.asarray(self.table.matrix).tolist(),
+            "run": _run_json(self.run),
         }
 
 
@@ -195,6 +225,7 @@ class SpeculateResult:
     margin: float
     accurate: TriadCharacterization
     approximate: TriadCharacterization
+    run: RunReport | None = None
 
     def _saving(self, entry: TriadCharacterization) -> float:
         return self.characterization.energy_efficiency_of(entry)
@@ -227,6 +258,7 @@ class SpeculateResult:
             "margin": self.margin,
             "accurate": mode(self.accurate),
             "approximate": mode(self.approximate),
+            "run": _run_json(self.run),
         }
 
 
@@ -239,6 +271,7 @@ class ExploreResult:
     notes: tuple[str, ...] = ()
     frontier_path: str | None = None
     execution: ExecutionReport | None = None
+    run: RunReport | None = None
 
     def render(self) -> str:
         """Notes, run summary, frontier table and ranked-configuration table."""
@@ -277,6 +310,7 @@ class ExploreResult:
             "screen_vectors": result.screen_vectors,
             "frontier": result.frontier.to_json(),
             "ranked": [dataclasses.asdict(row) for row in self.ranked],
+            "run": _run_json(self.run),
         }
 
 
@@ -290,6 +324,7 @@ class MonteCarloResult:
     margin: float
     results: tuple[TriadVariationResult, ...]
     execution: ExecutionReport | None = None
+    run: RunReport | None = None
 
     def render(self) -> str:
         """Run header, distribution table, and yield-vs-Vdd series."""
@@ -331,6 +366,7 @@ class MonteCarloResult:
                 }
                 for result in self.results
             ],
+            "run": _run_json(self.run),
         }
 
 
@@ -343,6 +379,7 @@ class FaultSweepResult:
     results: tuple[FaultSimulationResult, ...]
     summary: FaultCoverageSummary
     execution: ExecutionReport | None = None
+    run: RunReport | None = None
 
     def render(self) -> str:
         """The campaign coverage report."""
@@ -366,6 +403,7 @@ class FaultSweepResult:
                 }
                 for result in self.results
             ],
+            "run": _run_json(self.run),
         }
 
 
@@ -376,6 +414,7 @@ class StoreStatsResult:
     root: str
     stats: StoreDiskStats
     io_errors: int = 0
+    run: RunReport | None = None
 
     def render(self) -> str:
         """The ``repro store stats`` report."""
@@ -399,6 +438,7 @@ class StoreStatsResult:
             "root": self.root,
             **dataclasses.asdict(self.stats),
             "io_errors": self.io_errors,
+            "run": _run_json(self.run),
         }
 
 
@@ -408,6 +448,7 @@ class StoreVerifyResult:
 
     root: str
     report: StoreVerifyReport
+    run: RunReport | None = None
 
     def render(self) -> str:
         """The ``repro store verify`` report."""
@@ -423,7 +464,11 @@ class StoreVerifyResult:
 
     def to_json(self) -> dict[str, Any]:
         """Structured verification outcome."""
-        return {"root": self.root, **dataclasses.asdict(self.report)}
+        return {
+            "root": self.root,
+            **dataclasses.asdict(self.report),
+            "run": _run_json(self.run),
+        }
 
 
 @dataclasses.dataclass(frozen=True)
@@ -432,6 +477,7 @@ class StoreMigrateResult:
 
     root: str
     report: StoreMigrateReport
+    run: RunReport | None = None
 
     def render(self) -> str:
         """The ``repro store migrate`` report."""
@@ -447,7 +493,11 @@ class StoreMigrateResult:
 
     def to_json(self) -> dict[str, Any]:
         """Structured migration outcome."""
-        return {"root": self.root, **dataclasses.asdict(self.report)}
+        return {
+            "root": self.root,
+            **dataclasses.asdict(self.report),
+            "run": _run_json(self.run),
+        }
 
 
 @dataclasses.dataclass(frozen=True)
@@ -457,6 +507,7 @@ class StorePruneResult:
     root: str
     removed: int
     stats: StoreDiskStats
+    run: RunReport | None = None
 
     def render(self) -> str:
         """The ``repro store prune`` report line."""
@@ -471,4 +522,5 @@ class StorePruneResult:
             "root": self.root,
             "removed": self.removed,
             **dataclasses.asdict(self.stats),
+            "run": _run_json(self.run),
         }

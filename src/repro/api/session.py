@@ -87,6 +87,9 @@ from repro.core.triad import OperatingTriad, TriadGrid
 from repro.explore.evaluator import CandidateEvaluator, robust_tag
 from repro.explore.frontier import ParetoFrontier
 from repro.explore.search import run_search
+from repro.obs import metrics
+from repro.obs.report import RunReport
+from repro.obs.trace import Tracer, activated, active_tracer, span
 from repro.simulation.patterns import PatternConfig, generate_patterns
 from repro.synthesis.synthesize import synthesize
 from repro.technology.library import DEFAULT_LIBRARY, StandardCellLibrary
@@ -241,6 +244,13 @@ class Session:
         shared memory on/off, ``None`` (the default) follows the
         ``REPRO_SHM`` environment variable (see :mod:`repro.core.shm`).
         Results are byte-identical either way.
+    trace:
+        Path of a JSONL trace file (see :mod:`repro.obs.trace`): every
+        :meth:`run`/:meth:`run_batch` call records a hierarchical span tree
+        (session -> job -> sweep -> shard -> engine pass -> store flush)
+        into it, including spans from worker processes.  ``None`` (the
+        default) disables tracing entirely; results, rendered output and
+        store contents are byte-identical either way.
     """
 
     def __init__(
@@ -252,6 +262,7 @@ class Session:
         sta_margin: float = 1.5,
         policy: ExecutionPolicy | None = None,
         shared_memory: bool | None = None,
+        trace: str | pathlib.Path | None = None,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -260,6 +271,7 @@ class Session:
         self._sta_margin = sta_margin
         self._policy = policy
         self._shared_memory = shared_memory
+        self._tracer = Tracer(str(trace)) if trace is not None else None
         if store == DEFAULT_STORE:
             backing: SweepResultStore | None = SweepResultStore.default()
         elif store is None or isinstance(store, SweepResultStore):
@@ -281,6 +293,7 @@ class Session:
         sta_margin: float = 1.5,
         policy: ExecutionPolicy | None = None,
         shared_memory: bool | None = None,
+        trace: str | pathlib.Path | None = None,
     ) -> "Session":
         """Build a session from the shared :class:`StoreOptions` vocabulary."""
         options = store or StoreOptions()
@@ -291,6 +304,7 @@ class Session:
             sta_margin=sta_margin,
             policy=policy,
             shared_memory=shared_memory,
+            trace=trace,
         )
 
     # -- substrate -------------------------------------------------------------
@@ -361,15 +375,46 @@ class Session:
         (:class:`~repro.core.resilience.ShardExecutionError`) surfaces as a
         :class:`SessionError`: the caller chose the policy (e.g.
         ``on_worker_failure="fail"``), so the failure is theirs to handle.
+
+        Every result carries a :class:`~repro.obs.report.RunReport` in its
+        ``run`` field -- counter-only work accounting that is identical
+        whether or not the session traces.
         """
         try:
             handler = _HANDLERS[type(job)]
         except KeyError:
             raise TypeError(f"unknown job type {type(job).__name__!r}") from None
-        try:
-            return handler(self, job)
-        except ShardExecutionError as error:
-            raise SessionError(f"sweep execution failed: {error}") from None
+        if active_tracer() is not None:
+            # Called from run_batch (or another traced scope): the session
+            # span is already open; contribute only the job span.
+            return self._run_job(handler, job)
+        with activated(self._tracer):
+            with span("session", jobs=1):
+                return self._run_job(handler, job)
+
+    def _run_job(self, handler: Any, job: Job) -> Any:
+        """Execute one job under a ``job`` span and attach its RunReport."""
+        units_before = sweep_module.simulated_unit_count()
+        store = self._view.backing
+        store_before = store.stats._values() if store is not None else None
+        with span("job", type=type(job).__name__):
+            try:
+                result = handler(self, job)
+            except ShardExecutionError as error:
+                raise SessionError(f"sweep execution failed: {error}") from None
+        store_delta = None
+        if store is not None and store_before is not None:
+            after = store.stats._values()
+            store_delta = {
+                name: after[name] - before
+                for name, before in store_before.items()
+            }
+        report = RunReport(
+            simulated_units=sweep_module.simulated_unit_count() - units_before,
+            execution=getattr(result, "execution", None),
+            store=store_delta,
+        )
+        return dataclasses.replace(result, run=report)
 
     def _run_synthesize(self, job: SynthesizeJob) -> SynthesizeResult:
         # Synthesis only needs the netlists: build them directly instead of
@@ -728,9 +773,18 @@ class Session:
         job_list = list(jobs)
         if not job_list:
             raise ValueError("run_batch needs at least one job")
+        with activated(self._tracer):
+            with span("session", jobs=len(job_list)) as session_span:
+                return self._run_batch_body(job_list, session_span)
+
+    def _run_batch_body(self, job_list: list[Job], session_span: Any) -> BatchResult:
         start = sweep_module.simulated_unit_count()
         execution = ExecutionReport()
         planned, deduped, cache_hits = self._execute_plan(job_list, execution)
+        session_span.set(planned=planned, deduped=deduped, cache_hits=cache_hits)
+        metrics.REGISTRY.counter("batch.planned_units").add(planned)
+        metrics.REGISTRY.counter("batch.deduped_units").add(deduped)
+        metrics.REGISTRY.counter("batch.cache_hits").add(cache_hits)
         results = tuple(self.run(job) for job in job_list)
         for result in results:
             sub_report = getattr(result, "execution", None)

@@ -28,7 +28,10 @@ prints the typed result's rendering.  The commands:
   sweep work units shared between jobs are deduplicated and simulated once,
 * ``repro store``           -- inspect (``stats``), verify (``verify``: fsck
   pass quarantining corrupt entries) and bound (``prune``) the on-disk
-  sweep result store.
+  sweep result store,
+* ``repro trace``           -- inspect JSONL trace files recorded with
+  ``--trace``: ``summary`` renders the per-phase time breakdown and the
+  cache/dedup funnel, ``validate`` checks records against the trace schema.
 
 Sweep-running commands (``characterize``, ``fig5``, ``table4``,
 ``calibrate``, ``explore``, ``montecarlo``, ``faults``, ``batch``) execute
@@ -48,6 +51,12 @@ sweep recovered from faults, a one-line execution report goes to stderr --
 stdout stays byte-identical to a fault-free run.  Ctrl-C exits cleanly with
 status 130; completed shards are already persisted, so the rerun resumes
 warm.
+
+Sweep-running commands also accept ``--trace PATH``: the run appends a
+hierarchical span tree (session -> job -> sweep -> shard -> engine pass ->
+store flush, including worker-process spans) to the JSONL file, viewable
+with ``repro trace summary``.  Tracing never changes results: stdout and
+store bytes are identical with and without ``--trace``.
 
 ``characterize``, ``table4``, ``fig5``, ``montecarlo`` and ``faults``
 accept ``--json`` to emit the typed result object as JSON instead of the
@@ -85,6 +94,7 @@ from repro.api.jobs import (
 )
 from repro.api.options import PatternOptions, StoreOptions, SweepOptions
 from repro.api.session import Session, SessionError
+from repro.obs.report import load_trace, summarize_trace, validate_trace
 from repro.circuits.adders import ADDER_GENERATORS
 from repro.core.resilience import FAILURE_ACTIONS
 from repro.explore.search import SEARCH_STRATEGIES
@@ -341,6 +351,7 @@ def build_parser() -> argparse.ArgumentParser:
         "stats", help="entry count and on-disk footprint of the store"
     )
     _add_store_dir_argument(store_stats)
+    _add_json_argument(store_stats)
     store_verify = store_commands.add_parser(
         "verify", help="fsck pass: validate every entry, quarantine corrupt ones"
     )
@@ -364,6 +375,23 @@ def build_parser() -> argparse.ArgumentParser:
     store_prune.add_argument(
         "--all", action="store_true", help="delete every entry (same as --max-entries 0)"
     )
+
+    trace = subparsers.add_parser(
+        "trace", help="inspect JSONL trace files recorded with --trace"
+    )
+    trace_commands = trace.add_subparsers(dest="trace_command", required=True)
+    trace_summary = trace_commands.add_parser(
+        "summary",
+        help="per-phase time breakdown, cache/dedup funnel and shard timing",
+    )
+    trace_summary.add_argument("trace_file", help="JSONL trace file (from --trace)")
+    _add_json_argument(trace_summary)
+    trace_validate = trace_commands.add_parser(
+        "validate",
+        help="check every record against the trace schema and the span-tree "
+        "structure (exit 1 on problems)",
+    )
+    trace_validate.add_argument("trace_file", help="JSONL trace file (from --trace)")
     return parser
 
 
@@ -434,6 +462,13 @@ def _add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="do not read or write the sweep result store",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="append a JSONL span trace of the run to this file (view with "
+        "'repro trace summary'); results are byte-identical either way",
+    )
 
 
 def _add_store_dir_argument(parser: argparse.ArgumentParser) -> None:
@@ -485,6 +520,7 @@ def _session(args: argparse.Namespace) -> Session:
             jobs=getattr(args, "jobs", 1),
             policy=sweep.policy(),
             shared_memory=sweep.shared_memory,
+            trace=getattr(args, "trace", None),
         )
     )
 
@@ -694,6 +730,31 @@ def _command_store(args: argparse.Namespace) -> int:
     return _emit(args, _run(_session(args), job))
 
 
+def _command_trace(args: argparse.Namespace) -> int:
+    try:
+        records = load_trace(args.trace_file)
+    except OSError as error:
+        raise SystemExit(
+            f"cannot read trace file {args.trace_file}: {error}"
+        ) from None
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+    if args.trace_command == "validate":
+        problems = validate_trace(records)
+        if problems:
+            for problem in problems:
+                print(problem, file=sys.stderr)
+            return 1
+        print(f"{args.trace_file}: {len(records)} span(s), schema OK")
+        return 0
+    summary = summarize_trace(records)
+    if getattr(args, "json", False):
+        print(json.dumps(summary.to_json(), indent=2))
+    else:
+        print(summary.render())
+    return 0
+
+
 _COMMANDS = {
     "synthesize": _command_synthesize,
     "characterize": _command_characterize,
@@ -706,6 +767,7 @@ _COMMANDS = {
     "faults": _command_faults,
     "batch": _command_batch,
     "store": _command_store,
+    "trace": _command_trace,
 }
 
 

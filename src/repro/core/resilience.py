@@ -56,6 +56,8 @@ from concurrent.futures import (
 )
 from typing import Any, Callable, Mapping, Sequence
 
+from repro.obs import metrics
+from repro.obs.trace import span
 from repro.testing import chaos as chaos_hooks
 
 #: The supported failure actions of an :class:`ExecutionPolicy`.
@@ -141,12 +143,16 @@ class ExecutionPolicy:
 DEFAULT_POLICY = ExecutionPolicy()
 
 
-@dataclasses.dataclass
-class ExecutionReport:
+@metrics.bind_registry_fields
+class ExecutionReport(metrics.RegistryView):
     """Accounting of one (or several merged) fault-tolerant runs.
 
     All counters are cumulative; :meth:`merge` folds another report in, so a
-    batch can aggregate the reports of its constituent sweeps.
+    batch can aggregate the reports of its constituent sweeps.  The fields
+    are views over a :class:`~repro.obs.metrics.MetricsRegistry` (namespace
+    ``execution``), so the same numbers feed :class:`RunReport`, traces,
+    and ``to_json`` -- the keyword-construction and ``report.retries += 1``
+    surface of the former dataclass is unchanged.
 
     Attributes
     ----------
@@ -173,18 +179,21 @@ class ExecutionReport:
         Wall-clock seconds spent in dispatch rounds that ended in failures.
     """
 
-    shards: int = 0
-    failures: int = 0
-    timeouts: int = 0
-    crashes: int = 0
-    corrupt_results: int = 0
-    retries: int = 0
-    requeues: int = 0
-    splits: int = 0
-    serial_fallbacks: int = 0
-    pool_rebuilds: int = 0
-    recovered_shards: int = 0
-    wall_time_lost_s: float = 0.0
+    _NAMESPACE = "execution"
+    _FIELDS = {
+        "shards": 0,
+        "failures": 0,
+        "timeouts": 0,
+        "crashes": 0,
+        "corrupt_results": 0,
+        "retries": 0,
+        "requeues": 0,
+        "splits": 0,
+        "serial_fallbacks": 0,
+        "pool_rebuilds": 0,
+        "recovered_shards": 0,
+        "wall_time_lost_s": 0.0,
+    }
 
     @property
     def faulted(self) -> bool:
@@ -201,12 +210,8 @@ class ExecutionReport:
 
     def merge(self, other: "ExecutionReport") -> None:
         """Fold another report's counters into this one."""
-        for field in dataclasses.fields(self):
-            setattr(
-                self,
-                field.name,
-                getattr(self, field.name) + getattr(other, field.name),
-            )
+        for field in self._FIELDS:
+            setattr(self, field, getattr(self, field) + getattr(other, field))
 
     def render(self) -> str:
         """One-line human-readable summary."""
@@ -226,7 +231,7 @@ class ExecutionReport:
 
     def to_json(self) -> dict[str, Any]:
         """JSON-serialisable representation (plain field dict)."""
-        data = dataclasses.asdict(self)
+        data: dict[str, Any] = self._values()
         data["faulted"] = self.faulted
         return data
 
@@ -376,18 +381,23 @@ def run_shards(
         through ``on_result``.
     """
     try:
-        return _run_shards(
-            tasks,
-            worker,
-            policy=policy,
-            max_workers=max_workers,
-            units=units,
-            split=split,
-            validate=validate,
-            on_result=on_result,
-            chaos=chaos,
-            report=report,
-        )
+        with span(
+            "dispatch",
+            shards=len(tasks),
+            workers=max_workers if max_workers is not None else len(tasks),
+        ):
+            return _run_shards(
+                tasks,
+                worker,
+                policy=policy,
+                max_workers=max_workers,
+                units=units,
+                split=split,
+                validate=validate,
+                on_result=on_result,
+                chaos=chaos,
+                report=report,
+            )
     finally:
         if cleanup is not None:
             try:

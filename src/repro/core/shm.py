@@ -49,6 +49,8 @@ from typing import Mapping
 
 import numpy as np
 
+from repro.obs.trace import span
+
 #: Environment variable gating shared-memory transport.  Any of ``0``,
 #: ``off``, ``false`` or ``no`` (case-insensitive) forces the inline-pickle
 #: fallback; anything else (including unset) leaves it enabled.
@@ -163,19 +165,27 @@ class SharedArrayRef:
         """
         if self.segment is None:
             return {field: array for field, array in self.inline}
-        segment = _attach(self.segment)
-        try:
-            arrays: dict[str, np.ndarray] = {}
-            for spec in self.specs:
-                count = math.prod(spec.shape)
-                view = np.frombuffer(
-                    segment.buf, dtype=spec.dtype, count=count, offset=spec.offset
-                )
-                arrays[spec.field] = view.reshape(spec.shape).copy()
-                del view
-            return arrays
-        finally:
-            segment.close()
+        total = sum(
+            math.prod(spec.shape) * np.dtype(spec.dtype).itemsize
+            for spec in self.specs
+        )
+        with span("shm.attach", arrays=len(self.specs), bytes=total):
+            segment = _attach(self.segment)
+            try:
+                arrays: dict[str, np.ndarray] = {}
+                for spec in self.specs:
+                    count = math.prod(spec.shape)
+                    view = np.frombuffer(
+                        segment.buf,
+                        dtype=spec.dtype,
+                        count=count,
+                        offset=spec.offset,
+                    )
+                    arrays[spec.field] = view.reshape(spec.shape).copy()
+                    del view
+                return arrays
+            finally:
+                segment.close()
 
 
 class SharedArrayBundle:
@@ -235,26 +245,28 @@ def share_arrays(
     reap_stale_segments()
     total = sum(array.nbytes for _, array in items)
     name = f"{SEGMENT_PREFIX}{os.getpid()}_{secrets.token_hex(4)}"
-    try:
-        segment = shared_memory.SharedMemory(
-            name=name, create=True, size=max(total, 1)
-        )
-    except (OSError, ValueError):
-        return SharedArrayBundle(
-            SharedArrayRef(segment=None, specs=(), inline=tuple(items)), None
-        )
-    specs: list[_ArraySpec] = []
-    offset = 0
-    for field, array in items:
-        segment.buf[offset : offset + array.nbytes] = array.tobytes()
-        specs.append(
-            _ArraySpec(
-                field=field,
-                dtype=str(array.dtype),
-                shape=tuple(array.shape),
-                offset=offset,
+    with span("shm.publish", arrays=len(items), bytes=total) as publish_span:
+        try:
+            segment = shared_memory.SharedMemory(
+                name=name, create=True, size=max(total, 1)
             )
-        )
-        offset += array.nbytes
-    ref = SharedArrayRef(segment=segment.name, specs=tuple(specs))
-    return SharedArrayBundle(ref, segment)
+        except (OSError, ValueError):
+            publish_span.set(shared=False)
+            return SharedArrayBundle(
+                SharedArrayRef(segment=None, specs=(), inline=tuple(items)), None
+            )
+        specs: list[_ArraySpec] = []
+        offset = 0
+        for field, array in items:
+            segment.buf[offset : offset + array.nbytes] = array.tobytes()
+            specs.append(
+                _ArraySpec(
+                    field=field,
+                    dtype=str(array.dtype),
+                    shape=tuple(array.shape),
+                    offset=offset,
+                )
+            )
+            offset += array.nbytes
+        ref = SharedArrayRef(segment=segment.name, specs=tuple(specs))
+        return SharedArrayBundle(ref, segment)

@@ -73,6 +73,7 @@ from repro.core.packfile import (
     encode_record,
     scan_records,
 )
+from repro.obs import metrics
 from repro.technology.library import StandardCellLibrary
 
 #: Version of the *key schema*.  Part of every entry key: bumping it
@@ -216,21 +217,29 @@ def decode_float64_array(data: str | bytes | bytearray) -> np.ndarray:
 # ---------------------------------------------------------------------------
 
 
-@dataclasses.dataclass
-class StoreStats:
+@metrics.bind_registry_fields
+class StoreStats(metrics.RegistryView):
     """Hit/miss counters of one store instance (not persisted).
 
     ``io_errors`` counts OS-level failures that silently degraded an
     operation (an unwritable ``put``, an unreadable segment, a failed
     quarantine copy) -- *not* ordinary misses or files that vanished under
     a concurrent session, which are normal operation.
+
+    The counters are views over a :class:`~repro.obs.metrics.MetricsRegistry`
+    (namespace ``store``), shared with run reports and ``to_json``; the
+    ``store.stats.hits += 1`` mutation surface of the former dataclass is
+    unchanged.
     """
 
-    hits: int = 0
-    misses: int = 0
-    stores: int = 0
-    corrupt: int = 0
-    io_errors: int = 0
+    _NAMESPACE = "store"
+    _FIELDS = {
+        "hits": 0,
+        "misses": 0,
+        "stores": 0,
+        "corrupt": 0,
+        "io_errors": 0,
+    }
 
 
 #: Subdirectory corrupt entries are moved into (never read as entries).

@@ -64,6 +64,8 @@ from repro.core.store import (
     pack_int64_array,
 )
 from repro.core.triad import OperatingTriad, TriadGrid
+from repro.obs import metrics
+from repro.obs.trace import TraceContext, current_context, span, worker_scope
 from repro.simulation.engine import ENGINE_VERSION
 from repro.simulation.fault_injection import (
     FaultSimulationResult,
@@ -95,7 +97,9 @@ SERIAL_FAULT_FLUSH_BLOCK = 64
 #: triad) entries for Monte Carlo runs).  Cache hits do not count.  The
 #: counter is recorded parent-side (before shards are dispatched), so it is
 #: accurate whether the units execute in-process or in worker processes.
-_SIMULATED_UNITS = 0
+#: Lives in the process-global metrics registry (:data:`repro.obs.metrics
+#: .REGISTRY`), where the batch dedup counters also land.
+_SIMULATED_UNITS = metrics.REGISTRY.counter("sweep.simulated_units")
 
 
 def simulated_unit_count() -> int:
@@ -105,15 +109,14 @@ def simulated_unit_count() -> int:
     simulation it performed -- the batch planner's dedup accounting and the
     zero-duplicate-simulation tests are built on this.
     """
-    return _SIMULATED_UNITS
+    return _SIMULATED_UNITS.value
 
 
 def record_simulated_units(count: int) -> None:
     """Record ``count`` work units as actually simulated."""
-    global _SIMULATED_UNITS
     if count < 0:
         raise ValueError("count must be non-negative")
-    _SIMULATED_UNITS += int(count)
+    _SIMULATED_UNITS.add(int(count))
 
 
 # ---------------------------------------------------------------------------
@@ -380,18 +383,22 @@ class _CharacterizationShard:
     stimulus: SharedArrayRef
     triads: tuple[tuple[float, float, float], ...]
     keep_latched: bool
+    trace: TraceContext | None = None
 
 
 def _run_characterization_shard(task: _CharacterizationShard) -> list[dict[str, Any]]:
-    circuit = task.spec.build()
-    testbench = _make_testbench(circuit, task.library)
-    operands = task.stimulus.load()
-    triads = [OperatingTriad(tclk=t, vdd=v, vbb=b) for t, v, b in task.triads]
-    measurements = testbench.run_sweep(operands["in1"], operands["in2"], triads)
-    return [
-        measurement_to_payload(m, circuit.output_width, task.keep_latched)
-        for m in measurements
-    ]
+    with worker_scope(
+        task.trace, "sweep.shard", kind="characterization", units=len(task.triads)
+    ):
+        circuit = task.spec.build()
+        testbench = _make_testbench(circuit, task.library)
+        operands = task.stimulus.load()
+        triads = [OperatingTriad(tclk=t, vdd=v, vbb=b) for t, v, b in task.triads]
+        measurements = testbench.run_sweep(operands["in1"], operands["in2"], triads)
+        return [
+            measurement_to_payload(m, circuit.output_width, task.keep_latched)
+            for m in measurements
+        ]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -399,18 +406,24 @@ class _FaultShard:
     spec: CircuitSpec
     stimulus: SharedArrayRef
     faults: tuple[tuple[int, bool], ...]
+    trace: TraceContext | None = None
 
 
 def _run_fault_shard(task: _FaultShard) -> list[dict[str, Any]]:
-    circuit = task.spec.build()
-    simulator = StuckAtFaultSimulator(
-        circuit.netlist, output_ports=circuit.output_ports()
-    )
-    operands = task.stimulus.load()
-    assignment = circuit.input_assignment(operands["in1"], operands["in2"])
-    faults = [StuckAtFault(net=net, stuck_value=value) for net, value in task.faults]
-    results = simulator.run(assignment, faults)
-    return [_fault_result_to_payload(result) for result in results]
+    with worker_scope(
+        task.trace, "sweep.shard", kind="faults", units=len(task.faults)
+    ):
+        circuit = task.spec.build()
+        simulator = StuckAtFaultSimulator(
+            circuit.netlist, output_ports=circuit.output_ports()
+        )
+        operands = task.stimulus.load()
+        assignment = circuit.input_assignment(operands["in1"], operands["in2"])
+        faults = [
+            StuckAtFault(net=net, stuck_value=value) for net, value in task.faults
+        ]
+        results = simulator.run(assignment, faults)
+        return [_fault_result_to_payload(result) for result in results]
 
 
 def _fault_result_to_payload(result: FaultSimulationResult) -> dict[str, Any]:
@@ -610,6 +623,45 @@ def run_characterization_sweep(
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
+    with span("sweep", kind="characterization", jobs=jobs) as sweep_span:
+        return _characterization_sweep_body(
+            circuit,
+            grid,
+            in1,
+            in2,
+            stimulus,
+            library=library,
+            jobs=jobs,
+            store=store,
+            keep_latched=keep_latched,
+            testbench=testbench,
+            policy=policy,
+            chaos=chaos,
+            report=report,
+            shm=shm,
+            sweep_span=sweep_span,
+        )
+
+
+def _characterization_sweep_body(
+    circuit: Any,
+    grid: TriadGrid,
+    in1: np.ndarray,
+    in2: np.ndarray,
+    stimulus: Mapping[str, Any],
+    *,
+    library: StandardCellLibrary,
+    jobs: int,
+    store: SweepResultStore | None,
+    keep_latched: bool,
+    testbench: Any,
+    policy: ExecutionPolicy | None,
+    chaos: ChaosPlan | None,
+    report: ExecutionReport | None,
+    shm: bool | None,
+    sweep_span: Any,
+) -> list[dict[str, Any]]:
+    """Body of :func:`run_characterization_sweep` under its ``sweep`` span."""
     in1_arr = np.asarray(in1, dtype=np.int64)
     in2_arr = np.asarray(in2, dtype=np.int64)
     base_components = characterization_key_components(circuit, library, stimulus)
@@ -624,19 +676,25 @@ def run_characterization_sweep(
         # One batch read for the whole grid: segments are visited in offset
         # order instead of seeking per key, which is what keeps warm sweeps
         # fast on multi-thousand-entry stores.
-        cached_batch = store.get_many([keys[triad] for triad in grid])
-        for triad in grid:
-            cached = cached_batch.get(keys[triad])
-            if payload_usable(cached, n_vectors, keep_latched):
-                payloads[triad] = cached  # type: ignore[assignment]
+        with span("store.lookup", requested=len(keys)) as lookup_span:
+            cached_batch = store.get_many([keys[triad] for triad in grid])
+            for triad in grid:
+                cached = cached_batch.get(keys[triad])
+                if payload_usable(cached, n_vectors, keep_latched):
+                    payloads[triad] = cached  # type: ignore[assignment]
+            lookup_span.set(hits=len(payloads), misses=len(keys) - len(payloads))
 
     missing = [triad for triad in grid if triad not in payloads]
+    sweep_span.set(
+        units=len(keys), cached=len(payloads), simulated=len(missing)
+    )
     if missing:
         record_simulated_units(len(missing))
         spec = _verified_spec(circuit, fingerprint) if jobs > 1 else None
         shards = shard_triads(missing, jobs if spec is not None else 1)
         if spec is not None and len(shards) > 1:
             bundle = share_arrays({"in1": in1_arr, "in2": in2_arr}, enabled=shm)
+            trace_context = current_context()
             tasks = [
                 _CharacterizationShard(
                     spec=spec,
@@ -644,6 +702,7 @@ def run_characterization_sweep(
                     stimulus=bundle.ref,
                     triads=tuple((t.tclk, t.vdd, t.vbb) for t in shard),
                     keep_latched=keep_latched,
+                    trace=trace_context,
                 )
                 for shard in shards
             ]
@@ -655,8 +714,9 @@ def run_characterization_sweep(
             def flush(task: _CharacterizationShard, result: list) -> None:
                 if store is None:
                     return
-                for coords, payload in zip(task.triads, result):
-                    store.put(key_by_coords[coords], payload)
+                with span("store.flush", entries=len(result)):
+                    for coords, payload in zip(task.triads, result):
+                        store.put(key_by_coords[coords], payload)
 
             shard_payloads = run_shards(
                 tasks,
@@ -685,13 +745,17 @@ def run_characterization_sweep(
                 groups.setdefault((triad.vdd, triad.vbb), []).append(triad)
             for group in groups.values():
                 measurements = bench.run_sweep(in1_arr, in2_arr, group)
+                group_payloads = []
                 for triad, measurement in zip(group, measurements):
                     payload = measurement_to_payload(
                         measurement, circuit.output_width, keep_latched
                     )
                     payloads[triad] = payload
-                    if store is not None:
-                        store.put(keys[triad], payload)
+                    group_payloads.append((keys[triad], payload))
+                if store is not None:
+                    with span("store.flush", entries=len(group_payloads)):
+                        for key, payload in group_payloads:
+                            store.put(key, payload)
 
     return [payloads[triad] for triad in grid]
 
@@ -726,6 +790,39 @@ def run_fault_sweep(
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
+    with span("sweep", kind="faults", jobs=jobs) as sweep_span:
+        return _fault_sweep_body(
+            circuit,
+            in1,
+            in2,
+            stimulus,
+            faults=faults,
+            jobs=jobs,
+            store=store,
+            policy=policy,
+            chaos=chaos,
+            report=report,
+            shm=shm,
+            sweep_span=sweep_span,
+        )
+
+
+def _fault_sweep_body(
+    circuit: Any,
+    in1: np.ndarray,
+    in2: np.ndarray,
+    stimulus: Mapping[str, Any],
+    *,
+    faults: Sequence[StuckAtFault] | None,
+    jobs: int,
+    store: SweepResultStore | None,
+    policy: ExecutionPolicy | None,
+    chaos: ChaosPlan | None,
+    report: ExecutionReport | None,
+    shm: bool | None,
+    sweep_span: Any,
+) -> list[FaultSimulationResult]:
+    """Body of :func:`run_fault_sweep` under its ``sweep`` span."""
     in1_arr = np.asarray(in1, dtype=np.int64)
     in2_arr = np.asarray(in2, dtype=np.int64)
     fault_list = list(
@@ -756,18 +853,25 @@ def run_fault_sweep(
                 }
             )
         )
-    cached_batch = store.get_many(keys) if store is not None else {}
-    for index in range(len(fault_list)):
-        cached = cached_batch.get(keys[index])
-        if (
-            cached is not None
-            and cached.get("payload_version") == PAYLOAD_VERSION
-            and cached.get("n_vectors", n_vectors) == n_vectors
-        ):
-            results[index] = _payload_to_fault_result(cached)
-        else:
-            missing_indices.append(index)
+    with span("store.lookup", requested=len(keys)) as lookup_span:
+        cached_batch = store.get_many(keys) if store is not None else {}
+        for index in range(len(fault_list)):
+            cached = cached_batch.get(keys[index])
+            if (
+                cached is not None
+                and cached.get("payload_version") == PAYLOAD_VERSION
+                and cached.get("n_vectors", n_vectors) == n_vectors
+            ):
+                results[index] = _payload_to_fault_result(cached)
+            else:
+                missing_indices.append(index)
+        lookup_span.set(hits=len(results), misses=len(missing_indices))
 
+    sweep_span.set(
+        units=len(fault_list),
+        cached=len(results),
+        simulated=len(missing_indices),
+    )
     if missing_indices:
         record_simulated_units(len(missing_indices))
         spec = _verified_spec(circuit, fingerprint) if jobs > 1 else None
@@ -781,6 +885,7 @@ def run_fault_sweep(
         }
         if spec is not None and len(chunks) > 1:
             bundle = share_arrays({"in1": in1_arr, "in2": in2_arr}, enabled=shm)
+            trace_context = current_context()
             tasks = [
                 _FaultShard(
                     spec=spec,
@@ -789,6 +894,7 @@ def run_fault_sweep(
                         (fault_list[i].net, bool(fault_list[i].stuck_value))
                         for i in chunk
                     ),
+                    trace=trace_context,
                 )
                 for chunk in chunks
             ]
@@ -796,10 +902,11 @@ def run_fault_sweep(
             def flush(task: _FaultShard, result: list) -> None:
                 if store is None:
                     return
-                for site, payload in zip(task.faults, result):
-                    store.put(
-                        key_by_fault[site], {**payload, "n_vectors": n_vectors}
-                    )
+                with span("store.flush", entries=len(result)):
+                    for site, payload in zip(task.faults, result):
+                        store.put(
+                            key_by_fault[site], {**payload, "n_vectors": n_vectors}
+                        )
 
             chunk_payloads = run_shards(
                 tasks,
@@ -833,13 +940,17 @@ def run_fault_sweep(
                 block_results = simulator.run(
                     assignment, [fault_list[i] for i in block]
                 )
+                block_payloads = []
                 for index, result in zip(block, block_results):
                     payload = {
                         **_fault_result_to_payload(result),
                         "n_vectors": n_vectors,
                     }
                     results[index] = _payload_to_fault_result(payload)
-                    if store is not None:
-                        store.put(keys[index], payload)
+                    block_payloads.append((keys[index], payload))
+                if store is not None:
+                    with span("store.flush", entries=len(block_payloads)):
+                        for key, payload in block_payloads:
+                            store.put(key, payload)
 
     return [results[index] for index in range(len(fault_list))]

@@ -29,6 +29,7 @@ from repro.core.resilience import ExecutionPolicy, ExecutionReport
 from repro.core.store import SweepResultStore
 from repro.core.triad import OperatingTriad
 from repro.explore.frontier import FrontierPoint
+from repro.obs.trace import span
 from repro.explore.space import DesignSpace, OperatorCandidate, TriadSpec
 from repro.simulation.patterns import PatternConfig, generate_patterns
 from repro.technology.library import DEFAULT_LIBRARY, StandardCellLibrary
@@ -232,6 +233,16 @@ class CandidateEvaluator:
         """Evaluate one candidate over its triad grid at one fidelity."""
         if n_vectors <= 0:
             raise ValueError("n_vectors must be positive")
+        with span(
+            "explore.evaluate",
+            candidate=candidate.name,
+            n_vectors=n_vectors,
+        ):
+            return self._evaluate_body(candidate, n_vectors)
+
+    def _evaluate_body(
+        self, candidate: OperatorCandidate, n_vectors: int
+    ) -> CandidateEvaluation:
         flow = self._flow_for(candidate)
         grid = self._triads.grid_for(flow)
         config = PatternConfig(

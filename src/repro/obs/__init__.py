@@ -1,0 +1,63 @@
+"""Unified observability: hierarchical tracing, metrics, run reports.
+
+The package is dependency-free and **disabled by default**: until a
+:class:`~repro.obs.trace.Tracer` is activated, :func:`~repro.obs.trace.span`
+returns a shared no-op span and the instrumented hot paths pay a single
+``None`` check.  Traced and untraced runs are byte-identical on stdout and
+on-disk store bytes -- all timing lives in the JSONL trace file.
+
+* :mod:`repro.obs.trace`   -- spans, the JSONL trace writer, and the
+  picklable :class:`~repro.obs.trace.TraceContext` that carries a span
+  parent across ``ProcessPoolExecutor`` workers.
+* :mod:`repro.obs.metrics` -- counters/gauges/histograms plus the
+  registry-view machinery behind ``StoreStats`` and ``ExecutionReport``.
+* :mod:`repro.obs.report`  -- :class:`~repro.obs.report.RunReport` (the
+  ``"run"`` key of typed results' ``to_json()``), trace loading/validation
+  against the committed schema, and the ``repro trace summary`` renderer.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    REGISTRY,
+)
+from repro.obs.report import (
+    RunReport,
+    TraceSummary,
+    load_trace,
+    summarize_trace,
+    validate_trace,
+)
+from repro.obs.trace import (
+    Span,
+    TraceContext,
+    Tracer,
+    activated,
+    active_tracer,
+    current_context,
+    span,
+    worker_scope,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "RunReport",
+    "Span",
+    "TraceContext",
+    "TraceSummary",
+    "Tracer",
+    "activated",
+    "active_tracer",
+    "current_context",
+    "load_trace",
+    "span",
+    "summarize_trace",
+    "validate_trace",
+    "worker_scope",
+]

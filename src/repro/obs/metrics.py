@@ -1,0 +1,233 @@
+"""Counters, gauges, histograms, and registry-backed stat views.
+
+Two layers:
+
+* :class:`MetricsRegistry` -- a flat name -> instrument map.  The
+  process-global :data:`REGISTRY` aggregates cross-cutting counters
+  (simulated work units, batch dedup funnel); stat objects that are
+  per-instance by design (a store's hit/miss counters, a sweep's execution
+  report) each own a private registry.
+* :func:`bind_registry_fields` -- class decorator that turns a plain
+  ``field = 0`` attribute surface into properties over registry counters.
+  ``StoreStats`` (:mod:`repro.core.store`) and ``ExecutionReport``
+  (:mod:`repro.core.resilience`) are built on it, so their ubiquitous
+  ``stats.hits += 1`` call sites keep working unchanged while the values
+  live in a registry that reports, traces, and ``to_json`` all share.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "RegistryView",
+    "bind_registry_fields",
+]
+
+
+class Counter:
+    """A monotonically *intended* accumulator (direct assignment allowed).
+
+    ``value`` starts at the declared zero (``0`` or ``0.0``) and keeps the
+    arithmetic type of what call sites add, so integer counters serialise
+    as JSON integers.
+    """
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: float = 0) -> None:
+        self.name = name
+        self.value = value
+
+    def add(self, amount: float = 1) -> float:
+        """Increment and return the new value."""
+        self.value += amount
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self.value!r})"
+
+
+class Gauge:
+    """A last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: float = 0) -> None:
+        self.name = name
+        self.value = value
+
+    def set(self, value: float) -> float:
+        self.value = value
+        return value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, value={self.value!r})"
+
+
+class Histogram:
+    """Streaming count/sum/min/max summary of observed values."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        """Mean of the observed values (0.0 before any observation)."""
+        return self.total / self.count if self.count else 0.0
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, count={self.count}, mean={self.mean!r})"
+
+
+class MetricsRegistry:
+    """Flat, get-or-create map of named instruments.
+
+    A name is bound to one instrument kind for the registry's lifetime;
+    asking for the same name as a different kind raises ``TypeError`` --
+    silently returning a mismatched instrument would corrupt counters.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, name: str, kind: type) -> Any:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = kind(name)
+            self._metrics[name] = metric
+        elif type(metric) is not kind:
+            raise TypeError(
+                f"metric {name!r} is a {type(metric).__name__}, "
+                f"not a {kind.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get_or_create(name, Histogram)
+
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
+        """The instrument registered under ``name``, or ``None``."""
+        return self._metrics.get(name)
+
+    def __iter__(self) -> Iterator[Counter | Gauge | Histogram]:
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Name -> plain-value map (histograms as summary dicts)."""
+        return {
+            name: (
+                metric.to_json()
+                if isinstance(metric, Histogram)
+                else metric.value
+            )
+            for name, metric in sorted(self._metrics.items())
+        }
+
+
+#: Process-global registry for cross-cutting counters (work units simulated,
+#: batch dedup funnel).  Per-instance stats own private registries instead.
+REGISTRY = MetricsRegistry()
+
+
+class RegistryView:
+    """Base of stat façades whose fields are registry counters.
+
+    Subclasses declare ``_FIELDS`` as a ``{name: zero}`` mapping (the zero
+    fixes the counter's arithmetic type), set ``_NAMESPACE``, and decorate
+    with :func:`bind_registry_fields`.  The result keeps the surface of the
+    plain dataclasses it replaces: keyword construction, ``a.field += n``
+    mutation, value equality, and a dataclass-style ``repr``.
+    """
+
+    _FIELDS: dict[str, float] = {}
+    _NAMESPACE = ""
+
+    def __init__(
+        self, *, registry: MetricsRegistry | None = None, **values: float
+    ) -> None:
+        self._registry = registry if registry is not None else MetricsRegistry()
+        for field, zero in self._FIELDS.items():
+            counter = self._registry.counter(f"{self._NAMESPACE}.{field}")
+            if counter.value == 0:
+                # Adopt the declared zero so the counter keeps its arithmetic
+                # type (0.0 fields must serialise as JSON floats).
+                counter.value = zero
+        for field, value in values.items():
+            if field not in self._FIELDS:
+                raise TypeError(
+                    f"{type(self).__name__} has no field {field!r}"
+                )
+            setattr(self, field, value)
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The backing registry (shared with whoever injected it)."""
+        return self._registry
+
+    def _values(self) -> dict[str, float]:
+        return {field: getattr(self, field) for field in self._FIELDS}
+
+    def __eq__(self, other: object) -> bool:
+        if type(other) is not type(self):
+            return NotImplemented
+        return self._values() == other._values()
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in self._values().items())
+        return f"{type(self).__name__}({inner})"
+
+
+def bind_registry_fields(cls: type[RegistryView]) -> type[RegistryView]:
+    """Install a counter-backed property per ``_FIELDS`` entry."""
+
+    def make_property(field: str) -> property:
+        key = f"{cls._NAMESPACE}.{field}"
+
+        def getter(self: RegistryView) -> float:
+            return self._registry.counter(key).value
+
+        def setter(self: RegistryView, value: float) -> None:
+            self._registry.counter(key).value = value
+
+        return property(getter, setter)
+
+    for field in cls._FIELDS:
+        setattr(cls, field, make_property(field))
+    return cls

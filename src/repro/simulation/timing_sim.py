@@ -49,6 +49,7 @@ import numpy as np
 from repro.circuits.cells import evaluate_gate
 from repro.circuits.netlist import Netlist
 from repro.circuits.signals import bits_to_int
+from repro.obs.trace import span
 from repro.simulation import engine
 from repro.technology.library import DEFAULT_LIBRARY, StandardCellLibrary
 
@@ -489,7 +490,13 @@ class VosTimingSimulator:
         stimulus = self._stimulus(inputs, previous_inputs)
 
         gate_delays = annotation.gate_delays[None, :] * multipliers
-        arrival = self._plan.batched_arrival_pass(stimulus.changed, gate_delays)
+        with span(
+            "engine.pass",
+            kind="variation",
+            instances=multipliers.shape[0],
+            vectors=stimulus.n_vectors,
+        ):
+            arrival = self._plan.batched_arrival_pass(stimulus.changed, gate_delays)
         # (n_outputs, n_instances, n_vectors) -> (n_instances, n_vectors, n_outputs)
         arrival_bits = np.ascontiguousarray(
             arrival[self._output_net_array].transpose(1, 2, 0)
@@ -617,12 +624,15 @@ class VosTimingSimulator:
         if record is not None:
             self._timing_cache.move_to_end(key)
             return record
-        arrival = self._plan.arrival_pass(stimulus.changed, annotation.gate_delays)
-        arrival_bits = arrival[self._output_net_array].T.copy()
-        toggles = stimulus.changed[self._plan.gate_output_nets]
-        dynamic_energy = annotation.gate_switch_energies @ toggles.astype(
-            np.float64
-        )
+        with span("engine.pass", kind="arrival", vectors=stimulus.n_vectors):
+            arrival = self._plan.arrival_pass(
+                stimulus.changed, annotation.gate_delays
+            )
+            arrival_bits = arrival[self._output_net_array].T.copy()
+            toggles = stimulus.changed[self._plan.gate_output_nets]
+            dynamic_energy = annotation.gate_switch_energies @ toggles.astype(
+                np.float64
+            )
         arrival_bits.setflags(write=False)
         dynamic_energy.setflags(write=False)
         record = _TimingRecord(

@@ -48,6 +48,7 @@ from repro.core.store import (
 )
 from repro.core.sweep import CircuitSpec, record_simulated_units, verified_spec
 from repro.core.triad import OperatingTriad, TriadGrid
+from repro.obs.trace import TraceContext, current_context, span, worker_scope
 from repro.simulation.engine import ENGINE_VERSION
 from repro.simulation.timing_sim import VosTimingSimulator
 from repro.technology.corners import (
@@ -226,25 +227,33 @@ class _MonteCarloShard:
     seed: int
     start: int
     stop: int
+    trace: TraceContext | None = None
 
 
 def _run_montecarlo_shard(task: _MonteCarloShard) -> list[dict[str, Any]]:
-    circuit = task.spec.build()
-    operands = task.stimulus.load()
-    triads = [
-        OperatingTriad(tclk=t, vdd=v, vbb=b) for t, v, b in task.triads
-    ]
-    return _simulate_range(
-        circuit,
-        task.library,
-        triads,
-        operands["in1"],
-        operands["in2"],
-        task.model,
-        task.seed,
-        task.start,
-        task.stop,
-    )
+    with worker_scope(
+        task.trace,
+        "sweep.shard",
+        kind="montecarlo",
+        units=len(task.triads),
+        samples=task.stop - task.start,
+    ):
+        circuit = task.spec.build()
+        operands = task.stimulus.load()
+        triads = [
+            OperatingTriad(tclk=t, vdd=v, vbb=b) for t, v, b in task.triads
+        ]
+        return _simulate_range(
+            circuit,
+            task.library,
+            triads,
+            operands["in1"],
+            operands["in2"],
+            task.model,
+            task.seed,
+            task.start,
+            task.stop,
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -334,6 +343,43 @@ def run_montecarlo_sweep(
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
+    with span("sweep", kind="montecarlo", jobs=jobs) as sweep_span:
+        return _montecarlo_sweep_body(
+            circuit,
+            grid,
+            in1,
+            in2,
+            stimulus,
+            config=config,
+            library=library,
+            jobs=jobs,
+            store=store,
+            policy=policy,
+            chaos=chaos,
+            report=report,
+            shm=shm,
+            sweep_span=sweep_span,
+        )
+
+
+def _montecarlo_sweep_body(
+    circuit: Any,
+    grid: TriadGrid | Sequence[OperatingTriad],
+    in1: np.ndarray,
+    in2: np.ndarray,
+    stimulus: Mapping[str, Any],
+    *,
+    config: MonteCarloConfig,
+    library: StandardCellLibrary,
+    jobs: int,
+    store: SweepResultStore | None,
+    policy: ExecutionPolicy | None,
+    chaos: ChaosPlan | None,
+    report: ExecutionReport | None,
+    shm: bool | None,
+    sweep_span: Any,
+) -> list[TriadVariationResult]:
+    """Body of :func:`run_montecarlo_sweep` under its ``sweep`` span."""
     in1_arr = np.asarray(in1, dtype=np.int64)
     in2_arr = np.asarray(in2, dtype=np.int64)
     triads = list(grid)
@@ -370,12 +416,16 @@ def run_montecarlo_sweep(
                 }
             )
     if store is not None:
-        cached_batch = store.get_many(list(keys.values()))
-        for (range_index, triad_index), key in keys.items():
-            start, stop = ranges[range_index]
-            cached = cached_batch.get(key)
-            if _payload_usable(cached, n_vectors, start, stop):
-                payloads[(range_index, triad_index)] = cached  # type: ignore[assignment]
+        with span("store.lookup", requested=len(keys)) as lookup_span:
+            cached_batch = store.get_many(list(keys.values()))
+            for (range_index, triad_index), key in keys.items():
+                start, stop = ranges[range_index]
+                cached = cached_batch.get(key)
+                if _payload_usable(cached, n_vectors, start, stop):
+                    payloads[(range_index, triad_index)] = cached  # type: ignore[assignment]
+            lookup_span.set(
+                hits=len(payloads), misses=len(keys) - len(payloads)
+            )
 
     missing = [
         range_index
@@ -385,11 +435,17 @@ def run_montecarlo_sweep(
             for triad_index in range(len(triads))
         )
     ]
+    sweep_span.set(
+        units=len(keys),
+        cached=len(payloads),
+        simulated=len(missing) * len(triads),
+    )
     if missing:
         record_simulated_units(len(missing) * len(triads))
         spec = verified_spec(circuit, fingerprint) if jobs > 1 else None
         if spec is not None and jobs > 1 and len(missing) > 1:
             bundle = share_arrays({"in1": in1_arr, "in2": in2_arr}, enabled=shm)
+            trace_context = current_context()
             tasks = [
                 _MonteCarloShard(
                     spec=spec,
@@ -400,6 +456,7 @@ def run_montecarlo_sweep(
                     seed=config.seed,
                     start=ranges[range_index][0],
                     stop=ranges[range_index][1],
+                    trace=trace_context,
                 )
                 for range_index in missing
             ]
@@ -411,8 +468,9 @@ def run_montecarlo_sweep(
                 if store is None:
                     return
                 range_index = range_index_by_start[task.start]
-                for triad_index, payload in enumerate(result):
-                    store.put(keys[(range_index, triad_index)], payload)
+                with span("store.flush", entries=len(result)):
+                    for triad_index, payload in enumerate(result):
+                        store.put(keys[(range_index, triad_index)], payload)
 
             range_payloads = run_shards(
                 tasks,
@@ -453,8 +511,13 @@ def run_montecarlo_sweep(
                 )
                 for triad_index, payload in enumerate(payload_list):
                     payloads[(range_index, triad_index)] = payload
-                    if store is not None:
-                        store.put(keys[(range_index, triad_index)], payload)
+                if store is not None:
+                    with span("store.flush", entries=len(payload_list)):
+                        for triad_index in range(len(payload_list)):
+                            store.put(
+                                keys[(range_index, triad_index)],
+                                payloads[(range_index, triad_index)],
+                            )
 
     results: list[TriadVariationResult] = []
     for triad_index, triad in enumerate(triads):

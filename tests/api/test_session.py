@@ -62,8 +62,11 @@ class TestSessionRuns:
         assert output.exists()
         assert f"saved characterization to {output}" in result.render()
         assert result.to_json()["adder_name"] == "rca8"
-        # the saved dataset is exactly the JSON form of the typed result
-        assert json.loads(output.read_text()) == result.to_json()
+        # the saved dataset is exactly the JSON form of the typed result,
+        # minus the session-attached "run" accounting (not persisted)
+        document = result.to_json()
+        assert document.pop("run") is not None
+        assert json.loads(output.read_text()) == document
 
     def test_table4_mixes_files_and_names(self, session, tmp_path, rca8_characterization):
         dataset = tmp_path / "c.json"
@@ -122,7 +125,7 @@ class TestSessionRuns:
         assert isinstance(result, SpeculateResult)
         assert result.accurate.ber <= 0.1
         assert "accurate mode" in result.render()
-        assert set(result.to_json()) == {"margin", "accurate", "approximate"}
+        assert set(result.to_json()) == {"margin", "accurate", "approximate", "run"}
 
     def test_explore(self, session, tmp_path):
         frontier = tmp_path / "frontier.json"

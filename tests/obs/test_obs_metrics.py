@@ -1,0 +1,177 @@
+"""Unit tests of repro.obs.metrics: instruments, registry, and stat views."""
+
+import pytest
+
+from repro.obs import metrics
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    RegistryView,
+    bind_registry_fields,
+)
+
+
+class TestInstruments:
+    def test_counter_add_and_assignment(self):
+        counter = Counter("c")
+        assert counter.value == 0
+        assert counter.add() == 1
+        assert counter.add(4) == 5
+        counter.value = 2
+        assert counter.value == 2
+
+    def test_counter_keeps_integer_type(self):
+        counter = Counter("c")
+        counter.add(3)
+        assert isinstance(counter.value, int)
+
+    def test_counter_float_arithmetic(self):
+        counter = Counter("c", 0.0)
+        counter.add(0.25)
+        assert counter.value == pytest.approx(0.25)
+        assert isinstance(counter.value, float)
+
+    def test_gauge_last_write_wins(self):
+        gauge = Gauge("g")
+        gauge.set(3)
+        gauge.set(1)
+        assert gauge.value == 1
+
+    def test_histogram_summary(self):
+        histogram = Histogram("h")
+        assert histogram.mean == 0.0
+        for value in (1.0, 3.0, 2.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.total == pytest.approx(6.0)
+        assert histogram.min == 1.0
+        assert histogram.max == 3.0
+        assert histogram.mean == pytest.approx(2.0)
+        assert histogram.to_json() == {
+            "count": 3,
+            "total": 6.0,
+            "min": 1.0,
+            "max": 3.0,
+            "mean": 2.0,
+        }
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(TypeError, match="Counter"):
+            registry.gauge("a")
+
+    def test_get_returns_none_for_unknown(self):
+        assert MetricsRegistry().get("nope") is None
+
+    def test_len_and_iter(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        registry.gauge("b")
+        assert len(registry) == 2
+        assert {metric.name for metric in registry} == {"a", "b"}
+
+    def test_snapshot_is_sorted_plain_values(self):
+        registry = MetricsRegistry()
+        registry.counter("z").add(2)
+        registry.gauge("a").set(1)
+        registry.histogram("m").observe(4.0)
+        snapshot = registry.snapshot()
+        assert list(snapshot) == ["a", "m", "z"]
+        assert snapshot["a"] == 1
+        assert snapshot["z"] == 2
+        assert snapshot["m"]["count"] == 1
+
+    def test_process_global_registry_exists(self):
+        assert isinstance(metrics.REGISTRY, MetricsRegistry)
+        # The sweep orchestrator hosts its work-unit counter here.
+        from repro.core.sweep import simulated_unit_count
+
+        assert metrics.REGISTRY.counter("sweep.simulated_units").value == (
+            simulated_unit_count()
+        )
+
+
+@bind_registry_fields
+class _DemoStats(RegistryView):
+    _NAMESPACE = "demo"
+    _FIELDS = {"hits": 0, "lost_s": 0.0}
+
+
+class TestRegistryView:
+    def test_defaults_to_declared_zeros(self):
+        stats = _DemoStats()
+        assert stats.hits == 0
+        assert stats.lost_s == 0.0
+        assert isinstance(stats.lost_s, float)
+
+    def test_keyword_construction(self):
+        stats = _DemoStats(hits=3, lost_s=1.5)
+        assert stats.hits == 3
+        assert stats.lost_s == 1.5
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(TypeError, match="no field"):
+            _DemoStats(misses=1)
+
+    def test_augmented_assignment_idiom(self):
+        stats = _DemoStats()
+        stats.hits += 1
+        stats.hits += 2
+        assert stats.hits == 3
+
+    def test_instances_are_independent(self):
+        first, second = _DemoStats(), _DemoStats()
+        first.hits += 5
+        assert second.hits == 0
+
+    def test_values_live_in_the_registry(self):
+        stats = _DemoStats(hits=2)
+        assert stats.registry.counter("demo.hits").value == 2
+        stats.registry.counter("demo.hits").add(3)
+        assert stats.hits == 5
+
+    def test_shared_registry_injection(self):
+        registry = MetricsRegistry()
+        stats = _DemoStats(registry=registry, hits=1)
+        assert registry.counter("demo.hits").value == 1
+        assert stats.registry is registry
+
+    def test_equality_and_repr(self):
+        assert _DemoStats(hits=1) == _DemoStats(hits=1)
+        assert _DemoStats(hits=1) != _DemoStats(hits=2)
+        assert _DemoStats(hits=1).__eq__(object()) is NotImplemented
+        assert repr(_DemoStats(hits=1)) == "_DemoStats(hits=1, lost_s=0.0)"
+
+
+class TestAbsorbedStatClasses:
+    """StoreStats and ExecutionReport are RegistryView façades."""
+
+    def test_store_stats_is_a_registry_view(self):
+        from repro.core.store import StoreStats
+
+        stats = StoreStats(hits=2, misses=1)
+        assert isinstance(stats, RegistryView)
+        assert stats.registry.counter("store.hits").value == 2
+
+    def test_execution_report_is_a_registry_view(self):
+        from repro.core.resilience import ExecutionReport
+
+        report = ExecutionReport(retries=2, wall_time_lost_s=0.5)
+        assert isinstance(report, RegistryView)
+        assert report.registry.counter("execution.retries").value == 2
+        assert report.registry.counter("execution.wall_time_lost_s").value == 0.5
+
+    def test_execution_report_float_field_serializes_as_float(self):
+        from repro.core.resilience import ExecutionReport
+
+        assert ExecutionReport().to_json()["wall_time_lost_s"] == 0.0
+        assert isinstance(ExecutionReport().to_json()["wall_time_lost_s"], float)

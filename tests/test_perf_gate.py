@@ -112,6 +112,40 @@ class TestCompare:
         failures, _ = gate.compare(baseline, current, 0.20)
         assert failures == []
 
+    def test_cap_breach_fails_even_within_tolerance(self, gate):
+        baseline_metric = _metric("overhead", 1.02, higher_is_better=False)
+        baseline_metric["cap"] = 1.05
+        baseline = {"obs": _document("obs", [baseline_metric])}
+        # +3.9% is inside the 20% relative tolerance but over the cap.
+        current = {
+            "obs": _document(
+                "obs", [_metric("overhead", 1.06, higher_is_better=False)]
+            )
+        }
+        failures, _ = gate.compare(baseline, current, 0.20)
+        assert len(failures) == 1
+        assert "CAP" in failures[0] and "1.05" in failures[0]
+
+    def test_cap_respected_passes(self, gate):
+        baseline_metric = _metric("overhead", 1.02, higher_is_better=False)
+        baseline_metric["cap"] = 1.05
+        baseline = {"obs": _document("obs", [baseline_metric])}
+        current = {
+            "obs": _document(
+                "obs", [_metric("overhead", 1.04, higher_is_better=False)]
+            )
+        }
+        failures, _ = gate.compare(baseline, current, 0.20)
+        assert failures == []
+
+    def test_cap_is_a_minimum_for_higher_is_better(self, gate):
+        baseline_metric = _metric("speedup", 4.0)
+        baseline_metric["cap"] = 2.0
+        baseline = {"store": _document("store", [baseline_metric])}
+        current = {"store": _document("store", [_metric("speedup", 1.5)])}
+        failures, _ = gate.compare(baseline, current, 0.99)
+        assert any("CAP" in failure for failure in failures)
+
     def test_missing_benchmark_fails(self, gate):
         baseline = {"store": _document("store", [_metric("speedup", 4.0)])}
         failures, _ = gate.compare(baseline, {}, 0.20)

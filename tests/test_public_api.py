@@ -27,6 +27,7 @@ class TestPublicApi:
             "repro.explore",
             "repro.variation",
             "repro.api",
+            "repro.obs",
             "repro.baselines",
             "repro.apps",
             "repro.analysis",
