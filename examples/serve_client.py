@@ -1,0 +1,112 @@
+"""Submit a job to a running ``repro serve`` instance and print the result.
+
+Quick start (terminal 1, then terminal 2)::
+
+    PYTHONPATH=src python -m repro.cli serve --port 8765 --cache-dir /tmp/store
+    python examples/serve_client.py --port 8765
+
+The client is stdlib-only (``urllib``): it POSTs one job document to
+``/v1/jobs``, follows the progress stream, polls ``/v1/jobs/<id>`` until
+the job is terminal, and prints the batch accounting plus the rendered
+result document.  The final accounting line always contains
+``"N simulated"`` -- a warm resubmission against the same store must print
+``0 simulated`` (or be served from the hot tier without running at all),
+which is exactly what the CI smoke job asserts.
+
+By default it submits a small ``characterize`` job; pass ``--job-file``
+to submit any JSON job document ``repro batch`` would accept.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+
+def _request(url: str, data: bytes | None = None, client: str = "example") -> dict:
+    request = urllib.request.Request(
+        url,
+        data=data,
+        headers={"Content-Type": "application/json", "X-Client": client},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=120) as response:
+            return json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        detail = error.read().decode("utf-8", "replace").strip()
+        raise SystemExit(f"{url} -> HTTP {error.code}: {detail}")
+    except urllib.error.URLError as error:
+        raise SystemExit(f"cannot reach {url}: {error.reason}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8765)
+    parser.add_argument(
+        "--job-file",
+        default=None,
+        help="JSON file with one job document (default: a small rca8 "
+        "characterization)",
+    )
+    parser.add_argument(
+        "--client", default="example", help="client identity (X-Client header)"
+    )
+    parser.add_argument(
+        "--timeout-s", type=float, default=300.0, help="polling budget"
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress the rendered result body"
+    )
+    args = parser.parse_args(argv)
+
+    if args.job_file:
+        with open(args.job_file, encoding="utf-8") as handle:
+            job = json.load(handle)
+    else:
+        job = {
+            "type": "characterize",
+            "operator": "rca8",
+            "pattern": {"vectors": 2000},
+        }
+
+    base = f"http://{args.host}:{args.port}"
+    submitted = _request(
+        f"{base}/v1/jobs", json.dumps(job).encode("utf-8"), args.client
+    )
+    job_id = submitted["id"]
+    print(f"submitted {job.get('type', '?')} as {job_id} (hot={submitted['hot']})")
+
+    deadline = time.monotonic() + args.timeout_s
+    while True:
+        status = _request(f"{base}/v1/jobs/{job_id}", client=args.client)
+        if status["status"] in ("done", "failed"):
+            break
+        if time.monotonic() > deadline:
+            raise SystemExit(f"job {job_id} still {status['status']} after budget")
+        time.sleep(0.2)
+
+    if status["status"] == "failed":
+        raise SystemExit(f"job {job_id} failed: {status.get('error')}")
+
+    batch = status.get("batch")
+    if batch is not None:
+        print(
+            f"window: {batch['jobs']} job(s), {batch['planned_units']} planned, "
+            f"{batch['deduped_units']} deduped, {batch['cache_hits']} warm, "
+            f"{batch['simulated_units']} simulated"
+        )
+    else:
+        # Served from the hot result tier: nothing ran anywhere.
+        print("window: hot result tier, 0 simulated")
+    if not args.quiet:
+        print(json.dumps(status["result"], indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,6 +29,7 @@ from __future__ import annotations
 import collections
 import dataclasses
 import pathlib
+import threading
 from typing import Any, Mapping, Sequence
 
 from repro.analysis.faults import summarize_fault_results
@@ -213,10 +214,15 @@ class Session:
     """Shared execution context for the typed job API.
 
     A session is single-threaded state (flow cache, store overlay, batch
-    accounting): run one job or batch at a time, and give each thread of a
-    multi-threaded front-end its own session -- they can safely share one
-    on-disk store, whose entries are content-addressed and written
-    atomically.
+    accounting): run one job or batch at a time.  :meth:`run` and
+    :meth:`run_batch` serialize through a reentrant lock, so a
+    multi-threaded front-end (the characterization service of
+    :mod:`repro.serve` funnels every batch window through one session) may
+    share a session -- calls from other threads simply queue; the lock is
+    reentrant because :meth:`run_batch` executes its jobs through
+    :meth:`run` on the same thread.  For *parallel* execution give each
+    thread its own session -- they can safely share one on-disk store,
+    whose entries are content-addressed and written atomically.
 
     Parameters
     ----------
@@ -279,6 +285,7 @@ class Session:
         else:
             backing = SweepResultStore(store)
         self._view = MemoryOverlayStore(backing)
+        self._lock = threading.RLock()
         self._flows: collections.OrderedDict[
             OperatorSpec, CharacterizationFlow
         ] = collections.OrderedDict()
@@ -318,6 +325,15 @@ class Session:
     def store(self) -> SweepResultStore | None:
         """The persistent result store (``None`` when caching is disabled)."""
         return self._view.backing
+
+    @property
+    def overlay(self) -> MemoryOverlayStore:
+        """The session's in-memory hot tier over the persistent store.
+
+        Monitoring surfaces read its :meth:`~MemoryOverlayStore.snapshot`;
+        treat it as read-only.
+        """
+        return self._view
 
     @property
     def default_jobs(self) -> int:
@@ -384,13 +400,14 @@ class Session:
             handler = _HANDLERS[type(job)]
         except KeyError:
             raise TypeError(f"unknown job type {type(job).__name__!r}") from None
-        if active_tracer() is not None:
-            # Called from run_batch (or another traced scope): the session
-            # span is already open; contribute only the job span.
-            return self._run_job(handler, job)
-        with activated(self._tracer):
-            with span("session", jobs=1):
+        with self._lock:
+            if active_tracer() is not None:
+                # Called from run_batch (or another traced scope): the
+                # session span is already open; contribute only the job span.
                 return self._run_job(handler, job)
+            with activated(self._tracer):
+                with span("session", jobs=1):
+                    return self._run_job(handler, job)
 
     def _run_job(self, handler: Any, job: Job) -> Any:
         """Execute one job under a ``job`` span and attach its RunReport."""
@@ -773,9 +790,10 @@ class Session:
         job_list = list(jobs)
         if not job_list:
             raise ValueError("run_batch needs at least one job")
-        with activated(self._tracer):
-            with span("session", jobs=len(job_list)) as session_span:
-                return self._run_batch_body(job_list, session_span)
+        with self._lock:
+            with activated(self._tracer):
+                with span("session", jobs=len(job_list)) as session_span:
+                    return self._run_batch_body(job_list, session_span)
 
     def _run_batch_body(self, job_list: list[Job], session_span: Any) -> BatchResult:
         start = sweep_module.simulated_unit_count()

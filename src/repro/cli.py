@@ -26,6 +26,9 @@ prints the typed result's rendering.  The commands:
   (coverage and highest-impact faults),
 * ``repro batch``           -- run a JSON job-spec file through one session:
   sweep work units shared between jobs are deduplicated and simulated once,
+* ``repro serve``           -- characterization-as-a-service: serve job
+  submissions over HTTP through one session, batching concurrent requests
+  into deduplicated sweep windows (see :mod:`repro.serve`),
 * ``repro store``           -- inspect (``stats``), verify (``verify``: fsck
   pass quarantining corrupt entries) and bound (``prune``) the on-disk
   sweep result store,
@@ -342,6 +345,55 @@ def build_parser() -> argparse.ArgumentParser:
         "(each document carries a 'type' tag, e.g. 'characterize')",
     )
     _add_sweep_arguments(batch)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve job submissions over HTTP: an async admission queue "
+        "batching concurrent requests into deduplicated session windows",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="TCP port; 0 picks a free port (printed on the readiness line)",
+    )
+    serve.add_argument(
+        "--window",
+        type=float,
+        default=0.05,
+        help="admission batch window in seconds: requests arriving within "
+        "one window run as a single deduplicated session batch "
+        "(default: 0.05)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=16,
+        help="most jobs dispatched per batch window (default: 16)",
+    )
+    serve.add_argument(
+        "--rate",
+        type=float,
+        default=20.0,
+        help="sustained admissions per second per client (default: 20)",
+    )
+    serve.add_argument(
+        "--burst",
+        type=int,
+        default=40,
+        help="admission burst per client before 429s (default: 40)",
+    )
+    serve.add_argument(
+        "--hot-entries",
+        type=int,
+        default=256,
+        help="finished results kept in the in-memory hot tier in front of "
+        "the store; 0 disables it (default: 256)",
+    )
+    _add_sweep_arguments(serve)
 
     store = subparsers.add_parser(
         "store", help="inspect and bound the on-disk sweep result store"
@@ -712,6 +764,27 @@ def _command_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import CharacterizationService, ServeConfig
+
+    session = _session(args)
+    config = _checked(
+        lambda: ServeConfig(
+            host=args.host,
+            port=args.port,
+            window_s=args.window,
+            max_batch_jobs=args.max_batch,
+            rate_per_s=args.rate,
+            burst=args.burst,
+            hot_entries=args.hot_entries,
+        )
+    )
+    service = CharacterizationService(session, config, trace=args.trace)
+    return asyncio.run(service.run())
+
+
 def _command_store(args: argparse.Namespace) -> int:
     if args.store_command == "stats":
         job: Job = StoreStatsJob()
@@ -766,6 +839,7 @@ _COMMANDS = {
     "montecarlo": _command_montecarlo,
     "faults": _command_faults,
     "batch": _command_batch,
+    "serve": _command_serve,
     "store": _command_store,
     "trace": _command_trace,
 }

@@ -91,8 +91,14 @@ class ExecutionPolicy:
         still pending goes serial.
     backoff_s:
         Base of the exponential backoff between retry rounds (seconds);
-        round *k* of retries sleeps ``backoff_s * 2**(k-1)``.  ``0`` (the
-        default) retries immediately.
+        round *k* of retries sleeps ``backoff_s * 2**(k-1)``, capped at
+        ``max_backoff_s``.  ``0`` (the default) retries immediately.
+    max_backoff_s:
+        Ceiling of one backoff sleep (seconds).  Uncapped exponential
+        growth stalls a dying pool for minutes between rounds
+        (``backoff_s=1`` reaches 128 s by round 8); the cap bounds every
+        round while keeping the early-round spacing.  The seconds actually
+        slept are surfaced in :attr:`ExecutionReport.backoff_wait_s`.
     shard_timeout_s:
         Wall-clock budget of one shard attempt, measured from dispatch.  A
         shard running past it is failed (its worker is killed with the
@@ -107,6 +113,7 @@ class ExecutionPolicy:
 
     max_retries: int = 2
     backoff_s: float = 0.0
+    max_backoff_s: float = 30.0
     shard_timeout_s: float | None = None
     on_failure: str = "retry"
 
@@ -115,6 +122,8 @@ class ExecutionPolicy:
             raise ValueError("max_retries must be non-negative")
         if self.backoff_s < 0:
             raise ValueError("backoff_s must be non-negative")
+        if self.max_backoff_s <= 0:
+            raise ValueError("max_backoff_s must be positive")
         if self.shard_timeout_s is not None and self.shard_timeout_s <= 0:
             raise ValueError("shard_timeout_s must be positive (or None)")
         if self.on_failure not in FAILURE_ACTIONS:
@@ -177,6 +186,9 @@ class ExecutionReport(metrics.RegistryView):
         Shards that failed at least once but eventually completed.
     wall_time_lost_s:
         Wall-clock seconds spent in dispatch rounds that ended in failures.
+    backoff_wait_s:
+        Wall-clock seconds slept between retry rounds, after the
+        per-round :attr:`ExecutionPolicy.max_backoff_s` cap was applied.
     """
 
     _NAMESPACE = "execution"
@@ -193,6 +205,7 @@ class ExecutionReport(metrics.RegistryView):
         "pool_rebuilds": 0,
         "recovered_shards": 0,
         "wall_time_lost_s": 0.0,
+        "backoff_wait_s": 0.0,
     }
 
     @property
@@ -226,7 +239,8 @@ class ExecutionReport(metrics.RegistryView):
             f"{self.serial_fallbacks} serial fallback(s), "
             f"{self.pool_rebuilds} pool rebuild(s), "
             f"{self.recovered_shards} recovered, "
-            f"{self.wall_time_lost_s:.1f}s lost"
+            f"{self.wall_time_lost_s:.1f}s lost, "
+            f"{self.backoff_wait_s:.1f}s backoff"
         )
 
     def to_json(self) -> dict[str, Any]:
@@ -505,7 +519,12 @@ def _run_shards(
             pending.clear()
             max_attempt = max(item.attempt for item in batch)
             if policy.backoff_s > 0 and max_attempt > 0:
-                time.sleep(policy.backoff_s * (2 ** (max_attempt - 1)))
+                delay = min(
+                    policy.backoff_s * (2 ** (max_attempt - 1)),
+                    policy.max_backoff_s,
+                )
+                report.backoff_wait_s += delay
+                time.sleep(delay)
             if pool is None:
                 pool = ProcessPoolExecutor(
                     max_workers=max_workers, initializer=_init_worker

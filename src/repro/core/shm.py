@@ -45,7 +45,7 @@ import math
 import os
 import secrets
 from multiprocessing import shared_memory
-from typing import Mapping
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -121,15 +121,29 @@ def _attach(name: str) -> shared_memory.SharedMemory:
 
     On Python >= 3.13, ``track=False`` keeps the attach out of the resource
     tracker (the reader does not own the segment).  On older versions the
-    attach re-registers the name, which is harmless here: pool workers are
-    forked from the segment's creator and share its tracker, whose cache is
-    a set -- the duplicate registration dedupes and the creator's single
-    ``unlink()`` retires it.
+    plain attach would *register* the name with the attaching process's own
+    resource tracker -- fatal under the ``spawn`` start method, where every
+    worker owns a private tracker that unlinks everything it knows about
+    when the worker exits: the first worker to finish would delete the
+    segment under the remaining shards.  (Under ``fork`` the tracker is
+    shared with the creator, so the extra registration merely deduped.)
+    The fallback therefore suppresses the registration for the duration of
+    the attach, which is exactly the detached semantics of ``track=False``:
+    the reader's tracker never learns the name, and the creator's single
+    registration is retired by its ``unlink()`` as always.
     """
     try:
         return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
     except TypeError:
+        pass
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None  # type: ignore[assignment]
+    try:
         return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original  # type: ignore[assignment]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -255,18 +269,46 @@ def share_arrays(
             return SharedArrayBundle(
                 SharedArrayRef(segment=None, specs=(), inline=tuple(items)), None
             )
-        specs: list[_ArraySpec] = []
-        offset = 0
-        for field, array in items:
-            segment.buf[offset : offset + array.nbytes] = array.tobytes()
-            specs.append(
-                _ArraySpec(
-                    field=field,
-                    dtype=str(array.dtype),
-                    shape=tuple(array.shape),
-                    offset=offset,
-                )
+        try:
+            specs = _copy_into(segment, items)
+        except Exception:
+            # Populating the buffer failed mid-copy (e.g. /dev/shm filled
+            # under us).  Without an unlink here nothing ever removes the
+            # half-written segment: the janitor skips segments whose creator
+            # is alive, and the bundle we would have returned carries no
+            # segment handle.  Release it and degrade to inline transport.
+            try:
+                segment.close()
+            except Exception:
+                pass
+            try:
+                segment.unlink()
+            except Exception:
+                pass
+            publish_span.set(shared=False)
+            return SharedArrayBundle(
+                SharedArrayRef(segment=None, specs=(), inline=tuple(items)), None
             )
-            offset += array.nbytes
-        ref = SharedArrayRef(segment=segment.name, specs=tuple(specs))
+        ref = SharedArrayRef(segment=segment.name, specs=specs)
         return SharedArrayBundle(ref, segment)
+
+
+def _copy_into(
+    segment: shared_memory.SharedMemory,
+    items: Sequence[tuple[str, np.ndarray]],
+) -> tuple[_ArraySpec, ...]:
+    """Copy arrays into the segment buffer; returns their placement specs."""
+    specs: list[_ArraySpec] = []
+    offset = 0
+    for field, array in items:
+        segment.buf[offset : offset + array.nbytes] = array.tobytes()
+        specs.append(
+            _ArraySpec(
+                field=field,
+                dtype=str(array.dtype),
+                shape=tuple(array.shape),
+                offset=offset,
+            )
+        )
+        offset += array.nbytes
+    return tuple(specs)

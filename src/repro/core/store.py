@@ -1447,11 +1447,37 @@ class MemoryOverlayStore:
         self._memory: "collections.OrderedDict[str, dict[str, Any]]" = (
             collections.OrderedDict()
         )
+        self.memory_hits = 0
+        self.memory_misses = 0
 
     @property
     def backing(self) -> SweepResultStore | None:
         """The persistent store underneath (or ``None``)."""
         return self._backing
+
+    @property
+    def max_entries(self) -> int:
+        """Capacity of the in-memory LRU tier."""
+        return self._max_entries
+
+    def __len__(self) -> int:
+        """Entries currently held in the in-memory tier."""
+        return len(self._memory)
+
+    def snapshot(self) -> dict[str, int]:
+        """Hot-tier accounting for monitoring surfaces (``/v1/stats``).
+
+        ``hits``/``misses`` count lookups served from / falling through the
+        memory tier (a miss may still be answered by the backing store);
+        they are intentionally separate from the backing
+        :class:`StoreStats`, which counts disk traffic only.
+        """
+        return {
+            "entries": len(self._memory),
+            "max_entries": self._max_entries,
+            "hits": self.memory_hits,
+            "misses": self.memory_misses,
+        }
 
     def _remember(self, key: str, payload: dict[str, Any]) -> None:
         self._memory[key] = payload
@@ -1464,7 +1490,9 @@ class MemoryOverlayStore:
         cached = self._memory.get(key)
         if cached is not None:
             self._memory.move_to_end(key)
+            self.memory_hits += 1
             return cached
+        self.memory_misses += 1
         if self._backing is None:
             return None
         payload = self._backing.get(key)
@@ -1480,8 +1508,10 @@ class MemoryOverlayStore:
             cached = self._memory.get(key)
             if cached is not None:
                 self._memory.move_to_end(key)
+                self.memory_hits += 1
                 result[key] = cached
             else:
+                self.memory_misses += 1
                 missing.append(key)
         if missing and self._backing is not None:
             for key, payload in self._backing.get_many(missing).items():

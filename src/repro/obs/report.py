@@ -181,6 +181,7 @@ class TraceSummary:
     shards: int
     shard_queue_wait_s: float
     shard_compute_s: float
+    service: Mapping[str, int] = dataclasses.field(default_factory=dict)
 
     def render(self) -> str:
         lines = [
@@ -213,6 +214,15 @@ class TraceSummary:
                 f"queue wait {self.shard_queue_wait_s:.3f}s, "
                 f"compute {self.shard_compute_s:.3f}s"
             )
+        if self.service:
+            lines.append(
+                f"service: {self.service.get('requests', 0)} request(s), "
+                f"{self.service.get('admitted', 0)} admitted, "
+                f"{self.service.get('hot_hits', 0)} hot, "
+                f"{self.service.get('rate_limited', 0)} rate-limited, "
+                f"{self.service.get('batch_windows', 0)} window(s) / "
+                f"{self.service.get('batched_jobs', 0)} job(s)"
+            )
         return "\n".join(lines)
 
     def to_json(self) -> dict[str, Any]:
@@ -227,6 +237,7 @@ class TraceSummary:
             "shards": self.shards,
             "shard_queue_wait_s": self.shard_queue_wait_s,
             "shard_compute_s": self.shard_compute_s,
+            "service": dict(self.service),
         }
 
 
@@ -237,7 +248,9 @@ def summarize_trace(records: Sequence[Mapping[str, Any]]) -> TraceSummary:
     funnel sums the ``units``/``cached``/``simulated`` attributes of
     ``sweep`` spans and the ``planned``/``deduped`` attributes of
     ``session`` spans; shard timing sums ``sweep.shard`` spans' queue-wait
-    attribute against their wall time.
+    attribute against their wall time.  Traces recorded by ``repro serve``
+    additionally yield a service section (request / admission / hot-tier /
+    batch-window counts from the ``serve.*`` spans).
     """
     by_name: dict[str, list[Mapping[str, Any]]] = {}
     for record in records:
@@ -270,6 +283,26 @@ def summarize_trace(records: Sequence[Mapping[str, Any]]) -> TraceSummary:
             if key in attrs:
                 funnel[key] = funnel.get(key, 0) + int(attrs[key])
 
+    service: dict[str, int] = {}
+    request_records = by_name.get("serve.request", ())
+    if request_records:
+        service["requests"] = len(request_records)
+        service["rate_limited"] = sum(
+            1
+            for r in request_records
+            if (r.get("attrs") or {}).get("status") == 429
+        )
+    for record in by_name.get("serve.admit", ()):
+        attrs = record.get("attrs") or {}
+        key = "hot_hits" if attrs.get("hot") else "admitted"
+        service[key] = service.get(key, 0) + 1
+    window_records = by_name.get("serve.batch_window", ())
+    if window_records:
+        service["batch_windows"] = len(window_records)
+        service["batched_jobs"] = sum(
+            int((r.get("attrs") or {}).get("jobs", 0)) for r in window_records
+        )
+
     shard_records = by_name.get("sweep.shard", ())
     shard_queue_wait = sum(
         float((r.get("attrs") or {}).get("queue_wait_s", 0.0))
@@ -289,4 +322,5 @@ def summarize_trace(records: Sequence[Mapping[str, Any]]) -> TraceSummary:
         shards=len(shard_records),
         shard_queue_wait_s=shard_queue_wait,
         shard_compute_s=shard_compute,
+        service=service,
     )

@@ -1,0 +1,25 @@
+"""Characterization-as-a-service: the async HTTP job queue over :mod:`repro.api`.
+
+Public surface:
+
+* :class:`~repro.serve.service.CharacterizationService` -- one
+  :class:`repro.api.Session` served over HTTP with admission batching,
+  per-client rate limits, and a hot-result LRU.
+* :class:`~repro.serve.service.ServeConfig` -- its tunables.
+* ``repro serve`` (:mod:`repro.cli`) -- the CLI entrypoint.
+"""
+
+from repro.serve.queue import AdmissionQueue, JobRecord, JobState
+from repro.serve.ratelimit import ClientRateLimiter, TokenBucket
+from repro.serve.service import CharacterizationService, HotResultCache, ServeConfig
+
+__all__ = [
+    "AdmissionQueue",
+    "CharacterizationService",
+    "ClientRateLimiter",
+    "HotResultCache",
+    "JobRecord",
+    "JobState",
+    "ServeConfig",
+    "TokenBucket",
+]

@@ -1,0 +1,213 @@
+"""Minimal asyncio HTTP/1.1 plumbing for the characterization service.
+
+Dependency-free by design (the ROADMAP's serving layer must run wherever
+the library runs): requests are parsed straight off an
+:class:`asyncio.StreamReader` and responses are rendered to bytes, with no
+``http.server``/``wsgiref`` machinery in between.  The subset implemented
+is exactly what the service needs:
+
+* one request per connection (every response carries ``Connection:
+  close``), which keeps parsing state trivial and makes close-delimited
+  streaming responses (the ``/v1/jobs/<id>/events`` feed) legal HTTP/1.1;
+* ``Content-Length`` bodies only -- chunked *requests* are refused with
+  ``411 Length Required``;
+* hard limits on header block and body size, so a misbehaving client
+  cannot balloon the event loop's memory.
+
+:class:`HttpError` is the parse/validation escape hatch: raising it
+anywhere in a handler turns into a JSON error response with the carried
+status code.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Mapping
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+__all__ = [
+    "HttpError",
+    "MAX_BODY_BYTES",
+    "MAX_HEADER_BYTES",
+    "Request",
+    "json_response",
+    "read_request",
+    "response",
+    "stream_header",
+]
+
+#: Ceiling of the request line + header block, in bytes.
+MAX_HEADER_BYTES = 32 * 1024
+
+#: Default ceiling of a request body (job documents are a few KiB).
+MAX_BODY_BYTES = 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    411: "Length Required",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+_METHODS = frozenset({"GET", "HEAD", "POST", "PUT", "DELETE", "OPTIONS"})
+
+
+class HttpError(Exception):
+    """A request that cannot be served, carrying its HTTP status.
+
+    ``headers`` (optional) are added to the error response -- the rate
+    limiter uses it for ``Retry-After``.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        headers: Mapping[str, str] | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+        self.headers = dict(headers) if headers else {}
+
+
+@dataclasses.dataclass(frozen=True)
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    target: str
+    route: str
+    query: Mapping[str, str]
+    headers: Mapping[str, str]
+    body: bytes
+
+    def json(self) -> Any:
+        """The body parsed as JSON (``400`` on malformed or empty body)."""
+        if not self.body:
+            raise HttpError(400, "request body must be a JSON document")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise HttpError(400, f"request body is not valid JSON: {error}")
+
+    def header(self, name: str, default: str = "") -> str:
+        """A header value by case-insensitive name."""
+        return self.headers.get(name.lower(), default)
+
+
+async def read_request(reader: Any, max_body: int = MAX_BODY_BYTES) -> Request | None:
+    """Parse one request off the stream; ``None`` on a clean EOF.
+
+    Raises :class:`HttpError` on anything malformed or over the limits;
+    the caller renders it into an error response.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except Exception as error:  # IncompleteReadError, LimitOverrunError ...
+        partial = getattr(error, "partial", b"")
+        if not partial:
+            return None
+        raise HttpError(400, "truncated or oversized request head")
+    if len(head) > MAX_HEADER_BYTES:
+        raise HttpError(400, "request head exceeds the header limit")
+    try:
+        text = head.decode("latin-1")
+    except UnicodeDecodeError:  # pragma: no cover - latin-1 decodes all bytes
+        raise HttpError(400, "undecodable request head")
+    lines = text.split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line: {lines[0]!r}")
+    method, target, _version = parts
+    if method not in _METHODS:
+        raise HttpError(405, f"unsupported method {method!r}")
+
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep or not name.strip():
+            raise HttpError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise HttpError(411, "chunked request bodies are not supported")
+    body = b""
+    length_text = headers.get("content-length", "")
+    if length_text:
+        try:
+            length = int(length_text)
+        except ValueError:
+            raise HttpError(400, f"malformed Content-Length: {length_text!r}")
+        if length < 0:
+            raise HttpError(400, "negative Content-Length")
+        if length > max_body:
+            raise HttpError(413, f"request body exceeds {max_body} bytes")
+        try:
+            body = await reader.readexactly(length)
+        except Exception:
+            raise HttpError(400, "request body shorter than Content-Length")
+
+    split = urlsplit(target)
+    query = {key: value for key, value in parse_qsl(split.query)}
+    return Request(
+        method=method,
+        target=target,
+        route=unquote(split.path),
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+def response(
+    status: int,
+    body: bytes,
+    content_type: str = "application/json",
+    headers: Mapping[str, str] | None = None,
+) -> bytes:
+    """Render a complete close-delimited HTTP/1.1 response."""
+    reason = _REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = "\r\n".join(lines) + "\r\n\r\n"
+    return head.encode("latin-1") + body
+
+
+def json_response(
+    status: int, payload: Any, headers: Mapping[str, str] | None = None
+) -> bytes:
+    """Render a JSON response (sorted keys, trailing newline)."""
+    body = (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode("utf-8")
+    return response(status, body, headers=headers)
+
+
+def stream_header(content_type: str = "text/plain; charset=utf-8") -> bytes:
+    """Header block of a close-delimited streaming response.
+
+    No ``Content-Length``: the body runs until the server closes the
+    connection, which HTTP/1.1 permits exactly because every response here
+    is ``Connection: close``.
+    """
+    return (
+        "HTTP/1.1 200 OK\r\n"
+        f"Content-Type: {content_type}\r\n"
+        "Cache-Control: no-store\r\n"
+        "Connection: close\r\n\r\n"
+    ).encode("latin-1")

@@ -1,0 +1,114 @@
+"""Per-client token-bucket rate limiting for the characterization service.
+
+Each client identity (``X-Client`` header, falling back to the peer
+address) gets its own :class:`TokenBucket`: ``burst`` tokens of capacity,
+refilled continuously at ``rate`` tokens per second.  Admission costs one
+token; an empty bucket yields a ``429`` with a ``Retry-After`` hint equal
+to the time until the next token matures.
+
+The clock is injectable so tests can drive refill deterministically
+instead of sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Callable
+
+__all__ = ["ClientRateLimiter", "TokenBucket"]
+
+
+class TokenBucket:
+    """A continuously-refilled token bucket.
+
+    ``capacity`` is the burst size; ``rate`` the sustained tokens/second.
+    """
+
+    def __init__(
+        self,
+        capacity: float,
+        rate: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.capacity = float(capacity)
+        self.rate = float(rate)
+        self._clock = clock
+        self._tokens = self.capacity
+        self._stamp = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - self._stamp)
+        self._stamp = now
+        self._tokens = min(self.capacity, self._tokens + elapsed * self.rate)
+
+    def try_acquire(self, tokens: float = 1.0) -> float:
+        """Take ``tokens`` if available.
+
+        Returns ``0.0`` on success, else the seconds until enough tokens
+        mature (the ``Retry-After`` hint).  A failed acquire takes nothing.
+        """
+        self._refill()
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return 0.0
+        return (tokens - self._tokens) / self.rate
+
+    @property
+    def tokens(self) -> float:
+        """Current token balance (after refill); for tests and stats."""
+        self._refill()
+        return self._tokens
+
+
+class ClientRateLimiter:
+    """A bucket per client identity, with LRU eviction of idle clients.
+
+    ``max_clients`` bounds the map so an attacker cycling client names
+    cannot grow it without bound; evicting an idle client merely resets
+    its bucket to full, which only ever errs in the client's favour.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: int,
+        max_clients: int = 1024,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_clients < 1:
+            raise ValueError("max_clients must be at least 1")
+        self.rate = float(rate)
+        self.burst = int(burst)
+        self._clock = clock
+        self._max_clients = max_clients
+        self._buckets: OrderedDict[str, TokenBucket] = OrderedDict()
+        self.denied = 0
+
+    def acquire(self, client: str) -> float:
+        """One admission attempt for ``client``; see ``TokenBucket.try_acquire``."""
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            bucket = TokenBucket(self.burst, self.rate, self._clock)
+            self._buckets[client] = bucket
+            while len(self._buckets) > self._max_clients:
+                self._buckets.popitem(last=False)
+        else:
+            self._buckets.move_to_end(client)
+        retry_after = bucket.try_acquire()
+        if retry_after > 0:
+            self.denied += 1
+        return retry_after
+
+    def snapshot(self) -> dict[str, float | int]:
+        return {
+            "clients": len(self._buckets),
+            "rate_per_s": self.rate,
+            "burst": self.burst,
+            "denied": self.denied,
+        }

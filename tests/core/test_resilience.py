@@ -93,6 +93,8 @@ class TestPolicy:
         [
             {"max_retries": -1},
             {"backoff_s": -0.1},
+            {"max_backoff_s": 0.0},
+            {"max_backoff_s": -5.0},
             {"shard_timeout_s": 0.0},
             {"shard_timeout_s": -2.0},
             {"on_failure": "shrug"},
@@ -105,7 +107,11 @@ class TestPolicy:
     @pytest.mark.parametrize("action", FAILURE_ACTIONS)
     def test_json_round_trip(self, action):
         policy = ExecutionPolicy(
-            max_retries=1, backoff_s=0.5, shard_timeout_s=3.0, on_failure=action
+            max_retries=1,
+            backoff_s=0.5,
+            max_backoff_s=7.5,
+            shard_timeout_s=3.0,
+            on_failure=action,
         )
         assert ExecutionPolicy.from_json(policy.to_json()) == policy
 
@@ -212,6 +218,54 @@ class TestCrashRecovery:
         # raises, which must surface (not hang or silently drop the shard).
         with pytest.raises(RuntimeError, match="shard body failure"):
             run_shards([[1]], _boom, policy=ExecutionPolicy(max_retries=0))
+
+
+class TestBackoffCap:
+    def test_exponential_backoff_is_capped_and_accounted(self, monkeypatch):
+        # Three consecutive crashes of shard 0 drive retry rounds 1..3.
+        # Uncapped, the exponential schedule would sleep 1s, 2s, 4s; with
+        # max_backoff_s=2.5 the third round must be clamped, and the total
+        # surfaced in the report.
+        recorded = []
+        monkeypatch.setattr(
+            "repro.core.resilience.time.sleep",
+            lambda delay: recorded.append(delay),
+        )
+        chaos = ChaosPlan(
+            tuple(
+                ChaosRule(action="crash", shard=0, attempt=attempt)
+                for attempt in range(3)
+            )
+        )
+        result, report = _run(
+            chaos=chaos,
+            policy=ExecutionPolicy(
+                max_retries=3, backoff_s=1.0, max_backoff_s=2.5
+            ),
+        )
+        assert result == EXPECTED
+        assert recorded == [1.0, 2.0, 2.5]
+        assert report.backoff_wait_s == pytest.approx(sum(recorded))
+
+    def test_no_backoff_means_no_sleep_and_zero_accounting(self, monkeypatch):
+        recorded = []
+        monkeypatch.setattr(
+            "repro.core.resilience.time.sleep",
+            lambda delay: recorded.append(delay),
+        )
+        chaos = ChaosPlan((ChaosRule(action="crash", shard=0, attempt=0),))
+        result, report = _run(chaos=chaos)  # DEFAULT_POLICY: backoff_s=0
+        assert result == EXPECTED
+        assert recorded == []
+        assert report.backoff_wait_s == 0.0
+
+    def test_report_json_carries_backoff_wait(self):
+        report = ExecutionReport()
+        report.backoff_wait_s += 1.5
+        assert report.to_json()["backoff_wait_s"] == 1.5
+        merged = ExecutionReport()
+        merged.merge(report)
+        assert merged.backoff_wait_s == 1.5
 
 
 class TestTimeoutRecovery:

@@ -112,6 +112,25 @@ class TestShareArrays:
         assert not bundle.shared
         assert np.array_equal(bundle.ref.load()["in2"], ARRAYS["in2"])
 
+    def test_populate_failure_unlinks_segment_and_falls_back(self, monkeypatch):
+        # The segment is created, then populating its buffer fails (e.g.
+        # /dev/shm fills between ftruncate and the copy).  The half-written
+        # segment must be unlinked -- nothing else ever would: the janitor
+        # skips segments of live processes and the returned bundle carries
+        # no segment handle -- and the call degrades to inline transport.
+        def explode(segment, items):
+            raise OSError("copy into the segment buffer failed")
+
+        monkeypatch.setattr("repro.core.shm._copy_into", explode)
+        before = _live_segments()
+        bundle = share_arrays(ARRAYS, enabled=True)
+        assert not bundle.shared
+        assert _live_segments() == before
+        loaded = bundle.ref.load()
+        for field, array in ARRAYS.items():
+            assert np.array_equal(loaded[field], array)
+        bundle.unlink()  # no-op on the fallback path
+
     @pytest.mark.parametrize("value", ["0", "off", "OFF", "false", "no"])
     def test_env_values_that_disable(self, monkeypatch, value):
         monkeypatch.setenv(SHM_ENV, value)
@@ -132,6 +151,88 @@ class TestShareArrays:
         bundle = share_arrays(ARRAYS, enabled=True)
         try:
             assert bundle.shared
+        finally:
+            bundle.unlink()
+
+
+def _spawn_load_sum(ref_blob, queue):
+    """Spawn-context worker: attach, load, report a checksum, exit."""
+    ref = pickle.loads(ref_blob)
+    arrays = ref.load()
+    queue.put(float(sum(array.sum() for array in arrays.values())))
+
+
+class TestSpawnSafeAttach:
+    """Readers must never register the segment with their own tracker.
+
+    Before Python 3.13 a plain ``SharedMemory(name=...)`` attach registers
+    the name with the *attaching* process's resource tracker.  Under the
+    ``spawn`` start method every worker owns a private tracker that unlinks
+    everything it knows about when the worker exits -- so the first worker
+    to finish would delete the segment under the remaining shards.
+    ``_attach`` therefore keeps the registration from happening (via
+    ``track=False`` where available, else by suppressing the register call).
+    """
+
+    def test_attach_never_registers_with_the_readers_tracker(self, monkeypatch):
+        from multiprocessing import resource_tracker
+
+        bundle = share_arrays(ARRAYS, enabled=True)
+        calls = []
+        try:
+            monkeypatch.setattr(
+                resource_tracker,
+                "register",
+                lambda *args, **kwargs: calls.append(args),
+            )
+            loaded = bundle.ref.load()
+        finally:
+            bundle.unlink()
+        assert np.array_equal(loaded["in1"], ARRAYS["in1"])
+        assert calls == []
+
+    def test_stdlib_attach_does_register(self, monkeypatch):
+        # Control for the test above: the plain stdlib attach path *does*
+        # call register (on every version to date), so an empty call list
+        # genuinely means _attach suppressed it.
+        from multiprocessing import resource_tracker
+        from multiprocessing import shared_memory as shm_module
+
+        bundle = share_arrays(ARRAYS, enabled=True)
+        calls = []
+        try:
+            monkeypatch.setattr(
+                resource_tracker,
+                "register",
+                lambda *args, **kwargs: calls.append(args),
+            )
+            segment = shm_module.SharedMemory(name=bundle.ref.segment)
+            segment.close()
+        finally:
+            bundle.unlink()
+        assert calls
+
+    def test_segment_survives_spawn_worker_exits(self):
+        import multiprocessing
+        import time
+
+        ctx = multiprocessing.get_context("spawn")
+        bundle = share_arrays(ARRAYS, enabled=True)
+        expected = float(sum(array.sum() for array in ARRAYS.values()))
+        try:
+            blob = pickle.dumps(bundle.ref)
+            queue = ctx.Queue()
+            # Two successive workers attach and exit; a worker-side tracker
+            # registration would unlink the segment at the first exit.
+            for _ in range(2):
+                worker = ctx.Process(target=_spawn_load_sum, args=(blob, queue))
+                worker.start()
+                assert queue.get(timeout=120) == expected
+                worker.join(timeout=120)
+                assert worker.exitcode == 0
+            time.sleep(0.3)  # give a (buggy) tracker time to act
+            loaded = bundle.ref.load()
+            assert np.array_equal(loaded["in1"], ARRAYS["in1"])
         finally:
             bundle.unlink()
 

@@ -1,0 +1,82 @@
+"""Shared plumbing for serving-layer tests.
+
+The service runs on the test's own event loop; HTTP clients run on
+executor threads with stdlib ``http.client``, so requests exercise the
+real socket path end to end.
+"""
+
+import asyncio
+import contextlib
+import http.client
+import json
+
+import pytest
+
+from repro.api.options import StoreOptions
+from repro.api.session import Session
+from repro.serve import CharacterizationService, ServeConfig
+
+
+@contextlib.asynccontextmanager
+async def running_service(store_dir, *, trace=None, session=None, **config):
+    """A started service on an ephemeral port, drained on exit."""
+    if session is None:
+        session = Session.from_options(
+            StoreOptions(cache_dir=str(store_dir)), jobs=1
+        )
+    config.setdefault("window_s", 0.02)
+    service = CharacterizationService(
+        session, ServeConfig(port=0, **config), trace=trace
+    )
+    await service.start()
+    runner = asyncio.ensure_future(service.run(install_signal_handlers=False))
+    try:
+        yield service
+    finally:
+        service.request_drain()
+        assert await runner == 0
+
+
+def http_post(port, body, client="tests", path="/v1/jobs"):
+    """Blocking POST (run on an executor thread); returns (status, doc, headers)."""
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+    try:
+        conn.request(
+            "POST", path, body=json.dumps(body), headers={"X-Client": client}
+        )
+        response = conn.getresponse()
+        return (
+            response.status,
+            json.loads(response.read()),
+            dict(response.getheaders()),
+        )
+    finally:
+        conn.close()
+
+
+def http_get(port, path, parse=True):
+    """Blocking GET (run on an executor thread); returns (status, body)."""
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        raw = response.read()
+        return response.status, json.loads(raw) if parse else raw
+    finally:
+        conn.close()
+
+
+async def wait_terminal(port, job_id, budget_s=120.0):
+    """Poll a job resource until done/failed; returns the final document."""
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + budget_s
+    while True:
+        status, doc = await loop.run_in_executor(
+            None, http_get, port, f"/v1/jobs/{job_id}"
+        )
+        assert status == 200
+        if doc["status"] in ("done", "failed"):
+            return doc
+        if loop.time() > deadline:
+            pytest.fail(f"job {job_id} still {doc['status']} after {budget_s}s")
+        await asyncio.sleep(0.05)

@@ -1,0 +1,127 @@
+"""HTTP/1.1 parsing and rendering tests for the serving layer."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve.http import (
+    HttpError,
+    json_response,
+    read_request,
+    response,
+    stream_header,
+)
+
+
+def parse(raw: bytes, **kwargs):
+    """Feed raw bytes through read_request on a private loop."""
+
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader, **kwargs)
+
+    return asyncio.run(run())
+
+
+class TestReadRequest:
+    def test_parses_method_route_query_headers_body(self):
+        raw = (
+            b"POST /v1/jobs?x=1&y=two HTTP/1.1\r\n"
+            b"Host: localhost\r\n"
+            b"X-Client: alice\r\n"
+            b"Content-Length: 7\r\n"
+            b"\r\n"
+            b'{"a":1}'
+        )
+        request = parse(raw)
+        assert request.method == "POST"
+        assert request.route == "/v1/jobs"
+        assert request.query == {"x": "1", "y": "two"}
+        assert request.header("x-client") == "alice"
+        assert request.header("X-Client") == "alice"
+        assert request.body == b'{"a":1}'
+        assert request.json() == {"a": 1}
+
+    def test_clean_eof_yields_none(self):
+        assert parse(b"") is None
+
+    def test_url_encoded_path_is_unquoted(self):
+        request = parse(b"GET /v1/jobs/ab%20cd HTTP/1.1\r\n\r\n")
+        assert request.route == "/v1/jobs/ab cd"
+
+    def test_malformed_request_line_is_400(self):
+        with pytest.raises(HttpError) as info:
+            parse(b"HELLO\r\n\r\n")
+        assert info.value.status == 400
+
+    def test_unknown_method_is_405(self):
+        with pytest.raises(HttpError) as info:
+            parse(b"BREW /pot HTTP/1.1\r\n\r\n")
+        assert info.value.status == 405
+
+    def test_chunked_bodies_are_refused(self):
+        raw = (
+            b"POST /v1/jobs HTTP/1.1\r\n"
+            b"Transfer-Encoding: chunked\r\n\r\n"
+        )
+        with pytest.raises(HttpError) as info:
+            parse(raw)
+        assert info.value.status == 411
+
+    def test_oversized_body_is_413(self):
+        raw = b"POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\n" + b"x" * 100
+        with pytest.raises(HttpError) as info:
+            parse(raw, max_body=10)
+        assert info.value.status == 413
+
+    def test_truncated_body_is_400(self):
+        raw = b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nab"
+        with pytest.raises(HttpError) as info:
+            parse(raw)
+        assert info.value.status == 400
+
+    def test_malformed_content_length_is_400(self):
+        raw = b"POST / HTTP/1.1\r\nContent-Length: ten\r\n\r\n"
+        with pytest.raises(HttpError) as info:
+            parse(raw)
+        assert info.value.status == 400
+
+    def test_bad_json_body_is_400(self):
+        raw = b"POST / HTTP/1.1\r\nContent-Length: 3\r\n\r\n{oo"
+        request = parse(raw)
+        with pytest.raises(HttpError) as info:
+            request.json()
+        assert info.value.status == 400
+
+    def test_empty_body_json_is_400(self):
+        request = parse(b"POST / HTTP/1.1\r\n\r\n")
+        with pytest.raises(HttpError) as info:
+            request.json()
+        assert info.value.status == 400
+
+
+class TestResponses:
+    def test_response_is_close_delimited_with_length(self):
+        raw = response(200, b"hello", content_type="text/plain")
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert body == b"hello"
+        assert b"HTTP/1.1 200 OK" in head
+        assert b"Content-Length: 5" in head
+        assert b"Connection: close" in head
+
+    def test_json_response_sorts_keys_and_carries_extra_headers(self):
+        raw = json_response(429, {"b": 1, "a": 2}, {"Retry-After": "0.5"})
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert b"HTTP/1.1 429 Too Many Requests" in head
+        assert b"Retry-After: 0.5" in head
+        assert json.loads(body) == {"a": 2, "b": 1}
+        assert body.index(b'"a"') < body.index(b'"b"')
+
+    def test_stream_header_has_no_content_length(self):
+        head = stream_header()
+        assert b"Content-Length" not in head
+        assert b"Connection: close" in head
+        assert head.endswith(b"\r\n\r\n")

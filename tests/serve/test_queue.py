@@ -1,0 +1,172 @@
+"""Admission queue fairness/priority and token-bucket rate-limit tests."""
+
+import asyncio
+
+import pytest
+
+from repro.api.jobs import CharacterizeJob
+from repro.serve.queue import AdmissionQueue, JobRecord, JobState, new_job_id
+from repro.serve.ratelimit import ClientRateLimiter, TokenBucket
+
+
+def record(client: str, priority: int = 0, seq: int = 0) -> JobRecord:
+    return JobRecord(
+        id=new_job_id(),
+        client=client,
+        job=CharacterizeJob(),
+        canonical="{}",
+        priority=priority,
+        seq=seq,
+    )
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestAdmissionQueue:
+    def test_fifo_within_one_client(self):
+        async def main():
+            queue = AdmissionQueue()
+            first, second = record("a", seq=0), record("a", seq=1)
+            queue.add(first)
+            queue.add(second)
+            window = queue.take_window(10)
+            assert [r.id for r in window] == [first.id, second.id]
+            assert queue.pending == 0
+
+        run(main())
+
+    def test_priority_wins_within_one_client(self):
+        async def main():
+            queue = AdmissionQueue()
+            low = record("a", priority=0, seq=0)
+            high = record("a", priority=5, seq=1)
+            queue.add(low)
+            queue.add(high)
+            assert [r.id for r in queue.take_window(10)] == [high.id, low.id]
+
+        run(main())
+
+    def test_round_robin_across_clients(self):
+        async def main():
+            queue = AdmissionQueue()
+            a0, a1, a2 = (record("a", seq=i) for i in range(3))
+            b0 = record("b", seq=3)
+            for item in (a0, a1, a2, b0):
+                queue.add(item)
+            window = queue.take_window(10)
+            # One job per client per turn: a flood from 'a' cannot starve 'b'.
+            assert [r.id for r in window] == [a0.id, b0.id, a1.id, a2.id]
+
+        run(main())
+
+    def test_window_size_is_respected_and_rotation_persists(self):
+        async def main():
+            queue = AdmissionQueue()
+            a0, a1 = record("a", seq=0), record("a", seq=1)
+            b0, b1 = record("b", seq=2), record("b", seq=3)
+            for item in (a0, a1, b0, b1):
+                queue.add(item)
+            first = queue.take_window(2)
+            assert [r.id for r in first] == [a0.id, b0.id]
+            assert queue.pending == 2
+            second = queue.take_window(2)
+            assert [r.id for r in second] == [a1.id, b1.id]
+
+        run(main())
+
+    def test_take_window_rejects_non_positive(self):
+        async def main():
+            queue = AdmissionQueue()
+            with pytest.raises(ValueError):
+                queue.take_window(0)
+
+        run(main())
+
+    def test_snapshot_counts_pending_and_clients(self):
+        async def main():
+            queue = AdmissionQueue()
+            queue.add(record("a", seq=0))
+            queue.add(record("b", seq=1))
+            assert queue.snapshot() == {"pending": 2, "clients": 2}
+
+        run(main())
+
+
+class TestTokenBucket:
+    def test_burst_then_denial_with_retry_hint(self):
+        clock = {"now": 0.0}
+        bucket = TokenBucket(capacity=2, rate=1.0, clock=lambda: clock["now"])
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() == 0.0
+        retry = bucket.try_acquire()
+        assert retry == pytest.approx(1.0)
+
+    def test_refills_at_rate(self):
+        clock = {"now": 0.0}
+        bucket = TokenBucket(capacity=1, rate=2.0, clock=lambda: clock["now"])
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() > 0
+        clock["now"] = 0.5  # 0.5s * 2/s = 1 token
+        assert bucket.try_acquire() == 0.0
+
+    def test_refill_never_exceeds_capacity(self):
+        clock = {"now": 0.0}
+        bucket = TokenBucket(capacity=3, rate=10.0, clock=lambda: clock["now"])
+        clock["now"] = 100.0
+        assert bucket.tokens == pytest.approx(3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(capacity=0, rate=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(capacity=1, rate=0.0)
+
+
+class TestClientRateLimiter:
+    def test_buckets_are_per_client(self):
+        clock = {"now": 0.0}
+        limiter = ClientRateLimiter(
+            rate=1.0, burst=1, clock=lambda: clock["now"]
+        )
+        assert limiter.acquire("a") == 0.0
+        assert limiter.acquire("a") > 0  # a exhausted its burst
+        assert limiter.acquire("b") == 0.0  # b unaffected
+        assert limiter.denied == 1
+
+    def test_client_map_is_bounded(self):
+        clock = {"now": 0.0}
+        limiter = ClientRateLimiter(
+            rate=1.0, burst=1, max_clients=2, clock=lambda: clock["now"]
+        )
+        for name in ("a", "b", "c", "d"):
+            limiter.acquire(name)
+        assert limiter.snapshot()["clients"] == 2
+
+    def test_evicted_client_restarts_with_a_full_bucket(self):
+        clock = {"now": 0.0}
+        limiter = ClientRateLimiter(
+            rate=0.001, burst=1, max_clients=1, clock=lambda: clock["now"]
+        )
+        assert limiter.acquire("a") == 0.0
+        limiter.acquire("b")  # evicts a
+        assert limiter.acquire("a") == 0.0  # fresh bucket, not the drained one
+
+
+class TestJobRecord:
+    def test_describe_reports_identity_and_state(self):
+        async def main():
+            item = record("alice", priority=3, seq=7)
+            doc = item.describe()
+            assert doc["client"] == "alice"
+            assert doc["type"] == "characterize"
+            assert doc["status"] == JobState.QUEUED
+            assert doc["priority"] == 3
+            assert "error" not in doc
+            item.state = JobState.FAILED
+            item.error = "boom"
+            assert item.describe()["error"] == "boom"
+            assert item.terminal
+
+        run(main())
