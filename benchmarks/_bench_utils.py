@@ -34,8 +34,9 @@ import dataclasses
 import json
 import os
 import pathlib
-import time
 from typing import Any, Sequence
+
+from repro.obs import clock
 
 #: Stimulus size used by the harness.  The paper uses 20 000 vectors; 4 000
 #: keeps the full harness fast while preserving the qualitative shapes.
@@ -119,7 +120,7 @@ def _timestamp() -> float:
         value = os.environ.get(variable, "").strip()
         if value:
             return float(value)
-    return time.time()
+    return clock.wall_time()
 
 
 def write_metrics(
@@ -148,5 +149,7 @@ def write_metrics(
     }
     OUTPUT_DIR.mkdir(exist_ok=True)
     path = OUTPUT_DIR / f"BENCH_{bench}.json"
-    path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
     return path

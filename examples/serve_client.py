@@ -76,7 +76,7 @@ def main(argv: list[str] | None = None) -> int:
 
     base = f"http://{args.host}:{args.port}"
     submitted = _request(
-        f"{base}/v1/jobs", json.dumps(job).encode("utf-8"), args.client
+        f"{base}/v1/jobs", json.dumps(job, sort_keys=True).encode("utf-8"), args.client
     )
     job_id = submitted["id"]
     print(f"submitted {job.get('type', '?')} as {job_id} (hot={submitted['hot']})")

@@ -34,7 +34,11 @@ prints the typed result's rendering.  The commands:
   sweep result store,
 * ``repro trace``           -- inspect JSONL trace files recorded with
   ``--trace``: ``summary`` renders the per-phase time breakdown and the
-  cache/dedup funnel, ``validate`` checks records against the trace schema.
+  cache/dedup funnel, ``validate`` checks records against the trace schema,
+* ``repro lint``            -- run the repo's AST invariant checker
+  (:mod:`repro.lint`) over Python sources: determinism, resilience and
+  async-discipline rules (``RPL0xx``), with inline suppressions and a
+  committed baseline for grandfathered findings (exit 1 on new findings).
 
 Sweep-running commands (``characterize``, ``fig5``, ``table4``,
 ``calibrate``, ``explore``, ``montecarlo``, ``faults``, ``batch``) execute
@@ -97,6 +101,14 @@ from repro.api.jobs import (
 )
 from repro.api.options import PatternOptions, StoreOptions, SweepOptions
 from repro.api.session import Session, SessionError
+from repro.lint import (
+    DEFAULT_BASELINE_NAME,
+    LintError,
+    RULE_CODES,
+    lint_paths,
+    load_baseline,
+    write_baseline,
+)
 from repro.obs.report import load_trace, summarize_trace, validate_trace
 from repro.circuits.adders import ADDER_GENERATORS
 from repro.core.resilience import FAILURE_ACTIONS
@@ -444,6 +456,41 @@ def build_parser() -> argparse.ArgumentParser:
         "structure (exit 1 on problems)",
     )
     trace_validate.add_argument("trace_file", help="JSONL trace file (from --trace)")
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="check Python sources against the repo's determinism, "
+        "resilience and async invariants (RPL0xx rules)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["."],
+        help="files or directories to lint (default: current directory)",
+    )
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        help="baseline JSON of grandfathered findings "
+        f"(default: ./{DEFAULT_BASELINE_NAME} when present)",
+    )
+    lint.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file; report every finding as new",
+    )
+    lint.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to the current findings and exit 0 "
+        "(the ratchet: shrink it, never grow it, in normal development)",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table (code, title, rationale) and exit",
+    )
+    _add_json_argument(lint)
     return parser
 
 
@@ -828,6 +875,48 @@ def _command_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for code in sorted(RULE_CODES):
+            title, rationale = RULE_CODES[code]
+            print(f"{code}  {title}")
+            print(f"        {rationale}")
+        return 0
+    baseline_path: pathlib.Path | None = None
+    if args.baseline is not None and args.no_baseline:
+        raise SystemExit("--baseline and --no-baseline are mutually exclusive")
+    if args.baseline is not None:
+        baseline_path = pathlib.Path(args.baseline)
+    elif not args.no_baseline:
+        default = pathlib.Path(DEFAULT_BASELINE_NAME)
+        if default.is_file():
+            baseline_path = default
+    if args.update_baseline:
+        target = baseline_path or pathlib.Path(DEFAULT_BASELINE_NAME)
+        try:
+            everything = lint_paths(args.paths)
+        except LintError as error:
+            raise SystemExit(str(error)) from None
+        write_baseline(target, everything.new_findings)
+        print(
+            f"baseline written: {target} "
+            f"({len(everything.new_findings)} finding(s))"
+        )
+        return 0
+    try:
+        baseline = load_baseline(baseline_path) if baseline_path else {}
+        report = lint_paths(args.paths, baseline=baseline)
+    except LintError as error:
+        raise SystemExit(str(error)) from None
+    if getattr(args, "json", False):
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        output = report.render()
+        if output:
+            print(output)
+    return 0 if report.clean else 1
+
+
 _COMMANDS = {
     "synthesize": _command_synthesize,
     "characterize": _command_characterize,
@@ -842,6 +931,7 @@ _COMMANDS = {
     "serve": _command_serve,
     "store": _command_store,
     "trace": _command_trace,
+    "lint": _command_lint,
 }
 
 

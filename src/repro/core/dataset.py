@@ -58,7 +58,9 @@ def save_characterization(
 ) -> None:
     """Write a characterization to a JSON file."""
     payload = characterization_to_dict(characterization)
-    pathlib.Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
+    pathlib.Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8"
+    )
 
 
 def load_characterization(path: str | pathlib.Path) -> AdderCharacterization:
@@ -76,7 +78,9 @@ def save_probability_table(
         "width": table.width,
         "matrix": table.matrix.tolist(),
     }
-    pathlib.Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
+    pathlib.Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8"
+    )
 
 
 def load_probability_table(path: str | pathlib.Path) -> CarryProbabilityTable:

@@ -314,7 +314,9 @@ def _destroy_pool(pool: ProcessPoolExecutor) -> None:
         try:
             process.terminate()
         except Exception:
-            pass
+            # Already-dead processes are the common cause; count the rest so
+            # a pattern of unkillable workers shows up in the metrics dump.
+            metrics.REGISTRY.counter("resilience.cleanup_errors").add()
 
 
 def run_shards(
@@ -417,7 +419,10 @@ def run_shards(
             try:
                 cleanup()
             except Exception:
-                pass
+                # The run's results are already merged; a cleanup failure
+                # (e.g. shm unlink) must not destroy them, but it leaks a
+                # resource, so it is counted rather than silently dropped.
+                metrics.REGISTRY.counter("resilience.cleanup_errors").add()
 
 
 def _run_shards(

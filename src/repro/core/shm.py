@@ -49,6 +49,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from repro.obs import metrics
 from repro.obs.trace import span
 
 #: Environment variable gating shared-memory transport.  Any of ``0``,
@@ -224,18 +225,25 @@ class SharedArrayBundle:
         return self.ref.segment is not None
 
     def unlink(self) -> None:
-        """Close and remove the segment (no-op on the fallback path)."""
+        """Close and remove the segment (no-op on the fallback path).
+
+        Idempotent and never raises -- it runs inside ``run_shards``
+        cleanup where a second failure would mask the first -- but a
+        failed close/unlink is still counted in ``shm.cleanup_errors``
+        rather than vanishing (a segment that would not unlink occupies
+        ``/dev/shm`` until the janitor of a later run reaps it).
+        """
         segment, self._segment = self._segment, None
         if segment is None:
             return
         try:
             segment.close()
         except Exception:
-            pass
+            metrics.REGISTRY.counter("shm.cleanup_errors").add()
         try:
             segment.unlink()
         except Exception:
-            pass
+            metrics.REGISTRY.counter("shm.cleanup_errors").add()
 
 
 def share_arrays(
@@ -277,14 +285,15 @@ def share_arrays(
             # half-written segment: the janitor skips segments whose creator
             # is alive, and the bundle we would have returned carries no
             # segment handle.  Release it and degrade to inline transport.
+            metrics.REGISTRY.counter("shm.publish_errors").add()
             try:
                 segment.close()
             except Exception:
-                pass
+                metrics.REGISTRY.counter("shm.cleanup_errors").add()
             try:
                 segment.unlink()
             except Exception:
-                pass
+                metrics.REGISTRY.counter("shm.cleanup_errors").add()
             publish_span.set(shared=False)
             return SharedArrayBundle(
                 SharedArrayRef(segment=None, specs=(), inline=tuple(items)), None

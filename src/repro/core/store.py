@@ -60,7 +60,6 @@ import hashlib
 import json
 import os
 import pathlib
-import time
 from typing import Any, BinaryIO, Iterator, Mapping, Sequence
 
 import numpy as np
@@ -73,7 +72,7 @@ from repro.core.packfile import (
     encode_record,
     scan_records,
 )
-from repro.obs import metrics
+from repro.obs import clock, metrics
 from repro.technology.library import StandardCellLibrary
 
 #: Version of the *key schema*.  Part of every entry key: bumping it
@@ -688,7 +687,7 @@ class SweepResultStore:
         """Store an entry payload (crash-consistent append to a packfile)."""
         self._ensure_loaded()
         try:
-            self._append_record(key, payload, time.time())
+            self._append_record(key, payload, clock.wall_time())
         except OSError:
             # Read-only or full filesystem: run uncached rather than fail,
             # but leave a trace in the counters.

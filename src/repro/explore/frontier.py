@@ -225,7 +225,9 @@ class ParetoFrontier:
         target = pathlib.Path(path)
         target.parent.mkdir(parents=True, exist_ok=True)
         temp = target.with_name(f".{target.name}.{os.getpid()}.tmp")
-        temp.write_text(json.dumps(self.to_json(), indent=2), encoding="utf-8")
+        temp.write_text(
+            json.dumps(self.to_json(), indent=2, sort_keys=True), encoding="utf-8"
+        )
         os.replace(temp, target)
 
     @classmethod

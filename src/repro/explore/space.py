@@ -212,7 +212,7 @@ class DesignSpace:
         skipped = [
             (width, window)
             for width in sorted(set(self.widths))
-            for window in sorted(w for w in set(self.speculation_windows) if w)
+            for window in sorted({w for w in self.speculation_windows if w})
             if window >= width
         ]
         return tuple(skipped)

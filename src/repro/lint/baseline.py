@@ -1,0 +1,87 @@
+"""Committed baseline of grandfathered lint findings.
+
+A freshly written rule usually surfaces legacy findings that cannot all be
+fixed in the PR that introduces it.  Rather than watering the rule down,
+the surplus is *grandfathered*: the committed baseline file maps
+``path::code`` keys to allowed finding counts, the gate tolerates exactly
+that many, and anything beyond is a new finding that fails CI.  Counts --
+not line numbers -- keep the baseline stable under unrelated edits to the
+same file, and make every fix visible: when a grandfathered finding is
+removed, the stale allowance is reported so the baseline can be ratcheted
+down (``repro lint --update-baseline``).
+
+File format (sorted keys, trailing newline -- diff-friendly)::
+
+    {
+      "entries": {
+        "src/repro/cli.py::RPL004": 2
+      },
+      "version": 1
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Iterable, Mapping
+
+from repro.lint.framework import Finding, LintError, finding_counts
+
+__all__ = [
+    "DEFAULT_BASELINE_NAME",
+    "load_baseline",
+    "render_baseline",
+    "write_baseline",
+]
+
+#: Baseline file ``repro lint`` picks up automatically from the working
+#: directory (the committed repo-root file).
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+_VERSION = 1
+
+
+def load_baseline(path: str | pathlib.Path) -> dict[str, int]:
+    """Read a baseline file into the ``path::code -> count`` map."""
+    try:
+        text = pathlib.Path(path).read_text(encoding="utf-8")
+    except OSError as error:
+        raise LintError(f"cannot read baseline {path}: {error}") from None
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise LintError(f"baseline {path} is not valid JSON: {error}") from None
+    if not isinstance(document, Mapping) or document.get("version") != _VERSION:
+        raise LintError(
+            f"baseline {path} has an unsupported layout (expected "
+            f'{{"version": {_VERSION}, "entries": {{...}}}})'
+        )
+    entries = document.get("entries", {})
+    if not isinstance(entries, Mapping):
+        raise LintError(f"baseline {path}: 'entries' must be an object")
+    baseline: dict[str, int] = {}
+    for key, count in entries.items():
+        if not isinstance(key, str) or "::" not in key:
+            raise LintError(f"baseline {path}: malformed key {key!r}")
+        if not isinstance(count, int) or count < 1:
+            raise LintError(
+                f"baseline {path}: count for {key!r} must be a positive "
+                f"integer, got {count!r}"
+            )
+        baseline[key] = count
+    return baseline
+
+
+def render_baseline(findings: Iterable[Finding]) -> str:
+    """The baseline file text grandfathering exactly these findings."""
+    document = {"entries": finding_counts(findings), "version": _VERSION}
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def write_baseline(path: str | pathlib.Path, findings: Iterable[Finding]) -> None:
+    """Write (or rewrite) the baseline file for these findings."""
+    try:
+        pathlib.Path(path).write_text(render_baseline(findings), encoding="utf-8")
+    except OSError as error:
+        raise LintError(f"cannot write baseline {path}: {error}") from None

@@ -1,0 +1,408 @@
+"""Single-pass AST lint framework behind ``repro lint``.
+
+The repo's headline guarantees -- byte-identical serial/sharded/traced/
+served results, crash-consistent stores, counted-not-swallowed errors --
+are invariants of *how the code is written*, not just of what the tests
+happen to execute.  This module is the dependency-free framework that
+checks them statically:
+
+* :class:`LintRule` -- one registered invariant with an ``RPL0xx`` code.
+  Rules declare the AST node types they care about (``interests``) and the
+  framework walks each file's tree exactly once, dispatching every node to
+  the interested rules, so adding rules never adds passes.
+* :class:`FileContext` -- per-file services shared by all rules: the source
+  lines, an import-alias map so ``np.random.rand`` resolves to
+  ``numpy.random.rand`` whatever the import spelling, and the enclosing
+  function/class stacks maintained during the walk.
+* Inline suppressions -- ``# repro-lint: disable=RPL001[,RPL002]`` on the
+  finding's line, or ``# repro-lint: disable-next-line=...`` on the line
+  above.  ``disable=all`` silences every rule for that line.  Suppressions
+  are deliberate, reviewable exceptions; the committed baseline (see
+  :mod:`repro.lint.baseline`) is for *grandfathered* findings only.
+
+The runner (:func:`lint_paths`) accepts files and directories, walks
+directories for ``*.py`` (skipping hidden directories and caches), and
+returns a :class:`LintReport` with the findings split into new /
+baselined / suppressed, ready for the human or ``--json`` renderers in
+:mod:`repro.cli`.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import pathlib
+import re
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "LintError",
+    "LintReport",
+    "LintRule",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+    "register",
+]
+
+
+class LintError(Exception):
+    """A path or file the linter cannot process (user-facing)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    code: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    @property
+    def baseline_key(self) -> str:
+        """The ``path::code`` key findings are grandfathered under."""
+        return f"{self.path}::{self.code}"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+class LintRule:
+    """Base class of one registered invariant.
+
+    Subclasses set ``code`` (``RPL0xx``), ``title`` (one line, shown by
+    ``--list-rules``), ``rationale`` (why the invariant matters),
+    ``interests`` (the AST node types to dispatch), and implement
+    :meth:`check`.  A fresh instance is created per linted file, so rules
+    may keep per-file state between dispatched nodes.
+    """
+
+    code: str = ""
+    title: str = ""
+    rationale: str = ""
+    interests: tuple[type, ...] = ()
+
+    def check(self, node: ast.AST, ctx: "FileContext") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, node: ast.AST, ctx: "FileContext", message: str) -> Finding:
+        return Finding(
+            code=self.code,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+#: Registered rule classes, in registration (= code) order.
+_RULES: list[type[LintRule]] = []
+
+
+def register(rule_cls: type[LintRule]) -> type[LintRule]:
+    """Class decorator adding a rule to the registry (duplicate codes refused)."""
+    if not rule_cls.code or not re.fullmatch(r"RPL\d{3}", rule_cls.code):
+        raise ValueError(f"rule {rule_cls.__name__} needs an RPL0xx code")
+    if any(existing.code == rule_cls.code for existing in _RULES):
+        raise ValueError(f"duplicate rule code {rule_cls.code}")
+    _RULES.append(rule_cls)
+    return rule_cls
+
+
+def all_rules() -> list[LintRule]:
+    """Fresh instances of every registered rule, sorted by code."""
+    return [cls() for cls in sorted(_RULES, key=lambda cls: cls.code)]
+
+
+class FileContext:
+    """Per-file services shared by every rule during the single pass."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.imports = _collect_imports(tree)
+        #: Innermost-last stack of enclosing function definitions.
+        self.func_stack: list[ast.FunctionDef | ast.AsyncFunctionDef] = []
+        #: Innermost-last stack of enclosing class definitions.
+        self.class_stack: list[ast.ClassDef] = []
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Dotted origin of a name/attribute chain, through import aliases.
+
+        ``np.random.rand`` resolves to ``numpy.random.rand`` under
+        ``import numpy as np``; a bare name that was never imported
+        resolves to itself (builtins keep their own name).  Anything that
+        is not a pure name/attribute chain resolves to ``None``.
+        """
+        if isinstance(node, ast.Name):
+            return self.imports.get(node.id, node.id)
+        if isinstance(node, ast.Attribute):
+            base = self.resolve(node.value)
+            if base is None:
+                return None
+            return f"{base}.{node.attr}"
+        return None
+
+    def path_is(self, *suffixes: str) -> bool:
+        """Whether the file path ends with any of the posix suffixes."""
+        posix = pathlib.PurePath(self.path).as_posix()
+        return any(posix.endswith(suffix) for suffix in suffixes)
+
+
+def _collect_imports(tree: ast.Module) -> dict[str, str]:
+    """Local name -> dotted origin, over the whole module (any scope)."""
+    imports: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".", 1)[0]
+                origin = alias.name if alias.asname else local
+                imports[local] = origin
+        elif isinstance(node, ast.ImportFrom):
+            module = "." * node.level + (node.module or "")
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                imports[local] = f"{module}.{alias.name}" if module else alias.name
+    return imports
+
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*(disable|disable-next-line)\s*=\s*"
+    r"(all|RPL\d{3}(?:\s*,\s*RPL\d{3})*)"
+)
+
+
+def _suppressions(lines: Sequence[str]) -> dict[int, frozenset[str]]:
+    """Line number (1-based) -> codes suppressed on that line."""
+    table: dict[int, frozenset[str]] = {}
+    for number, line in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        target = number + 1 if match.group(1) == "disable-next-line" else number
+        codes = frozenset(
+            code.strip() for code in match.group(2).split(",")
+        )
+        table[target] = table.get(target, frozenset()) | codes
+    return table
+
+
+def _suppressed(finding: Finding, table: Mapping[int, frozenset[str]]) -> bool:
+    codes = table.get(finding.line)
+    return codes is not None and (finding.code in codes or "all" in codes)
+
+
+class _Walker:
+    """One recursive pass dispatching nodes to interested rules."""
+
+    def __init__(self, rules: Sequence[LintRule], ctx: FileContext) -> None:
+        self._dispatch: dict[type, list[LintRule]] = {}
+        for rule in rules:
+            for node_type in rule.interests:
+                self._dispatch.setdefault(node_type, []).append(rule)
+        self._ctx = ctx
+        self.findings: list[Finding] = []
+
+    def walk(self, node: ast.AST) -> None:
+        for rule in self._dispatch.get(type(node), ()):
+            self.findings.extend(rule.check(node, self._ctx))
+        is_func = isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        is_class = isinstance(node, ast.ClassDef)
+        if is_func:
+            self._ctx.func_stack.append(node)
+        if is_class:
+            self._ctx.class_stack.append(node)
+        try:
+            for child in ast.iter_child_nodes(node):
+                self.walk(child)
+        finally:
+            if is_func:
+                self._ctx.func_stack.pop()
+            if is_class:
+                self._ctx.class_stack.pop()
+
+
+def _lint_tree(
+    source: str, path: str, rules: Sequence[LintRule] | None
+) -> tuple[list[Finding], int]:
+    """Findings plus the count suppressed inline, for one source text."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        raise LintError(f"{path}: cannot parse: {error}") from None
+    ctx = FileContext(path, source, tree)
+    walker = _Walker(all_rules() if rules is None else rules, ctx)
+    walker.walk(tree)
+    table = _suppressions(ctx.lines)
+    findings = [f for f in walker.findings if not _suppressed(f, table)]
+    suppressed = len(walker.findings) - len(findings)
+    findings.sort(key=lambda f: (f.line, f.col, f.code))
+    return findings, suppressed
+
+
+def lint_source(
+    source: str, path: str, rules: Sequence[LintRule] | None = None
+) -> list[Finding]:
+    """Lint one source text; returns unsuppressed findings, in line order.
+
+    ``path`` is the path findings carry and rules scope on; it need not
+    exist on disk (the fixture tests lint synthetic paths).
+    """
+    findings, _suppressed_count = _lint_tree(source, path, rules)
+    return findings
+
+
+@dataclasses.dataclass
+class LintReport:
+    """Outcome of one linter run over a set of paths."""
+
+    files: int
+    new_findings: list[Finding]
+    baselined: int
+    suppressed: int
+    stale_baseline: list[str]
+
+    @property
+    def clean(self) -> bool:
+        return not self.new_findings
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "version": 1,
+            "files": self.files,
+            "findings": [finding.to_json() for finding in self.new_findings],
+            "baselined": self.baselined,
+            "suppressed": self.suppressed,
+            "stale_baseline": sorted(self.stale_baseline),
+            "clean": self.clean,
+        }
+
+    def render(self) -> str:
+        lines = [finding.render() for finding in self.new_findings]
+        summary = (
+            f"{len(self.new_findings)} new finding(s) across {self.files} "
+            f"file(s) ({self.baselined} baselined, {self.suppressed} "
+            f"suppressed)"
+        )
+        if self.stale_baseline:
+            summary += (
+                f"; {len(self.stale_baseline)} stale baseline entr"
+                f"{'y' if len(self.stale_baseline) == 1 else 'ies'} "
+                f"(fixed findings -- tighten the baseline)"
+            )
+        lines.append(summary)
+        return "\n".join(lines)
+
+
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".hg", ".venv", "node_modules"})
+
+
+def collect_files(paths: Sequence[str]) -> list[str]:
+    """Expand files and directories into a sorted, deduplicated file list."""
+    seen: dict[str, None] = {}
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_file():
+            seen[_normalize(path)] = None
+        elif path.is_dir():
+            for file in sorted(path.rglob("*.py")):
+                if any(
+                    part in _SKIP_DIRS or part.startswith(".")
+                    for part in file.parts
+                ):
+                    continue
+                seen[_normalize(file)] = None
+        else:
+            raise LintError(f"no such file or directory: {raw}")
+    return sorted(seen)
+
+
+def _normalize(path: pathlib.Path) -> str:
+    """Posix path relative to the working directory when inside it."""
+    try:
+        relative = path.resolve().relative_to(pathlib.Path.cwd().resolve())
+        return relative.as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_paths(
+    paths: Sequence[str],
+    baseline: Mapping[str, int] | None = None,
+    rules: Sequence[LintRule] | None = None,
+    read: Callable[[str], str] | None = None,
+) -> LintReport:
+    """Lint files/directories and fold in the baseline allowances.
+
+    ``baseline`` maps ``path::code`` keys to grandfathered finding counts
+    (see :mod:`repro.lint.baseline`): for each key, that many findings are
+    tolerated (oldest line first) and the surplus is *new*.  Baseline keys
+    with fewer findings than their allowance are reported stale so the
+    allowance can be ratcheted down.
+    """
+    files = collect_files(paths)
+    all_findings: list[Finding] = []
+    suppressed = 0
+    for file in files:
+        if read is not None:
+            source = read(file)
+        else:
+            try:
+                source = pathlib.Path(file).read_text(encoding="utf-8")
+            except (OSError, UnicodeDecodeError) as error:
+                raise LintError(f"cannot read {file}: {error}") from None
+        findings, file_suppressed = _lint_tree(source, file, rules)
+        all_findings.extend(findings)
+        suppressed += file_suppressed
+    return _apply_baseline(all_findings, dict(baseline or {}), len(files), suppressed)
+
+
+def _apply_baseline(
+    findings: Sequence[Finding],
+    baseline: dict[str, int],
+    files: int,
+    suppressed: int,
+) -> LintReport:
+    remaining = dict(baseline)
+    new_findings: list[Finding] = []
+    baselined = 0
+    for finding in findings:
+        allowance = remaining.get(finding.baseline_key, 0)
+        if allowance > 0:
+            remaining[finding.baseline_key] = allowance - 1
+            baselined += 1
+        else:
+            new_findings.append(finding)
+    stale = sorted(key for key, count in remaining.items() if count > 0)
+    return LintReport(
+        files=files,
+        new_findings=new_findings,
+        baselined=baselined,
+        suppressed=suppressed,
+        stale_baseline=stale,
+    )
+
+
+def finding_counts(findings: Iterable[Finding]) -> dict[str, int]:
+    """``path::code`` -> count map (the baseline-file payload)."""
+    counts: dict[str, int] = {}
+    for finding in findings:
+        counts[finding.baseline_key] = counts.get(finding.baseline_key, 0) + 1
+    return counts

@@ -1,0 +1,33 @@
+"""The single sanctioned wall-clock seam.
+
+Wall-clock timestamps leak into persisted artifacts -- store index lines,
+trace records, benchmark reports -- so every read must go through one
+seam: monkeypatch :func:`wall_time` here and every timestamp in the
+process follows, instead of each test patching its own module's ``time``
+import (the store test used to do exactly that).  ``repro lint`` enforces
+the seam statically (rule RPL002): this module is the only place allowed
+to call ``time.time``.
+
+Monotonic *duration* clocks (``perf_counter``, ``process_time``,
+``monotonic``) are deliberately not wrapped -- they never appear in
+persisted bytes, and wrapping them would put a function call on hot
+paths for no determinism gain.
+
+Callers must bind the module, not the function, so a single monkeypatch
+reaches every call site::
+
+    from repro.obs import clock
+
+    stamp = clock.wall_time()
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["wall_time"]
+
+
+def wall_time() -> float:
+    """Current wall-clock time in epoch seconds (`time.time`)."""
+    return time.time()

@@ -36,6 +36,8 @@ import secrets
 import time
 from typing import Any, Iterator, Mapping
 
+from repro.obs import clock
+
 __all__ = [
     "Span",
     "TraceContext",
@@ -108,7 +110,7 @@ class Span:
         stack = self._tracer._stack
         self.parent_id = stack[-1].span_id if stack else self._tracer.root_parent_id
         stack.append(self)
-        self._t0 = time.time()
+        self._t0 = clock.wall_time()
         self._wall0 = time.perf_counter()
         self._cpu0 = time.process_time()
         return self
@@ -263,7 +265,7 @@ def current_context() -> TraceContext | None:
         path=tracer.path,
         trace_id=tracer.trace_id,
         parent_id=parent,
-        created_at=time.time(),
+        created_at=clock.wall_time(),
     )
 
 
@@ -289,7 +291,7 @@ def worker_scope(
         parent_id=context.parent_id,
         buffered=True,
     )
-    queue_wait = max(0.0, time.time() - context.created_at)
+    queue_wait = max(0.0, clock.wall_time() - context.created_at)
     previous = _ACTIVE
     _ACTIVE = tracer
     try:

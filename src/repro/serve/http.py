@@ -21,6 +21,7 @@ status code.
 
 from __future__ import annotations
 
+import asyncio
 import dataclasses
 import json
 from typing import Any, Mapping
@@ -112,9 +113,12 @@ async def read_request(reader: Any, max_body: int = MAX_BODY_BYTES) -> Request |
     """
     try:
         head = await reader.readuntil(b"\r\n\r\n")
-    except Exception as error:  # IncompleteReadError, LimitOverrunError ...
+    except (asyncio.IncompleteReadError, asyncio.LimitOverrunError) as error:
+        # IncompleteReadError: EOF before the blank line (clean close when
+        # nothing arrived at all).  LimitOverrunError: head larger than the
+        # stream limit; it carries no ``partial``, so it always maps to 400.
         partial = getattr(error, "partial", b"")
-        if not partial:
+        if not partial and isinstance(error, asyncio.IncompleteReadError):
             return None
         raise HttpError(400, "truncated or oversized request head")
     if len(head) > MAX_HEADER_BYTES:
@@ -155,7 +159,7 @@ async def read_request(reader: Any, max_body: int = MAX_BODY_BYTES) -> Request |
             raise HttpError(413, f"request body exceeds {max_body} bytes")
         try:
             body = await reader.readexactly(length)
-        except Exception:
+        except asyncio.IncompleteReadError:
             raise HttpError(400, "request body shorter than Content-Length")
 
     split = urlsplit(target)

@@ -352,6 +352,7 @@ class CharacterizationService:
         except SessionError as error:
             return "error", str(error)
         except Exception as error:  # a library defect must not kill the loop
+            metrics.REGISTRY.counter("serve.batch_errors").add()
             return "error", f"internal error: {type(error).__name__}: {error}"
 
     def _distribute(self, window: list[JobRecord], batch: Any) -> None:
@@ -428,6 +429,7 @@ class CharacterizationService:
                         json_response(status, {"error": error.message}, error.headers)
                     )
                 except Exception as error:
+                    metrics.REGISTRY.counter("serve.request_errors").add()
                     status = 500
                     writer.write(
                         json_response(

@@ -29,7 +29,7 @@ from repro.api.options import PatternOptions, StoreOptions, SweepOptions
 
 def _round_trip(job):
     """json-module round trip: exactly what the batch file format does."""
-    document = json.loads(json.dumps(job_to_json(job)))
+    document = json.loads(json.dumps(job_to_json(job), sort_keys=True))
     return job_from_json(document)
 
 

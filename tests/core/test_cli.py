@@ -1114,7 +1114,7 @@ class TestFaultsCommand:
 class TestBatchCommand:
     def _write_jobs(self, tmp_path, jobs):
         path = tmp_path / "jobs.json"
-        path.write_text(json.dumps({"jobs": jobs}))
+        path.write_text(json.dumps({"jobs": jobs}, sort_keys=True))
         return str(path)
 
     def test_runs_jobs_and_reports_dedup(self, tmp_path, capsys):
@@ -1191,7 +1191,10 @@ class TestCleanErrorSurface:
     def test_batch_table4_unknown_operator_name_exits_cleanly(self, tmp_path):
         path = tmp_path / "jobs.json"
         path.write_text(
-            json.dumps({"jobs": [{"type": "table4", "datasets": ["nosuch8"]}]})
+            json.dumps(
+                {"jobs": [{"type": "table4", "datasets": ["nosuch8"]}]},
+                sort_keys=True,
+            )
         )
         with pytest.raises(SystemExit, match="cannot parse adder name"):
             main(["batch", str(path), "--no-cache"])

@@ -206,6 +206,9 @@ class TestSpawnSafeAttach:
                 "register",
                 lambda *args, **kwargs: calls.append(args),
             )
+            # A raw attach is the point here: the test observes what the
+            # seam's own attach path does to the resource tracker.
+            # repro-lint: disable-next-line=RPL007
             segment = shm_module.SharedMemory(name=bundle.ref.segment)
             segment.close()
         finally:
@@ -282,6 +285,9 @@ class TestStaleSegmentJanitor:
         """A segment named as if created by ``pid``, never unlinked."""
         from multiprocessing import shared_memory
 
+        # Deliberately leaked raw segment: the janitor under test must reap
+        # exactly this kind of orphan.
+        # repro-lint: disable-next-line=RPL007
         segment = shared_memory.SharedMemory(
             name=f"{SEGMENT_PREFIX}{pid}_deadbeef", create=True, size=16
         )

@@ -8,6 +8,7 @@ import pytest
 
 from repro.circuits.adders import build_adder
 from repro.core import store as store_module
+from repro.obs import clock as obs_clock
 from repro.core.packfile import encode_blobs
 from repro.core.store import (
     FORMAT_FILE,
@@ -219,7 +220,7 @@ class TestSweepResultStore:
         forged.pop("segment")
         forged["k"] = key_b
         with open(idx, "a", encoding="utf-8") as handle:
-            handle.write(json.dumps(forged) + "\n")
+            handle.write(json.dumps(forged, sort_keys=True) + "\n")
         fresh = SweepResultStore(tmp_path)
         assert fresh.get(key_b) is None
         assert fresh.stats.corrupt == 1
@@ -305,7 +306,7 @@ class _TickingClock:
 @pytest.fixture
 def ticking_clock(monkeypatch):
     clock = _TickingClock()
-    monkeypatch.setattr(store_module.time, "time", clock)
+    monkeypatch.setattr(obs_clock, "wall_time", clock)
     return clock
 
 
@@ -535,7 +536,7 @@ class TestVerify:
         forged.pop("segment")
         forged["k"] = key_b
         with open(idx, "a", encoding="utf-8") as handle:
-            handle.write(json.dumps(forged) + "\n")
+            handle.write(json.dumps(forged, sort_keys=True) + "\n")
         report = SweepResultStore(tmp_path).verify()
         assert report.valid == 1
         assert report.quarantined == 1

@@ -97,7 +97,7 @@ class TestParetoFrontier:
 
     def test_unsupported_format_rejected(self, tmp_path):
         path = tmp_path / "frontier.json"
-        path.write_text(json.dumps({"format": 99, "points": []}))
+        path.write_text(json.dumps({"format": 99, "points": []}, sort_keys=True))
         with pytest.raises(ValueError, match="unsupported frontier format"):
             ParetoFrontier.load(path)
 

@@ -38,7 +38,7 @@ def _environment(chaos=None):
     env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
     env.pop("REPRO_CHAOS", None)
     if chaos is not None:
-        env["REPRO_CHAOS"] = json.dumps(chaos)
+        env["REPRO_CHAOS"] = json.dumps(chaos, sort_keys=True)
     return env
 
 

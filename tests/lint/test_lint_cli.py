@@ -1,0 +1,149 @@
+"""``repro lint`` CLI behavior, including the self-hosting gate."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import main
+from repro.lint import DEFAULT_BASELINE_NAME, RULE_CODES
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+FLAGGED = 'import json\ntext = json.dumps({"a": 1})\n'
+CLEAN = 'import json\ntext = json.dumps({"a": 1}, sort_keys=True)\n'
+
+
+@pytest.fixture()
+def project(tmp_path, monkeypatch):
+    """An isolated working directory the CLI lints relative to."""
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+class TestLintCommand:
+    def test_clean_tree_exits_zero(self, project, capsys):
+        (project / "a.py").write_text(CLEAN)
+        assert main(["lint", "."]) == 0
+        assert "0 new finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one_and_are_printed(self, project, capsys):
+        (project / "a.py").write_text(FLAGGED)
+        assert main(["lint", "."]) == 1
+        out = capsys.readouterr().out
+        assert "a.py:2:" in out
+        assert "RPL004" in out
+
+    def test_json_output_schema(self, project, capsys):
+        (project / "a.py").write_text(FLAGGED)
+        assert main(["lint", ".", "--json"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["version"] == 1
+        assert document["clean"] is False
+        (finding,) = document["findings"]
+        assert finding["code"] == "RPL004"
+        assert finding["path"] == "a.py"
+
+    def test_missing_path_exits_via_systemexit(self, project):
+        with pytest.raises(SystemExit, match="no such file"):
+            main(["lint", "nope/"])
+
+    def test_list_rules_covers_every_registered_code(self, project, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert len(RULE_CODES) >= 8
+        for code in RULE_CODES:
+            assert code in out
+
+
+class TestBaselineFlow:
+    def test_update_baseline_then_gate_passes(self, project, capsys):
+        (project / "a.py").write_text(FLAGGED)
+        assert main(["lint", ".", "--update-baseline"]) == 0
+        assert (project / DEFAULT_BASELINE_NAME).is_file()
+        capsys.readouterr()
+        # The default baseline is picked up from the working directory.
+        assert main(["lint", "."]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+    def test_baseline_does_not_cover_new_findings(self, project, capsys):
+        (project / "a.py").write_text(FLAGGED)
+        assert main(["lint", ".", "--update-baseline"]) == 0
+        (project / "a.py").write_text(FLAGGED + 'more = json.dumps({"b": 2})\n')
+        assert main(["lint", "."]) == 1
+
+    def test_no_baseline_ignores_the_file(self, project, capsys):
+        (project / "a.py").write_text(FLAGGED)
+        assert main(["lint", ".", "--update-baseline"]) == 0
+        assert main(["lint", ".", "--no-baseline"]) == 1
+
+    def test_baseline_and_no_baseline_conflict(self, project):
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(["lint", ".", "--baseline", "x.json", "--no-baseline"])
+
+    def test_explicit_baseline_path(self, project, capsys):
+        (project / "a.py").write_text(FLAGGED)
+        assert (
+            main(["lint", ".", "--baseline", "custom.json", "--update-baseline"])
+            == 0
+        )
+        assert main(["lint", ".", "--baseline", "custom.json"]) == 0
+        assert not (project / DEFAULT_BASELINE_NAME).exists()
+
+    def test_malformed_baseline_exits_via_systemexit(self, project):
+        (project / "a.py").write_text(CLEAN)
+        (project / "bad.json").write_text("{broken")
+        with pytest.raises(SystemExit, match="not valid JSON"):
+            main(["lint", ".", "--baseline", "bad.json"])
+
+    def test_stale_entries_are_reported(self, project, capsys):
+        (project / "a.py").write_text(FLAGGED)
+        assert main(["lint", ".", "--update-baseline"]) == 0
+        (project / "a.py").write_text(CLEAN)
+        assert main(["lint", "."]) == 0
+        assert "stale baseline" in capsys.readouterr().out
+
+
+class TestSelfHosting:
+    def test_repo_is_clean_modulo_committed_baseline(self, monkeypatch, capsys):
+        """The zero-tolerance gate CI runs: the repo lints clean against
+        its own committed baseline."""
+        monkeypatch.chdir(REPO_ROOT)
+        assert (
+            main(
+                [
+                    "lint",
+                    "src/repro",
+                    "tests",
+                    "benchmarks",
+                    "examples",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        document = json.loads(capsys.readouterr().out)
+        assert document["clean"] is True
+        assert document["findings"] == []
+        assert document["stale_baseline"] == []
+
+    def test_committed_baseline_is_canonically_rendered(self):
+        """The committed file round-trips through the renderer byte-for-byte,
+        so --update-baseline never produces a spurious diff."""
+        from repro.lint import load_baseline, render_baseline
+        from repro.lint.framework import Finding
+
+        path = REPO_ROOT / DEFAULT_BASELINE_NAME
+        entries = load_baseline(path)
+        findings = [
+            Finding(
+                code=key.rsplit("::", 1)[1],
+                path=key.rsplit("::", 1)[0],
+                line=index,
+                col=0,
+                message="",
+            )
+            for key, count in entries.items()
+            for index in range(count)
+        ]
+        assert render_baseline(findings) == path.read_text(encoding="utf-8")

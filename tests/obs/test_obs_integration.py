@@ -2,7 +2,6 @@
 
 import json
 import os
-import types
 
 import pytest
 
@@ -10,8 +9,8 @@ from repro.api.jobs import CharacterizeJob
 from repro.api.options import PatternOptions
 from repro.api.session import Session
 from repro.cli import main
-from repro.core import store as store_module
 from repro.core.resilience import ExecutionReport
+from repro.obs import clock as obs_clock
 from repro.obs.report import RunReport, load_trace, summarize_trace, validate_trace
 
 SMALL = PatternOptions(vectors=64)
@@ -121,10 +120,9 @@ class TestTracedShardedRun:
 class TestByteIdentity:
     @pytest.fixture()
     def frozen_store_clock(self, monkeypatch):
-        """Pin the one wall-clock value embedded in store pack indexes."""
-        monkeypatch.setattr(
-            store_module, "time", types.SimpleNamespace(time=lambda: 1.7e9)
-        )
+        """Pin wall time once at the repro.obs.clock seam (reaches the
+        store's pack-index stamps and every other timestamp alike)."""
+        monkeypatch.setattr(obs_clock, "wall_time", lambda: 1.7e9)
 
     def run_cli(self, capsys, cache_dir, jobs, trace=None):
         argv = [
@@ -209,7 +207,8 @@ class TestTraceCli:
                     "wall_s": 0.0,
                     "cpu_s": 0.0,
                     "attrs": {},
-                }
+                },
+                sort_keys=True,
             )
             + "\n"
         )

@@ -49,7 +49,7 @@ class TestRunReport:
         assert document["execution"]["shards"] == 4
         assert document["store"] == {"hits": 0, "misses": 43}
         # Deterministic: no wall-clock values, no paths.
-        assert json.dumps(document)  # JSON-serializable as-is
+        assert json.dumps(document, sort_keys=True)  # JSON-serializable as-is
 
 
 class TestLoadTrace:
@@ -57,7 +57,8 @@ class TestLoadTrace:
         path = tmp_path / "t.jsonl"
         records = [make_record(), make_record(span_id="s2", parent_id="s1")]
         path.write_text(
-            "".join(json.dumps(r) + "\n" for r in records) + "\n\n"
+            "".join(json.dumps(r, sort_keys=True) + "\n" for r in records)
+            + "\n\n"
         )
         assert load_trace(path) == records
 
@@ -68,7 +69,9 @@ class TestLoadTrace:
 
     def test_malformed_json_names_the_line(self, tmp_path):
         path = tmp_path / "t.jsonl"
-        path.write_text(json.dumps(make_record()) + "\n{broken\n")
+        path.write_text(
+            json.dumps(make_record(), sort_keys=True) + "\n{broken\n"
+        )
         with pytest.raises(ValueError, match=r":2: malformed JSON"):
             load_trace(path)
 
@@ -217,6 +220,6 @@ class TestSummarizeTrace:
 
     def test_to_json_round_trips_through_json(self):
         summary = summarize_trace(self.trace_records())
-        document = json.loads(json.dumps(summary.to_json()))
+        document = json.loads(json.dumps(summary.to_json(), sort_keys=True))
         assert document["spans"] == 4
         assert document["phases"][0]["name"] == "session"

@@ -42,7 +42,7 @@ def http_post(port, body, client="tests", path="/v1/jobs"):
     conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
     try:
         conn.request(
-            "POST", path, body=json.dumps(body), headers={"X-Client": client}
+            "POST", path, body=json.dumps(body, sort_keys=True), headers={"X-Client": client}
         )
         response = conn.getresponse()
         return (

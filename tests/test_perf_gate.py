@@ -48,7 +48,7 @@ def _metric(
 def _write(directory: pathlib.Path, document: dict) -> None:
     directory.mkdir(exist_ok=True)
     path = directory / f"BENCH_{document['bench']}.json"
-    path.write_text(json.dumps(document), encoding="utf-8")
+    path.write_text(json.dumps(document, sort_keys=True), encoding="utf-8")
 
 
 class TestCompare:

@@ -62,7 +62,7 @@ class TestChaosPlan:
                 ChaosRule(action="hang", shard=2, attempt=1, hang_s=5.0),
             )
         )
-        assert ChaosPlan.from_json(json.loads(json.dumps(plan.to_json()))) == plan
+        assert ChaosPlan.from_json(json.loads(json.dumps(plan.to_json(), sort_keys=True))) == plan
 
     @pytest.mark.parametrize("document", ["[]", {"rules": []}])
     def test_from_json_rejects_non_list_documents(self, document):

@@ -117,4 +117,4 @@ class TestModelValidation:
         import json
 
         components = GateVariationModel(0.1, 0.02).key_components()
-        assert json.loads(json.dumps(components)) == components
+        assert json.loads(json.dumps(components, sort_keys=True)) == components
